@@ -1,0 +1,33 @@
+# Convenience targets for the repro package.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-verbose examples attack survey clean
+
+install:
+	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-verbose:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	@for f in examples/*.py; do \
+		echo "=== $$f ==="; \
+		$(PYTHON) "$$f" || exit 1; \
+	done
+
+attack:
+	$(PYTHON) -m repro.cli attack
+
+survey:
+	$(PYTHON) -m repro.cli survey
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true
+	rm -rf .pytest_cache .hypothesis *.egg-info src/*.egg-info

@@ -1,0 +1,30 @@
+"""Shared configuration for the experiment benches.
+
+Every bench regenerates one survey figure/claim (see DESIGN.md §4 and
+EXPERIMENTS.md).  Benches print their tables so that
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the full experiment log; each bench also asserts the *shape* of
+the paper's claim so regressions fail loudly.
+"""
+
+from __future__ import annotations
+
+from repro.sim import CacheConfig, MemoryConfig
+
+KEY16 = b"0123456789abcdef"
+KEY24 = b"0123456789abcdef01234567"
+
+#: The standard simulated SoC for overhead measurements.
+CACHE = CacheConfig(size=4096, line_size=32, associativity=2)
+MEM = MemoryConfig(size=1 << 21, latency=40)
+
+#: Small trace length keeping each bench comfortably under a minute.
+N_ACCESSES = 4000
+
+
+def print_table(table: str) -> None:
+    print()
+    print(table)
+    print()

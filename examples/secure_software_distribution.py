@@ -1,0 +1,73 @@
+"""Figure 1 end-to-end: a software editor ships firmware to a secure chip.
+
+The full survey §2.1 scenario:
+
+1. the chip manufacturer provisions an RSA key pair (D_m on-chip);
+2. the processor requests the session key K;
+3-4. the editor fetches E_m and sends K encrypted under it;
+5. the chip recovers K with D_m;
+6. the chip deciphers the firmware and installs it in external RAM,
+   re-enciphered under its own bus key —
+
+then the firmware actually *executes* on the MCU model through the bus
+decryptor, while a passive eavesdropper (network) and a bus probe (PCB)
+record everything they can.
+
+Run:  python examples/secure_software_distribution.py
+"""
+
+from repro.analysis import format_table
+from repro.core import DS5240Engine, run_distribution
+from repro.crypto import SmallBlockCipher
+from repro.isa import MCU, assemble, fibonacci_program
+from repro.sim import MainMemory, MemoryConfig
+
+
+def main() -> None:
+    # The product: firmware computing Fibonacci numbers on the port.
+    firmware = assemble(fibonacci_program(10), size=1024)
+
+    # -- steps 1-6 over the insecure network ---------------------------
+    memory = MainMemory(MemoryConfig(size=1 << 16))
+    bus_engine = DS5240Engine(b"chip-bus-key-16b")
+    processor, eve, session_key = run_distribution(
+        firmware, seed=42, key_bits=512, engine=bus_engine, memory=memory,
+    )
+
+    print(format_table(
+        ["check", "result"],
+        [
+            ["messages on the open network", len(eve.transcript)],
+            ["bytes the eavesdropper captured", eve.total_bytes],
+            ["eavesdropper saw session key K?", eve.saw(session_key)],
+            ["eavesdropper saw the firmware?", eve.saw(firmware[:16])],
+            ["firmware visible in external RAM?",
+             firmware[:32] in memory.dump(0, 4096)],
+        ],
+        title="Distribution security (survey Figure 1)",
+    ))
+
+    # -- the installed product runs through the bus decryptor ----------
+    # Model the chip-side decryptor as a byte-granular view over the
+    # 64-bit engine: execute from a decrypted shadow for the MCU demo.
+    plaintext = bytearray()
+    for addr in range(0, 1024, 32):
+        plaintext += bus_engine.decrypt_line(addr, memory.dump(addr, 32))
+    mcu = MCU(bytearray(plaintext))
+    mcu.run()
+
+    print()
+    print(format_table(
+        ["execution", "value"],
+        [
+            ["port output (Fibonacci)", mcu.port_log],
+            ["instructions retired", "yes" if mcu.halted else "no"],
+        ],
+        title="The protected firmware still runs",
+    ))
+    assert mcu.port_log == [0, 1, 1, 2, 3, 5, 8, 13, 21, 34]
+    print("\nConfidential in transit, confidential at rest, and it runs.")
+
+
+if __name__ == "__main__":
+    main()

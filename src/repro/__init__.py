@@ -1,0 +1,32 @@
+"""repro — executable reproduction of "Hardware Engines for Bus Encryption:
+A Survey of Existing Techniques" (Elbaz et al., DATE 2005).
+
+The package builds every system the survey describes:
+
+* :mod:`repro.crypto` — from-scratch ciphers (DES/3DES, AES, RC4, LFSRs,
+  Best's substitution/transposition cipher, small tweakable Feistel, RSA,
+  SHA-256/HMAC);
+* :mod:`repro.sim` — a cycle-approximate, functionally accurate SoC model
+  (cache, observable bus, external memory, pipelined cipher units, area);
+* :mod:`repro.core` — the surveyed bus-encryption engines and the Figure-1
+  distribution protocol;
+* :mod:`repro.isa` — an 8051-flavoured MCU (the DS5002FP stand-in);
+* :mod:`repro.attacks` — bus probing, statistical distinguishers, Kuhn's
+  cipher instruction search, birthday/IV analysis, the IBM taxonomy;
+* :mod:`repro.compression` — CodePack-style code compression and friends;
+* :mod:`repro.traces` / :mod:`repro.analysis` — workloads and reporting.
+
+Quick start::
+
+    from repro.core import AegisEngine
+    from repro.sim import SecureSystem
+    from repro.traces import make_workload
+
+    system = SecureSystem(engine=AegisEngine(key=b"0123456789abcdef"))
+    report = system.run(make_workload("mixed"))
+    print(report.cycles, report.miss_rate)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

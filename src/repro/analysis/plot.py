@@ -1,0 +1,99 @@
+"""Terminal line plots for the experiment sweeps.
+
+The benches print tables; sweeps (overhead vs memory latency, page size,
+chain region...) read better as pictures.  ``ascii_plot`` renders multiple
+series on one axis grid with a legend, pure text, no dependencies — the
+"figure" half of the regenerate-every-table-and-figure deliverable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _format_tick(value: float) -> str:
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    return f"{value:.2g}"
+
+
+def ascii_plot(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    title: str = "",
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render (x, y) series as a text chart.
+
+    Points are scattered with one marker per series; a legend maps markers
+    to names.  Axes are linear, auto-scaled over all series.
+    """
+    if not series or all(not pts for pts in series.values()):
+        raise ValueError("nothing to plot")
+    if width < 10 or height < 4:
+        raise ValueError("plot area too small")
+
+    xs = [x for pts in series.values() for x, _ in pts]
+    ys = [y for pts in series.values() for _, y in pts]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float) -> Tuple[int, int]:
+        col = round((x - x_min) / (x_max - x_min) * (width - 1))
+        row = round((y - y_min) / (y_max - y_min) * (height - 1))
+        return height - 1 - row, col
+
+    for idx, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for x, y in pts:
+            r, c = cell(x, y)
+            grid[r][c] = marker
+
+    y_top = _format_tick(y_max)
+    y_bottom = _format_tick(y_min)
+    margin = max(len(y_top), len(y_bottom), len(y_label)) + 1
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("")
+    if y_label:
+        lines.append(" " * 1 + y_label)
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = y_top.rjust(margin)
+        elif r == height - 1:
+            prefix = y_bottom.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * margin + " +" + "-" * width)
+    x_left = _format_tick(x_min)
+    x_right = _format_tick(x_max)
+    gap = width - len(x_left) - len(x_right)
+    lines.append(
+        " " * (margin + 2) + x_left + " " * max(1, gap) + x_right
+    )
+    if x_label:
+        lines.append(" " * (margin + 2) + x_label.center(width))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append("")
+    lines.append(" " * (margin + 2) + legend)
+    return "\n".join(lines)

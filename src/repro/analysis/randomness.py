@@ -1,0 +1,157 @@
+"""FIPS 140-1 statistical tests for randomness.
+
+§4 requires the keystream to be "sufficiently random to be secure".  The
+survey-era certification answer was the FIPS 140-1 RNG test battery
+(monobit, poker, runs, long run — over a 20,000-bit sample), which security
+modules of the period had to pass.  This module implements the battery with
+the standard's exact acceptance bounds and applies it to the package's
+keystream generators and engine ciphertexts.
+
+A pass is necessary, not sufficient (the Geffe generator passes the battery
+and still falls to the correlation attack in
+:mod:`repro.attacks.correlation` — a point worth a test of its own).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = ["FipsResult", "fips_140_1", "monobit_test", "poker_test",
+           "runs_test", "long_run_test", "SAMPLE_BITS"]
+
+SAMPLE_BITS = 20_000
+
+# FIPS 140-1 acceptance intervals.
+_MONOBIT_BOUNDS = (9_654, 10_346)
+_POKER_BOUNDS = (1.03, 57.4)
+# Runs of length 1..5 and ">= 6", identical bounds for runs of 0s and 1s.
+_RUN_BOUNDS: Dict[int, Tuple[int, int]] = {
+    1: (2_267, 2_733),
+    2: (1_079, 1_421),
+    3: (502, 748),
+    4: (223, 402),
+    5: (90, 223),
+    6: (90, 223),
+}
+_LONG_RUN_LIMIT = 34
+
+
+def _to_bits(data: bytes, nbits: int = SAMPLE_BITS) -> List[int]:
+    if len(data) * 8 < nbits:
+        raise ValueError(
+            f"need {nbits} bits ({-(-nbits // 8)} bytes), got {len(data)} bytes"
+        )
+    bits = []
+    for byte in data:
+        for shift in range(7, -1, -1):
+            bits.append((byte >> shift) & 1)
+            if len(bits) == nbits:
+                return bits
+    return bits
+
+
+def monobit_test(data: bytes) -> Tuple[bool, int]:
+    """Count of ones must fall in (9654, 10346)."""
+    ones = sum(_to_bits(data))
+    low, high = _MONOBIT_BOUNDS
+    return low < ones < high, ones
+
+
+def poker_test(data: bytes) -> Tuple[bool, float]:
+    """Chi-square-like statistic over 5000 4-bit segments in (1.03, 57.4)."""
+    bits = _to_bits(data)
+    counts = [0] * 16
+    for i in range(0, SAMPLE_BITS, 4):
+        nibble = (bits[i] << 3) | (bits[i + 1] << 2) | (bits[i + 2] << 1) \
+            | bits[i + 3]
+        counts[nibble] += 1
+    segments = SAMPLE_BITS // 4
+    statistic = 16 / segments * sum(c * c for c in counts) - segments
+    low, high = _POKER_BOUNDS
+    return low < statistic < high, statistic
+
+
+def _run_lengths(bits: List[int]) -> Dict[int, Dict[int, int]]:
+    """Counts of runs by value (0/1) and capped length (1..6)."""
+    counts = {0: {k: 0 for k in range(1, 7)}, 1: {k: 0 for k in range(1, 7)}}
+    i = 0
+    n = len(bits)
+    while i < n:
+        value = bits[i]
+        j = i
+        while j < n and bits[j] == value:
+            j += 1
+        counts[value][min(j - i, 6)] += 1
+        i = j
+    return counts
+
+
+def runs_test(data: bytes) -> Tuple[bool, Dict[int, Dict[int, int]]]:
+    """Every run-length bucket (1..6+, for 0s and 1s) within its bounds."""
+    counts = _run_lengths(_to_bits(data))
+    ok = all(
+        _RUN_BOUNDS[length][0] <= counts[value][length] <= _RUN_BOUNDS[length][1]
+        for value in (0, 1)
+        for length in range(1, 7)
+    )
+    return ok, counts
+
+
+def long_run_test(data: bytes) -> Tuple[bool, int]:
+    """No run of 34 or more identical bits."""
+    bits = _to_bits(data)
+    longest = 0
+    current = 1
+    for a, b in zip(bits, bits[1:]):
+        if a == b:
+            current += 1
+        else:
+            longest = max(longest, current)
+            current = 1
+    longest = max(longest, current)
+    return longest < _LONG_RUN_LIMIT, longest
+
+
+@dataclass
+class FipsResult:
+    """Outcome of the full battery on one 20,000-bit sample."""
+
+    monobit_ok: bool
+    monobit_ones: int
+    poker_ok: bool
+    poker_statistic: float
+    runs_ok: bool
+    long_run_ok: bool
+    longest_run: int
+
+    @property
+    def passed(self) -> bool:
+        return (self.monobit_ok and self.poker_ok and self.runs_ok
+                and self.long_run_ok)
+
+    def __str__(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        return (
+            f"FIPS 140-1: {verdict} "
+            f"(monobit {self.monobit_ones}, poker {self.poker_statistic:.1f}, "
+            f"runs {'ok' if self.runs_ok else 'FAIL'}, "
+            f"longest run {self.longest_run})"
+        )
+
+
+def fips_140_1(data: bytes) -> FipsResult:
+    """Run the full battery on the first 20,000 bits of ``data``."""
+    monobit_ok, ones = monobit_test(data)
+    poker_ok, statistic = poker_test(data)
+    runs_ok, _ = runs_test(data)
+    long_ok, longest = long_run_test(data)
+    return FipsResult(
+        monobit_ok=monobit_ok,
+        monobit_ones=ones,
+        poker_ok=poker_ok,
+        poker_statistic=statistic,
+        runs_ok=runs_ok,
+        long_run_ok=long_ok,
+        longest_run=longest,
+    )

@@ -1,0 +1,51 @@
+"""Plain-text table rendering for benches and examples.
+
+Every experiment prints its rows through these helpers so EXPERIMENTS.md
+and the bench output share one format.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_percent", "format_gates"]
+
+
+def format_percent(value: float, signed: bool = True) -> str:
+    """0.253 -> '+25.3%'."""
+    sign = "+" if signed else ""
+    return f"{value * 100:{sign}.1f}%"
+
+
+def format_gates(gates: int) -> str:
+    """312345 -> '312k gates'."""
+    if gates >= 1_000_000:
+        return f"{gates / 1e6:.2f}M gates"
+    if gates >= 1_000:
+        return f"{gates / 1e3:.0f}k gates"
+    return f"{gates} gates"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(
+            cell.ljust(widths[i]) for i, cell in enumerate(cells)
+        ).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)

@@ -1,0 +1,77 @@
+"""Brute-force cost modeling and the cryptosystem-lifetime rule.
+
+"All cryptographic schemes are confronted to the temporal problem: the key
+must be long enough to thwart the 'Brute force attack'. ... It's usually
+considered that a cryptosystem has a lifetime of at most 10 years due to
+the increase in computer processing power (Moore's law)."
+
+These helpers turn that paragraph into numbers: key-search time for an
+adversary with a given trial rate, the Moore's-law discount over a
+deployment lifetime, and the per-class adversary budgets of the IBM
+taxonomy (which :mod:`repro.attacks.taxonomy` ties to concrete engines).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["BruteForceModel", "years_to_break", "moore_speedup",
+           "effective_key_bits_after"]
+
+_SECONDS_PER_YEAR = 365.25 * 24 * 3600
+#: Moore's-law doubling period used by the survey-era rule of thumb.
+MOORE_DOUBLING_YEARS = 1.5
+
+
+def moore_speedup(years: float) -> float:
+    """Computing-power multiplier after ``years`` of Moore's law."""
+    if years < 0:
+        raise ValueError(f"years must be >= 0, got {years}")
+    return 2.0 ** (years / MOORE_DOUBLING_YEARS)
+
+
+def effective_key_bits_after(key_bits: int, years: float) -> float:
+    """Key strength in bits after the adversary's hardware improves.
+
+    Each Moore doubling shaves one bit: the ten-year lifetime the survey
+    quotes costs a design ~6-7 bits of margin.
+    """
+    return key_bits - years / MOORE_DOUBLING_YEARS
+
+
+def years_to_break(key_bits: int, trials_per_second: float) -> float:
+    """Expected years to find a key by exhaustive search (half the space)."""
+    if trials_per_second <= 0:
+        raise ValueError("trials_per_second must be positive")
+    expected_trials = 2.0 ** (key_bits - 1)
+    return expected_trials / trials_per_second / _SECONDS_PER_YEAR
+
+
+@dataclass(frozen=True)
+class BruteForceModel:
+    """An adversary's key-search capability."""
+
+    name: str
+    trials_per_second: float
+
+    def years_to_break(self, key_bits: int, after_years: float = 0.0) -> float:
+        """Expected search time, optionally after Moore's-law growth."""
+        rate = self.trials_per_second * moore_speedup(after_years)
+        return years_to_break(key_bits, rate)
+
+    def breaks_within_lifetime(self, key_bits: int,
+                               lifetime_years: float = 10.0) -> bool:
+        """Does the key fall within the survey's 10-year lifetime rule?
+
+        Conservatively evaluates the search with end-of-life hardware.
+        """
+        return self.years_to_break(
+            key_bits, after_years=lifetime_years
+        ) <= lifetime_years
+
+
+#: Survey-era (2005) adversary classes, calibrated to the IBM taxonomy.
+CLASS_I_ADVERSARY = BruteForceModel("class-I clever outsider", 1e6)
+CLASS_II_ADVERSARY = BruteForceModel("class-II knowledgeable insider", 1e9)
+CLASS_III_ADVERSARY = BruteForceModel("class-III funded organization", 1e13)

@@ -1,0 +1,70 @@
+"""Known-plaintext dictionary attack on deterministic bus encryption.
+
+When the engine enciphers deterministically (Best, XOM's address-tweaked
+ECB, the Dallas parts), an attacker who knows some (plaintext, address)
+pairs — e.g. a public library linked into the protected program — learns
+the corresponding ciphertexts and can recognize them anywhere they recur.
+For engines *without* address tweaking the dictionary even transfers across
+addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = ["KnownPlaintextDictionary"]
+
+
+@dataclass
+class KnownPlaintextDictionary:
+    """Maps observed ciphertext blocks back to known plaintext.
+
+    ``address_tweaked`` controls whether entries are keyed by
+    (address, ciphertext) — matching engines whose transform depends on the
+    address — or by ciphertext alone (pure ECB, where knowledge transfers
+    between locations).
+    """
+
+    block_size: int = 8
+    address_tweaked: bool = True
+    _table: Dict[Tuple, bytes] = field(default_factory=dict)
+
+    def _key(self, addr: int, ciphertext: bytes):
+        if self.address_tweaked:
+            return (addr, ciphertext)
+        return ciphertext
+
+    def learn(self, addr: int, plaintext: bytes, ciphertext: bytes) -> None:
+        """Record known (plaintext, ciphertext) pairs, block by block."""
+        if len(plaintext) != len(ciphertext):
+            raise ValueError("plaintext/ciphertext length mismatch")
+        for i in range(0, len(plaintext) - self.block_size + 1,
+                       self.block_size):
+            ct = bytes(ciphertext[i: i + self.block_size])
+            pt = bytes(plaintext[i: i + self.block_size])
+            self._table[self._key(addr + i, ct)] = pt
+
+    def recover(self, addr: int, ciphertext: bytes) -> Optional[bytes]:
+        """Look one ciphertext block up."""
+        return self._table.get(self._key(addr, bytes(ciphertext)))
+
+    def recover_image(self, base_addr: int, image: bytes) -> Tuple[bytes, float]:
+        """Decode as much of an image as the dictionary covers.
+
+        Returns (plaintext with unknown blocks zeroed, recovered fraction).
+        """
+        out = bytearray(len(image))
+        hits = 0
+        total = 0
+        for i in range(0, len(image) - self.block_size + 1, self.block_size):
+            total += 1
+            block = self.recover(base_addr + i, image[i: i + self.block_size])
+            if block is not None:
+                out[i: i + self.block_size] = block
+                hits += 1
+        fraction = hits / total if total else 0.0
+        return bytes(out), fraction
+
+    def __len__(self) -> int:
+        return len(self._table)

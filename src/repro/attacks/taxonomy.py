@@ -1,0 +1,187 @@
+"""IBM adversary taxonomy ([4], survey §2.3) applied to the engines.
+
+"Adversaries were grouped into three classes, in ascending order, depending
+on their expected abilities and attack strengths": class I clever
+outsiders, class II knowledgeable insiders, class III funded organizations.
+"Throughout this paper, the consumer market is targeted ... only attacks
+and adversaries classified in class II are taken into account."
+
+This module encodes the classes, their capabilities, and a rating function
+that assigns each engine the highest class it withstands — the security
+column of the E14 survey table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Dict, FrozenSet, List
+
+__all__ = ["AttackerClass", "Capability", "CLASS_CAPABILITIES",
+           "EngineSecurityRating", "rate_engine", "ENGINE_RATINGS"]
+
+
+class AttackerClass(IntEnum):
+    """IBM's three adversary classes (higher = stronger)."""
+
+    CLASS_I = 1     # clever outsiders
+    CLASS_II = 2    # knowledgeable insiders
+    CLASS_III = 3   # funded organizations
+
+    def describe(self) -> str:
+        return {
+            AttackerClass.CLASS_I:
+                "clever outsiders: moderately sophisticated equipment, "
+                "exploit existing weaknesses",
+            AttackerClass.CLASS_II:
+                "knowledgeable insiders: specialized education, highly "
+                "sophisticated tools, board-level access",
+            AttackerClass.CLASS_III:
+                "funded organizations: teams of specialists, in-depth "
+                "analysis, the most sophisticated analysis tools",
+        }[self]
+
+
+class Capability:
+    """Concrete abilities attacks in this package rely on."""
+
+    BUS_PROBE = "bus-probe"                       # passive PCB probing
+    MEMORY_DUMP = "memory-dump"                   # read external memory
+    MEMORY_INJECT = "memory-inject"               # write external memory
+    CHOSEN_EXECUTION = "chosen-execution"         # reset/single-step control
+    STATISTICAL_ANALYSIS = "statistical-analysis"
+    KEY_SEARCH_SMALL = "key-search-small"         # up to ~2^40 work
+    KEY_SEARCH_LARGE = "key-search-large"         # up to ~2^60 work
+    ON_CHIP_PROBE = "on-chip-probe"               # invasive die access
+
+
+CLASS_CAPABILITIES: Dict[AttackerClass, FrozenSet[str]] = {
+    AttackerClass.CLASS_I: frozenset({
+        Capability.BUS_PROBE,
+        Capability.MEMORY_DUMP,
+        Capability.STATISTICAL_ANALYSIS,
+    }),
+    AttackerClass.CLASS_II: frozenset({
+        Capability.BUS_PROBE,
+        Capability.MEMORY_DUMP,
+        Capability.MEMORY_INJECT,
+        Capability.CHOSEN_EXECUTION,
+        Capability.STATISTICAL_ANALYSIS,
+        Capability.KEY_SEARCH_SMALL,
+    }),
+    AttackerClass.CLASS_III: frozenset({
+        Capability.BUS_PROBE,
+        Capability.MEMORY_DUMP,
+        Capability.MEMORY_INJECT,
+        Capability.CHOSEN_EXECUTION,
+        Capability.STATISTICAL_ANALYSIS,
+        Capability.KEY_SEARCH_SMALL,
+        Capability.KEY_SEARCH_LARGE,
+        Capability.ON_CHIP_PROBE,
+    }),
+}
+
+
+@dataclass
+class EngineSecurityRating:
+    """Which adversary class an engine's confidentiality survives."""
+
+    engine_name: str
+    #: Capabilities sufficient to break the engine's confidentiality.
+    broken_by: List[FrozenSet[str]] = field(default_factory=list)
+    notes: str = ""
+
+    def withstands(self, attacker: AttackerClass) -> bool:
+        caps = CLASS_CAPABILITIES[attacker]
+        return not any(needed <= caps for needed in self.broken_by)
+
+    @property
+    def highest_class_withstood(self) -> int:
+        """0 if even class I breaks it; 3 if nothing in the model does.
+
+        Capabilities are cumulative across classes, so ``withstands`` is
+        monotone: walking up in strength, the first broken class ends it.
+        """
+        level = 0
+        for attacker in sorted(AttackerClass):
+            if not self.withstands(attacker):
+                break
+            level = int(attacker)
+        return level
+
+
+def rate_engine(engine_name: str) -> EngineSecurityRating:
+    """Security rating for one of the built-in engines (by ``engine.name``)."""
+    if engine_name not in ENGINE_RATINGS:
+        raise KeyError(
+            f"unknown engine {engine_name!r}; known: {sorted(ENGINE_RATINGS)}"
+        )
+    return ENGINE_RATINGS[engine_name]
+
+
+ENGINE_RATINGS: Dict[str, EngineSecurityRating] = {
+    "plaintext": EngineSecurityRating(
+        "plaintext",
+        broken_by=[frozenset({Capability.BUS_PROBE})],
+        notes="no protection: the bus carries cleartext",
+    ),
+    "best-1979": EngineSecurityRating(
+        "best-1979",
+        broken_by=[frozenset({Capability.MEMORY_DUMP,
+                              Capability.STATISTICAL_ANALYSIS})],
+        notes="shallow substitution/transposition leaks statistics (E06)",
+    ),
+    "ds5002fp": EngineSecurityRating(
+        "ds5002fp",
+        broken_by=[frozenset({Capability.MEMORY_INJECT,
+                              Capability.CHOSEN_EXECUTION})],
+        notes="8-bit blocks fall to cipher instruction search (E05)",
+    ),
+    "ds5240": EngineSecurityRating(
+        "ds5240",
+        broken_by=[frozenset({Capability.KEY_SEARCH_LARGE})],
+        notes="single-DES key (56 bits) within class-III search budgets",
+    ),
+    "vlsi-secure-dma": EngineSecurityRating(
+        "vlsi-secure-dma",
+        broken_by=[frozenset({Capability.ON_CHIP_PROBE})],
+        notes="3DES-CBC pages; trusts the OS controlling the DMA",
+    ),
+    "general-instrument-3des-cbc": EngineSecurityRating(
+        "general-instrument-3des-cbc",
+        broken_by=[frozenset({Capability.ON_CHIP_PROBE})],
+        notes="3DES-CBC + keyed hash; integrity included",
+    ),
+    "gilmont-3des": EngineSecurityRating(
+        "gilmont-3des",
+        broken_by=[frozenset({Capability.ON_CHIP_PROBE})],
+        notes="pipelined 3DES; static code only",
+    ),
+    "xom-aes": EngineSecurityRating(
+        "xom-aes",
+        broken_by=[frozenset({Capability.ON_CHIP_PROBE})],
+        notes="address-tweaked AES; deterministic per address "
+              "(equal writes observable)",
+    ),
+    "aegis-aes-cbc": EngineSecurityRating(
+        "aegis-aes-cbc",
+        broken_by=[frozenset({Capability.ON_CHIP_PROBE})],
+        notes="AES-CBC per line with versioned IVs",
+    ),
+    "stream-ctr": EngineSecurityRating(
+        "stream-ctr",
+        broken_by=[frozenset({Capability.ON_CHIP_PROBE})],
+        notes="seekable CTR pads with per-line versions",
+    ),
+    "compress+encrypt": EngineSecurityRating(
+        "compress+encrypt",
+        broken_by=[frozenset({Capability.ON_CHIP_PROBE})],
+        notes="compression before ciphering raises message entropy",
+    ),
+    "cpu-cache-stream": EngineSecurityRating(
+        "cpu-cache-stream",
+        broken_by=[frozenset({Capability.ON_CHIP_PROBE})],
+        notes="§4: the on-chip keystream store itself becomes the target "
+              "against class III",
+    ),
+}

@@ -1,0 +1,245 @@
+"""Command-line interface: run the survey's experiments without writing code.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli survey                 # the E14 comparison table
+    python -m repro.cli overhead aegis mixed   # one engine, one workload
+    python -m repro.cli attack --memory 512    # Kuhn attack demo
+    python -m repro.cli protocol               # Figure-1 walkthrough
+    python -m repro.cli area                   # gate counts for all engines
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+from .analysis import (
+    format_gates,
+    format_percent,
+    format_table,
+    measure_overhead,
+)
+from .attacks import DallasBoard, KuhnAttack, rate_engine
+from .core import (
+    AegisEngine,
+    BestEngine,
+    DS5002FPEngine,
+    DS5240Engine,
+    GeneralInstrumentEngine,
+    GilmontEngine,
+    StreamCipherEngine,
+    VlsiDmaEngine,
+    XomAesEngine,
+    run_distribution,
+)
+from .crypto import DRBG, SmallBlockCipher
+from .isa import assemble, secret_table_program
+from .sim import CacheConfig, MemoryConfig
+from .traces import MCU_KERNELS, WORKLOAD_NAMES, make_workload, mcu_workload
+
+KEY16 = b"0123456789abcdef"
+KEY24 = b"0123456789abcdef01234567"
+
+ENGINE_FACTORIES: Dict[str, Callable] = {
+    "best": lambda: BestEngine(KEY16),
+    "ds5002fp": lambda: DS5002FPEngine(KEY16),
+    "ds5240": lambda: DS5240Engine(KEY16),
+    "vlsi": lambda: VlsiDmaEngine(KEY24, page_size=1024, buffer_pages=8),
+    "gi": lambda: GeneralInstrumentEngine(KEY24, region_size=1024,
+                                          authenticate=False),
+    "gilmont": lambda: GilmontEngine(KEY24),
+    "xom": lambda: XomAesEngine(KEY16),
+    "aegis": lambda: AegisEngine(KEY16),
+    "stream": lambda: StreamCipherEngine(KEY16, line_size=32),
+}
+
+
+def _timing_factory(name: str) -> Callable:
+    def make():
+        engine = ENGINE_FACTORIES[name]()
+        engine.functional = False
+        return engine
+    return make
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print(format_table(
+        ["engine", "class withstood", "notes"],
+        [
+            [name, rate_engine(ENGINE_FACTORIES[name]().name)
+             .highest_class_withstood or "none",
+             rate_engine(ENGINE_FACTORIES[name]().name).notes]
+            for name in sorted(ENGINE_FACTORIES)
+        ],
+        title="Engines",
+    ))
+    print()
+    print("Workloads:", ", ".join(WORKLOAD_NAMES))
+    print("MCU kernels:", ", ".join(f"mcu-{k}" for k in MCU_KERNELS))
+    return 0
+
+
+def cmd_overhead(args: argparse.Namespace) -> int:
+    if args.engine not in ENGINE_FACTORIES:
+        print(f"unknown engine {args.engine!r}; see `list`", file=sys.stderr)
+        return 2
+    if args.workload.startswith("mcu-"):
+        trace = mcu_workload(args.workload[4:], repeat=5)
+    else:
+        trace = [
+            type(a)(a.kind, a.addr % (32 * 1024), a.size)
+            for a in make_workload(args.workload, n=args.accesses)
+        ]
+    result = measure_overhead(
+        _timing_factory(args.engine), trace, workload=args.workload,
+        image=bytes(32 * 1024),
+        cache_config=CacheConfig(size=args.cache, line_size=32,
+                                 associativity=2),
+        mem_config=MemoryConfig(size=1 << 21, latency=args.latency),
+    )
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["engine", args.engine],
+            ["workload", args.workload],
+            ["accesses", result.secured.accesses],
+            ["baseline miss rate", f"{result.baseline.miss_rate:.1%}"],
+            ["baseline cycles", result.baseline.cycles],
+            ["secured cycles", result.secured.cycles],
+            ["overhead", format_percent(result.overhead)],
+        ],
+        title="Overhead measurement",
+    ))
+    return 0
+
+
+def cmd_survey(args: argparse.Namespace) -> int:
+    trace = [
+        type(a)(a.kind, a.addr % (32 * 1024), a.size)
+        for a in make_workload("mixed", n=args.accesses)
+    ]
+    rows = []
+    for name in sorted(ENGINE_FACTORIES):
+        result = measure_overhead(
+            _timing_factory(name), trace, image=bytes(32 * 1024),
+            cache_config=CacheConfig(size=4096, line_size=32, associativity=2),
+            mem_config=MemoryConfig(size=1 << 21, latency=40),
+        )
+        engine = ENGINE_FACTORIES[name]()
+        rating = rate_engine(engine.name)
+        rows.append([
+            name, format_percent(result.overhead),
+            format_gates(engine.area().total),
+            rating.highest_class_withstood or "none",
+        ])
+    print(format_table(
+        ["engine", "mixed overhead", "area", "withstands class"],
+        rows, title="The survey, measured (mixed workload)",
+    ))
+    return 0
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    firmware = assemble(
+        secret_table_program(seed=args.seed, table_len=64), size=args.memory
+    )
+    board = DallasBoard(
+        SmallBlockCipher(DRBG(args.seed).random_bytes(16)),
+        firmware, memory_size=args.memory,
+    )
+    attack = KuhnAttack(board, verbose=not args.quiet)
+    report = attack.run()
+    recovered = sum(a == b for a, b in zip(report.plaintext, firmware))
+    print(format_table(
+        ["result", "value"],
+        [
+            ["bytes recovered", f"{recovered}/{args.memory}"],
+            ["probe runs", report.probe_runs],
+            ["ambiguous cells", len(report.ambiguous_cells)],
+        ],
+        title="Cipher Instruction Search",
+    ))
+    return 0 if recovered == args.memory else 1
+
+
+def cmd_protocol(args: argparse.Namespace) -> int:
+    software = DRBG(args.seed).random_bytes(args.size)
+    processor, eve, session_key = run_distribution(
+        software, seed=args.seed, key_bits=args.key_bits,
+    )
+    print(format_table(
+        ["check", "value"],
+        [
+            ["session key established",
+             processor._session_key == session_key],
+            ["eavesdropper saw K", eve.saw(session_key)],
+            ["eavesdropper saw software", eve.saw(software[:16])],
+            ["messages observed", len(eve.transcript)],
+            ["bytes observed", eve.total_bytes],
+        ],
+        title="Figure-1 distribution protocol",
+    ))
+    return 0
+
+
+def cmd_area(args: argparse.Namespace) -> int:
+    for name in sorted(ENGINE_FACTORIES):
+        print(ENGINE_FACTORIES[name]().area())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bus-encryption engines: the DATE 2005 survey, runnable.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list engines and workloads")
+
+    p = sub.add_parser("overhead", help="measure one engine on one workload")
+    p.add_argument("engine", help="engine name (see `list`)")
+    p.add_argument(
+        "workload", nargs="?", default="mixed",
+        choices=tuple(WORKLOAD_NAMES) + tuple(f"mcu-{k}" for k in MCU_KERNELS),
+    )
+    p.add_argument("--accesses", type=int, default=4000)
+    p.add_argument("--cache", type=int, default=4096)
+    p.add_argument("--latency", type=int, default=40)
+
+    p = sub.add_parser("survey", help="the full engine comparison table")
+    p.add_argument("--accesses", type=int, default=4000)
+
+    p = sub.add_parser("attack", help="run the Kuhn attack demo")
+    p.add_argument("--memory", type=int, default=512)
+    p.add_argument("--seed", type=int, default=2005)
+    p.add_argument("--quiet", action="store_true")
+
+    p = sub.add_parser("protocol", help="run the Figure-1 key exchange")
+    p.add_argument("--size", type=int, default=2048)
+    p.add_argument("--seed", type=int, default=2005)
+    p.add_argument("--key-bits", type=int, default=512)
+
+    sub.add_parser("area", help="gate-count estimates for all engines")
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": cmd_list,
+        "overhead": cmd_overhead,
+        "survey": cmd_survey,
+        "attack": cmd_attack,
+        "protocol": cmd_protocol,
+        "area": cmd_area,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,138 @@
+"""Canonical Huffman coding over bytes.
+
+General-purpose entropy coder used standalone and as the back end of the
+CodePack-style code compressor.  The encoded stream is self-describing: a
+canonical code-length table precedes the payload, so ``decompress`` needs no
+out-of-band state.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from typing import Dict, List, Tuple
+
+__all__ = ["huffman_compress", "huffman_decompress", "build_code_lengths",
+           "canonical_codes"]
+
+_MAX_CODE_LEN = 255
+
+
+def build_code_lengths(data: bytes) -> Dict[int, int]:
+    """Compute Huffman code lengths for each byte present in ``data``."""
+    freq = Counter(data)
+    if not freq:
+        return {}
+    if len(freq) == 1:
+        symbol = next(iter(freq))
+        return {symbol: 1}
+    # Heap of (weight, tiebreak, symbols-with-depths)
+    heap: List[Tuple[int, int, List[Tuple[int, int]]]] = []
+    for tiebreak, (symbol, weight) in enumerate(sorted(freq.items())):
+        heap.append((weight, tiebreak, [(symbol, 0)]))
+    heapq.heapify(heap)
+    counter = len(heap)
+    while len(heap) > 1:
+        w1, _, s1 = heapq.heappop(heap)
+        w2, _, s2 = heapq.heappop(heap)
+        merged = [(sym, d + 1) for sym, d in s1 + s2]
+        heapq.heappush(heap, (w1 + w2, counter, merged))
+        counter += 1
+    return {symbol: depth for symbol, depth in heap[0][2]}
+
+
+def canonical_codes(lengths: Dict[int, int]) -> Dict[int, Tuple[int, int]]:
+    """Assign canonical codes: returns symbol -> (code, length)."""
+    ordered = sorted(lengths.items(), key=lambda kv: (kv[1], kv[0]))
+    codes: Dict[int, Tuple[int, int]] = {}
+    code = 0
+    prev_len = 0
+    for symbol, length in ordered:
+        code <<= length - prev_len
+        codes[symbol] = (code, length)
+        code += 1
+        prev_len = length
+    return codes
+
+
+class _BitWriter:
+    def __init__(self) -> None:
+        self._bits: List[int] = []
+
+    def write(self, code: int, length: int) -> None:
+        for i in range(length - 1, -1, -1):
+            self._bits.append((code >> i) & 1)
+
+    def getvalue(self) -> Tuple[bytes, int]:
+        """Return (payload, bit_count)."""
+        out = bytearray()
+        for i in range(0, len(self._bits), 8):
+            byte = 0
+            chunk = self._bits[i: i + 8]
+            for b in chunk:
+                byte = (byte << 1) | b
+            byte <<= 8 - len(chunk)
+            out.append(byte)
+        return bytes(out), len(self._bits)
+
+
+class _BitReader:
+    def __init__(self, data: bytes, bit_count: int):
+        self._data = data
+        self._bit_count = bit_count
+        self._pos = 0
+
+    def read_bit(self) -> int:
+        if self._pos >= self._bit_count:
+            raise ValueError("bit stream exhausted")
+        byte = self._data[self._pos // 8]
+        bit = (byte >> (7 - self._pos % 8)) & 1
+        self._pos += 1
+        return bit
+
+
+def huffman_compress(data: bytes) -> bytes:
+    """Compress ``data``; header = 256 code lengths + original size + bits."""
+    lengths = build_code_lengths(data)
+    codes = canonical_codes(lengths)
+    writer = _BitWriter()
+    for byte in data:
+        code, length = codes[byte]
+        writer.write(code, length)
+    payload, bit_count = writer.getvalue()
+    header = bytearray()
+    header += len(data).to_bytes(4, "big")
+    header += bit_count.to_bytes(4, "big")
+    for symbol in range(256):
+        header.append(lengths.get(symbol, 0))
+    return bytes(header) + payload
+
+
+def huffman_decompress(blob: bytes) -> bytes:
+    """Invert :func:`huffman_compress`."""
+    if len(blob) < 264:
+        raise ValueError("truncated huffman blob")
+    size = int.from_bytes(blob[0:4], "big")
+    bit_count = int.from_bytes(blob[4:8], "big")
+    lengths = {s: blob[8 + s] for s in range(256) if blob[8 + s] != 0}
+    payload = blob[264:]
+    if size == 0:
+        return b""
+    codes = canonical_codes(lengths)
+    # Decoding table: (length, code) -> symbol
+    decode = {(length, code): sym for sym, (code, length) in codes.items()}
+    reader = _BitReader(payload, bit_count)
+    out = bytearray()
+    code = 0
+    length = 0
+    while len(out) < size:
+        code = (code << 1) | reader.read_bit()
+        length += 1
+        if length > _MAX_CODE_LEN:
+            raise ValueError("corrupt huffman stream: code too long")
+        sym = decode.get((length, code))
+        if sym is not None:
+            out.append(sym)
+            code = 0
+            length = 0
+    return bytes(out)

@@ -1,0 +1,114 @@
+"""LZ77 sliding-window compression.
+
+Byte-oriented LZ77 with a hash-chained match finder.  Token format:
+
+* literal:   0x00 length(1) bytes...
+* match:     0x01 distance(2, big endian) length(1)
+
+Used by the generic compression+encryption engine (Figure 8) as an
+alternative back end to the CodePack-style compressor, and to demonstrate
+that ciphertext does not compress (E13).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["lz77_compress", "lz77_decompress"]
+
+_MIN_MATCH = 4
+_MAX_MATCH = 255
+_WINDOW = 0xFFFF
+_MAX_LITERAL_RUN = 255
+
+
+def lz77_compress(data: bytes) -> bytes:
+    """Compress ``data`` with a 64 KiB window."""
+    n = len(data)
+    out = bytearray()
+    out += n.to_bytes(4, "big")
+    # Hash chains on 4-byte prefixes.
+    heads: dict = {}
+    prev: List[int] = [0] * n
+    literals = bytearray()
+
+    def flush_literals() -> None:
+        start = 0
+        while start < len(literals):
+            chunk = literals[start: start + _MAX_LITERAL_RUN]
+            out.append(0x00)
+            out.append(len(chunk))
+            out.extend(chunk)
+            start += len(chunk)
+        literals.clear()
+
+    i = 0
+    while i < n:
+        best_len = 0
+        best_dist = 0
+        if i + _MIN_MATCH <= n:
+            key = bytes(data[i: i + _MIN_MATCH])
+            candidate = heads.get(key, -1)
+            tries = 16
+            while candidate >= 0 and tries > 0 and i - candidate <= _WINDOW:
+                length = 0
+                max_len = min(_MAX_MATCH, n - i)
+                while length < max_len and data[candidate + length] == data[i + length]:
+                    length += 1
+                if length > best_len:
+                    best_len = length
+                    best_dist = i - candidate
+                candidate = prev[candidate] if prev[candidate] != candidate else -1
+                tries -= 1
+        if best_len >= _MIN_MATCH:
+            flush_literals()
+            out.append(0x01)
+            out += best_dist.to_bytes(2, "big")
+            out.append(best_len)
+            end = i + best_len
+            while i < end:
+                if i + _MIN_MATCH <= n:
+                    key = bytes(data[i: i + _MIN_MATCH])
+                    prev[i] = heads.get(key, i)
+                    heads[key] = i
+                i += 1
+        else:
+            literals.append(data[i])
+            if i + _MIN_MATCH <= n:
+                key = bytes(data[i: i + _MIN_MATCH])
+                prev[i] = heads.get(key, i)
+                heads[key] = i
+            i += 1
+    flush_literals()
+    return bytes(out)
+
+
+def lz77_decompress(blob: bytes) -> bytes:
+    """Invert :func:`lz77_compress`."""
+    if len(blob) < 4:
+        raise ValueError("truncated lz77 blob")
+    size = int.from_bytes(blob[0:4], "big")
+    out = bytearray()
+    i = 4
+    while len(out) < size:
+        if i >= len(blob):
+            raise ValueError("corrupt lz77 stream: ran out of tokens")
+        tag = blob[i]
+        i += 1
+        if tag == 0x00:
+            run = blob[i]
+            i += 1
+            out += blob[i: i + run]
+            i += run
+        elif tag == 0x01:
+            dist = int.from_bytes(blob[i: i + 2], "big")
+            length = blob[i + 2]
+            i += 3
+            if dist == 0 or dist > len(out):
+                raise ValueError(f"corrupt lz77 stream: bad distance {dist}")
+            start = len(out) - dist
+            for k in range(length):
+                out.append(out[start + k])
+        else:
+            raise ValueError(f"corrupt lz77 stream: unknown tag {tag:#x}")
+    return bytes(out[:size])

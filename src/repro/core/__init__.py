@@ -1,0 +1,59 @@
+"""Bus-encryption engines — the survey's subject matter.
+
+One class per surveyed design (Best 1979, VLSI secure DMA, General
+Instrument 3DES-CBC, Dallas DS5002FP/DS5240, Gilmont fetch-prediction 3DES,
+XOM pipelined AES, AEGIS per-line AES-CBC), plus the stream/pad-ahead
+engine, the compression+encryption engine, the CPU-cache placement variant
+and the Figure-1 distribution protocol.
+"""
+
+from .addr_scramble import AddressScrambledEngine
+from .aegis import AegisEngine
+from .best import BestEngine
+from .compress_engine import CompressedEncryptionEngine
+from .dallas import DS5002FPEngine, DS5240Engine
+from .engine import (
+    BlockModeEngine,
+    BusEncryptionEngine,
+    EngineStats,
+    MemoryPort,
+    NullEngine,
+    Placement,
+)
+from .general_instrument import AuthenticationError, GeneralInstrumentEngine
+from .integrity import IntegrityShieldEngine, TamperDetected
+from .merkle import MerkleTamperDetected, MerkleTreeEngine
+from .gilmont import GilmontEngine
+from .placement import (
+    CpuCacheStreamEngine,
+    PlacementComparison,
+    compare_placements,
+)
+from .protocol import (
+    ChipManufacturer,
+    Eavesdropper,
+    InsecureChannel,
+    Message,
+    SecureProcessor,
+    SoftwareEditor,
+    run_distribution,
+)
+from .stream_engine import StreamCipherEngine
+from .vlsi_dma import VlsiDmaEngine
+from .xom import XomAesEngine
+
+__all__ = [
+    "AddressScrambledEngine",
+    "AegisEngine", "BestEngine", "CompressedEncryptionEngine",
+    "DS5002FPEngine", "DS5240Engine",
+    "BlockModeEngine", "BusEncryptionEngine", "EngineStats", "MemoryPort",
+    "NullEngine", "Placement",
+    "AuthenticationError", "GeneralInstrumentEngine",
+    "IntegrityShieldEngine", "TamperDetected",
+    "MerkleTamperDetected", "MerkleTreeEngine",
+    "GilmontEngine",
+    "CpuCacheStreamEngine", "PlacementComparison", "compare_placements",
+    "ChipManufacturer", "Eavesdropper", "InsecureChannel", "Message",
+    "SecureProcessor", "SoftwareEditor", "run_distribution",
+    "StreamCipherEngine", "VlsiDmaEngine", "XomAesEngine",
+]

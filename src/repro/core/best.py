@@ -1,0 +1,74 @@
+"""Best's crypto-microprocessor engine (survey Figure 3, patents [7][8][9]).
+
+"Best proposed to consider the CPU as secure and consequently all data and
+addresses are in decrypted form inside the CPU and encrypted outside the
+SOC. ... The block cipher chosen is based on basic cryptographic functions
+such as mono and poly-alphabetic substitutions and byte transpositions."
+
+The engine wraps :class:`repro.crypto.BestCipher`: address-selected
+substitution alphabets plus a keyed transposition, one combinational pass —
+essentially free in latency and tiny in area.  The price is cryptographic:
+shallow diffusion leaves statistical structure in the ciphertext, which
+E06 measures against AES with the entropy/collision distinguishers.
+"""
+
+from __future__ import annotations
+
+from ..crypto.best_cipher import BestCipher
+from ..sim.area import AreaEstimate
+from ..sim.pipeline import BYTE_SUBST_UNIT
+from .engine import BusEncryptionEngine
+
+__all__ = ["BestEngine"]
+
+
+class BestEngine(BusEncryptionEngine):
+    """Substitution/transposition engine at 8-byte granularity."""
+
+    name = "best-1979"
+
+    def __init__(
+        self,
+        key: bytes,
+        block_size: int = 8,
+        num_alphabets: int = 16,
+        rounds: int = 2,
+        functional: bool = True,
+    ):
+        super().__init__(functional=functional)
+        self.cipher = BestCipher(
+            key, block_size=block_size, num_alphabets=num_alphabets,
+            rounds=rounds,
+        )
+        self.block_size = block_size
+        self.min_write_bytes = block_size
+        self.unit = BYTE_SUBST_UNIT
+        self.rounds = rounds
+
+    def encrypt_line(self, addr: int, plaintext: bytes) -> bytes:
+        out = bytearray()
+        for i in range(0, len(plaintext), self.block_size):
+            out += self.cipher.encrypt(addr + i, plaintext[i: i + self.block_size])
+        return bytes(out)
+
+    def decrypt_line(self, addr: int, ciphertext: bytes) -> bytes:
+        out = bytearray()
+        for i in range(0, len(ciphertext), self.block_size):
+            out += self.cipher.decrypt(addr + i, ciphertext[i: i + self.block_size])
+        return bytes(out)
+
+    def read_extra_cycles(self, addr: int, nbytes: int, mem_cycles: int) -> int:
+        self.stats.blocks_processed += -(-nbytes // self.block_size)
+        # One combinational pass per round.
+        return self.rounds * self.unit.latency
+
+    def write_extra_cycles(self, addr: int, nbytes: int) -> int:
+        self.stats.blocks_processed += -(-nbytes // self.block_size)
+        return self.rounds * self.unit.latency
+
+    def area(self) -> AreaEstimate:
+        est = AreaEstimate(self.name)
+        est.add_block("byte_sbox", self.cipher.num_alphabets)
+        est.add_block("byte_transposition", 2)
+        est.add_block("control_overhead")
+        return est

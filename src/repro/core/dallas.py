@@ -1,0 +1,103 @@
+"""Dallas Semiconductor bus-encryption microcontrollers (survey Figure 6).
+
+Two generations, two security levels:
+
+* :class:`DS5002FPEngine` — the old part: "ciphering by block of 8-bit
+  instructions", i.e. each external byte is enciphered independently with an
+  address-dependent transformation.  Fast (one table lookup per byte, no
+  read-modify-write) but broken: an 8-bit block admits only 256 ciphertext
+  values per address, which Markus Kuhn's Cipher Instruction Search attack
+  enumerates (:mod:`repro.attacks.kuhn`, experiment E05).
+
+* :class:`DS5240Engine` — the successor: "implements a ciphering based on a
+  true DES or 3-DES block cipher ... the 8-bit based ciphering passes to
+  64-bit based ciphering", which inflates the per-address search space from
+  2^8 to 2^64 and adds block-granularity write penalties.
+"""
+
+from __future__ import annotations
+
+from ..crypto.des import DES, TripleDES
+from ..crypto.feistel import SmallBlockCipher
+from ..crypto.modes import xor_bytes
+from ..sim.area import AreaEstimate
+from ..sim.pipeline import BYTE_SUBST_UNIT, DES_ITERATIVE, PipelinedUnit
+from .engine import BlockModeEngine, BusEncryptionEngine
+
+__all__ = ["DS5002FPEngine", "DS5240Engine"]
+
+
+class DS5002FPEngine(BusEncryptionEngine):
+    """Byte-granular address-dependent encryption (the broken generation)."""
+
+    name = "ds5002fp"
+    min_write_bytes = 1
+
+    def __init__(self, key: bytes, functional: bool = True):
+        super().__init__(functional=functional)
+        self.cipher = SmallBlockCipher(key)
+        self.unit = BYTE_SUBST_UNIT
+
+    def encrypt_line(self, addr: int, plaintext: bytes) -> bytes:
+        return self.cipher.encrypt(addr, plaintext)
+
+    def decrypt_line(self, addr: int, ciphertext: bytes) -> bytes:
+        return self.cipher.decrypt(addr, ciphertext)
+
+    def read_extra_cycles(self, addr: int, nbytes: int, mem_cycles: int) -> int:
+        # Byte substitution keeps pace with the bus; only the tiny unit
+        # latency lands on the critical path.
+        self.stats.blocks_processed += nbytes
+        return self.unit.latency
+
+    def write_extra_cycles(self, addr: int, nbytes: int) -> int:
+        self.stats.blocks_processed += nbytes
+        return self.unit.latency
+
+    def area(self) -> AreaEstimate:
+        est = AreaEstimate(self.name)
+        est.add_block("byte_sbox", 2)        # encrypt + decrypt paths
+        est.add_block("control_overhead")
+        return est
+
+
+class DS5240Engine(BlockModeEngine):
+    """64-bit DES (or 3DES) block encryption (the strengthened generation)."""
+
+    name = "ds5240"
+
+    def __init__(
+        self,
+        key: bytes,
+        triple: bool = False,
+        unit: PipelinedUnit = DES_ITERATIVE,
+        functional: bool = True,
+        **kwargs,
+    ):
+        super().__init__(unit=unit, cipher_block=8, functional=functional,
+                         **kwargs)
+        self.triple = triple
+        self._cipher = TripleDES(key) if triple else DES(key[:8])
+
+    def _tweak(self, addr: int) -> bytes:
+        return addr.to_bytes(8, "big")
+
+    def encrypt_line(self, addr: int, plaintext: bytes) -> bytes:
+        out = bytearray()
+        for i in range(0, len(plaintext), 8):
+            block = xor_bytes(plaintext[i: i + 8], self._tweak(addr + i))
+            out += self._cipher.encrypt_block(block)
+        return bytes(out)
+
+    def decrypt_line(self, addr: int, ciphertext: bytes) -> bytes:
+        out = bytearray()
+        for i in range(0, len(ciphertext), 8):
+            block = self._cipher.decrypt_block(ciphertext[i: i + 8])
+            out += xor_bytes(block, self._tweak(addr + i))
+        return bytes(out)
+
+    def area(self) -> AreaEstimate:
+        est = AreaEstimate(self.name)
+        est.add_block("tdes_iterative" if self.triple else "des_iterative")
+        est.add_block("control_overhead")
+        return est

@@ -1,0 +1,277 @@
+"""Encryption/Decryption Unit (EDU) framework.
+
+Every hardware engine the survey describes is, abstractly, a box between
+two memory levels that
+
+* keeps a secret key on-chip (Best's rule: "cipher unit and secret key
+  remain on-chip"),
+* transforms lines as they cross the chip boundary,
+* and adds cycles to the miss path while doing so.
+
+:class:`BusEncryptionEngine` is that box.  The system simulator delegates
+every external transfer to the engine, which performs the functional
+transformation (real bytes through real ciphers) and accounts the added
+latency.  Concrete engines in this package implement each surveyed design.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from enum import Enum
+from typing import Tuple
+
+from ..sim.area import AreaEstimate
+from ..sim.pipeline import PipelinedUnit
+
+__all__ = ["Placement", "EngineStats", "MemoryPort", "BusEncryptionEngine",
+           "NullEngine", "BlockModeEngine"]
+
+
+class Placement(Enum):
+    """Where the EDU sits (survey Figure 7)."""
+
+    CACHE_MEMORY = "cache-memory"   # between cache and memory controller (7a)
+    CPU_CACHE = "cpu-cache"         # between CPU and cache (7b)
+
+
+@dataclass
+class EngineStats:
+    """Operation counters every engine maintains."""
+
+    lines_decrypted: int = 0
+    lines_encrypted: int = 0
+    blocks_processed: int = 0
+    rmw_operations: int = 0
+    pad_hits: int = 0
+    pad_misses: int = 0
+    prefetch_hits: int = 0
+    prefetch_misses: int = 0
+    extra_read_cycles: int = 0
+    extra_write_cycles: int = 0
+
+    def reset(self) -> None:
+        for name in vars(self):
+            setattr(self, name, 0)
+
+
+class MemoryPort:
+    """The engine's window onto the external world.
+
+    Bundles the functional memory, the observable bus and the timing
+    configuration; every engine transfer goes through here so that probes
+    see exactly the bytes that cross the chip boundary.
+    """
+
+    def __init__(self, memory, bus, clock=None):
+        self.memory = memory
+        self.bus = bus
+        self._clock = clock  # callable returning current cycle, for probes
+
+    def _cycle(self) -> int:
+        return self._clock() if self._clock else 0
+
+    def read(self, addr: int, nbytes: int) -> Tuple[bytes, int]:
+        """Read ``nbytes``; returns (data, cycles)."""
+        data = self.memory.read(addr, nbytes)
+        self.bus.transfer("read", addr, data, self._cycle())
+        return data, self.memory.config.read_cycles(nbytes)
+
+    def write(self, addr: int, data: bytes) -> int:
+        """Write ``data``; returns cycles."""
+        self.memory.write(addr, data)
+        self.bus.transfer("write", addr, data, self._cycle())
+        return self.memory.config.write_cycles(len(data))
+
+
+class BusEncryptionEngine(ABC):
+    """Abstract EDU.
+
+    Concrete engines define the functional transform (``encrypt_line`` /
+    ``decrypt_line``) and the added latency.  ``fill_line`` / ``write_line``
+    are the entry points the system calls; the defaults implement the common
+    pattern (fetch ciphertext, decrypt; encrypt, store) and can be overridden
+    for engines with richer behaviour (page DMA, prefetchers, pads).
+    """
+
+    name: str = "abstract"
+    placement: Placement = Placement.CACHE_MEMORY
+    #: Smallest write the engine can absorb without a read-modify-write.
+    min_write_bytes: int = 1
+
+    def __init__(self, functional: bool = True):
+        #: When False, the functional transform is skipped (timing-only runs).
+        self.functional = functional
+        self.stats = EngineStats()
+
+    # -- functional transform --------------------------------------------
+
+    @abstractmethod
+    def encrypt_line(self, addr: int, plaintext: bytes) -> bytes:
+        """Transform a line for storage in external memory."""
+
+    @abstractmethod
+    def decrypt_line(self, addr: int, ciphertext: bytes) -> bytes:
+        """Invert :meth:`encrypt_line`."""
+
+    # -- timing ------------------------------------------------------------
+
+    @abstractmethod
+    def read_extra_cycles(self, addr: int, nbytes: int, mem_cycles: int) -> int:
+        """Cycles added to a line fill beyond the raw memory fetch."""
+
+    @abstractmethod
+    def write_extra_cycles(self, addr: int, nbytes: int) -> int:
+        """Cycles added to a full-line write beyond the raw memory store."""
+
+    def per_access_cycles(self) -> int:
+        """Cycles added to *every* CPU access (CPU-cache placement only)."""
+        return 0
+
+    # -- system entry points ------------------------------------------------
+
+    def install_image(self, memory, base_addr: int, plaintext: bytes,
+                      line_size: int = 32) -> None:
+        """Offline encryption of a program/data image into external memory.
+
+        Mirrors §2.1 step 6: the processor re-ciphers downloaded software
+        with its bus key before installing it in external memory.
+        """
+        if len(plaintext) % line_size != 0:
+            plaintext = plaintext + b"\x00" * (line_size - len(plaintext) % line_size)
+        for offset in range(0, len(plaintext), line_size):
+            addr = base_addr + offset
+            line = plaintext[offset: offset + line_size]
+            memory.load_image(addr, self.encrypt_line(addr, line))
+
+    def fill_line(self, port: MemoryPort, addr: int, line_size: int
+                  ) -> Tuple[bytes, int]:
+        """Service a cache-line fill; returns (plaintext, total cycles)."""
+        ciphertext, mem_cycles = port.read(addr, line_size)
+        extra = self.read_extra_cycles(addr, line_size, mem_cycles)
+        self.stats.lines_decrypted += 1
+        self.stats.extra_read_cycles += extra
+        plaintext = self.decrypt_line(addr, ciphertext) if self.functional \
+            else ciphertext
+        return plaintext, mem_cycles + extra
+
+    def write_line(self, port: MemoryPort, addr: int, plaintext: bytes) -> int:
+        """Service a full-line writeback; returns total cycles."""
+        extra = self.write_extra_cycles(addr, len(plaintext))
+        self.stats.lines_encrypted += 1
+        self.stats.extra_write_cycles += extra
+        ciphertext = self.encrypt_line(addr, plaintext) if self.functional \
+            else plaintext
+        return extra + port.write(addr, ciphertext)
+
+    def write_partial(self, port: MemoryPort, addr: int, data: bytes,
+                      line_size: int) -> int:
+        """Service a write narrower than a line (write-through / no-allocate).
+
+        When the write is narrower than the cipher granularity this is the
+        survey's five-step penalty: read the enclosing block, decipher,
+        modify, re-cipher, write back (§2.2).
+        """
+        if len(data) >= self.min_write_bytes and \
+                addr % self.min_write_bytes == 0 and \
+                len(data) % self.min_write_bytes == 0:
+            # Aligned to cipher granularity: direct encrypt-and-store.
+            extra = self.write_extra_cycles(addr, len(data))
+            self.stats.extra_write_cycles += extra
+            ciphertext = self.encrypt_line(addr, data) if self.functional else data
+            return extra + port.write(addr, ciphertext)
+
+        # Read-modify-write over the enclosing cipher-aligned region.
+        gran = self.min_write_bytes
+        start = (addr // gran) * gran
+        end = -(-(addr + len(data)) // gran) * gran
+        self.stats.rmw_operations += 1
+
+        ciphertext, read_cycles = port.read(start, end - start)
+        dec_extra = self.read_extra_cycles(start, end - start, read_cycles)
+        block = bytearray(
+            self.decrypt_line(start, ciphertext) if self.functional
+            else ciphertext
+        )
+        block[addr - start: addr - start + len(data)] = data
+        enc_extra = self.write_extra_cycles(start, end - start)
+        self.stats.extra_read_cycles += dec_extra
+        self.stats.extra_write_cycles += enc_extra
+        new_ciphertext = self.encrypt_line(start, bytes(block)) \
+            if self.functional else bytes(block)
+        write_cycles = port.write(start, new_ciphertext)
+        return read_cycles + dec_extra + enc_extra + write_cycles
+
+    # -- reporting ----------------------------------------------------------
+
+    def notify_access(self, addr: int, is_fetch: bool) -> None:
+        """Hook invoked for every CPU access (prefetchers override)."""
+
+    @abstractmethod
+    def area(self) -> AreaEstimate:
+        """Itemized gate-count estimate for the engine."""
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+
+
+class NullEngine(BusEncryptionEngine):
+    """No encryption: the plaintext baseline every overhead is measured against."""
+
+    name = "plaintext"
+    min_write_bytes = 1
+
+    def encrypt_line(self, addr: int, plaintext: bytes) -> bytes:
+        return plaintext
+
+    def decrypt_line(self, addr: int, ciphertext: bytes) -> bytes:
+        return ciphertext
+
+    def read_extra_cycles(self, addr: int, nbytes: int, mem_cycles: int) -> int:
+        return 0
+
+    def write_extra_cycles(self, addr: int, nbytes: int) -> int:
+        return 0
+
+    def area(self) -> AreaEstimate:
+        return AreaEstimate(self.name)
+
+
+class BlockModeEngine(BusEncryptionEngine):
+    """Common base for engines built on a block cipher and a pipelined unit.
+
+    Subclasses supply the functional transform; this base accounts timing:
+    decryption drains behind the arriving bus beats, encryption runs before
+    the bus write.
+    """
+
+    def __init__(self, unit: PipelinedUnit, cipher_block: int,
+                 functional: bool = True, bus_width: int = 8,
+                 cycles_per_beat: int = 1):
+        super().__init__(functional=functional)
+        self.unit = unit
+        self.cipher_block = cipher_block
+        self.min_write_bytes = cipher_block
+        self.bus_width = bus_width
+        self.cycles_per_beat = cycles_per_beat
+
+    def _nblocks(self, nbytes: int) -> int:
+        return -(-nbytes // self.cipher_block)
+
+    def _arrival_interval(self) -> int:
+        """Cycles between successive ciphertext blocks arriving off the bus."""
+        beats_per_block = -(-self.cipher_block // self.bus_width)
+        return max(1, beats_per_block * self.cycles_per_beat)
+
+    def read_extra_cycles(self, addr: int, nbytes: int, mem_cycles: int) -> int:
+        nblocks = self._nblocks(nbytes)
+        self.stats.blocks_processed += nblocks
+        # A block can be issued to the decipher pipeline once its bus beats
+        # have arrived; the fill's critical path therefore extends past the
+        # last beat by the pipeline drain time.
+        return self.unit.drain_after_arrivals(nblocks, self._arrival_interval())
+
+    def write_extra_cycles(self, addr: int, nbytes: int) -> int:
+        nblocks = self._nblocks(nbytes)
+        self.stats.blocks_processed += nblocks
+        return self.unit.time_for(nblocks)

@@ -1,0 +1,72 @@
+"""XOM-style pipelined-AES bus encryption engine ([13] in the survey).
+
+The XOM project uses "a pipelined AES block cipher as cipher unit which
+features a low latency of 14 cycles, while a throughput of one
+encrypted/decrypted data per clock cycle is claimed".  Each 16-byte block is
+enciphered independently in an address-tweaked ECB (XEX-style masking), so
+any block can be fetched and deciphered with no chaining state — full random
+access, at the cost of deterministic encryption per address (same plaintext
+at the same address always yields the same ciphertext; AEGIS's IVs fix
+that, see :mod:`repro.core.aegis`).
+
+Experiment E10 uses this engine to make the survey's own caveat concrete:
+"taking into account only the latency doesn't inform about the overall
+system cost".
+"""
+
+from __future__ import annotations
+
+from ..crypto.aes import AES
+from ..crypto.modes import xor_bytes
+from ..sim.area import AreaEstimate
+from ..sim.pipeline import XOM_AES_PIPE, PipelinedUnit
+from .engine import BlockModeEngine
+
+__all__ = ["XomAesEngine"]
+
+
+class XomAesEngine(BlockModeEngine):
+    """Address-tweaked AES engine with XOM's published pipeline figures."""
+
+    name = "xom-aes"
+
+    def __init__(
+        self,
+        key: bytes,
+        unit: PipelinedUnit = XOM_AES_PIPE,
+        functional: bool = True,
+        **kwargs,
+    ):
+        super().__init__(unit=unit, cipher_block=16, functional=functional,
+                         **kwargs)
+        self._aes = AES(key)
+        # Tweak mask key: independent schedule derived from the main key.
+        self._tweak_aes = AES(bytes(b ^ 0x5C for b in key))
+
+    def _mask(self, addr: int) -> bytes:
+        """XEX mask for the block at byte address ``addr``."""
+        return self._tweak_aes.encrypt_block(addr.to_bytes(16, "big"))
+
+    def encrypt_line(self, addr: int, plaintext: bytes) -> bytes:
+        out = bytearray()
+        for i in range(0, len(plaintext), 16):
+            block_addr = addr + i
+            mask = self._mask(block_addr)
+            block = xor_bytes(plaintext[i: i + 16], mask)
+            out += xor_bytes(self._aes.encrypt_block(block), mask)
+        return bytes(out)
+
+    def decrypt_line(self, addr: int, ciphertext: bytes) -> bytes:
+        out = bytearray()
+        for i in range(0, len(ciphertext), 16):
+            block_addr = addr + i
+            mask = self._mask(block_addr)
+            block = xor_bytes(ciphertext[i: i + 16], mask)
+            out += xor_bytes(self._aes.decrypt_block(block), mask)
+        return bytes(out)
+
+    def area(self) -> AreaEstimate:
+        est = AreaEstimate(self.name)
+        est.add_block("aes_pipelined")
+        est.add_block("control_overhead")
+        return est

@@ -1,0 +1,57 @@
+"""Keyed address-bus scrambler.
+
+Best's crypto-microprocessor and the Dallas DS5002FP encipher not only the
+data bus but the *address* bus: "all data and addresses are in decrypted
+form inside the CPU and encrypted outside the SOC" (survey §3).  The
+scrambler is a keyed bijection over the external address space, so a probe
+sees program fetches walking a pseudo-random path through physical memory
+rather than the program counter.
+
+Implementation: the tweakable Feistel over ``log2(size)`` bits (so the map
+is a true permutation of the decode space).  Odd widths are handled by
+cycle-walking over the next even width.
+"""
+
+from __future__ import annotations
+
+from .feistel import TweakableFeistel
+
+__all__ = ["AddressScrambler"]
+
+
+class AddressScrambler:
+    """Keyed bijection on [0, size) for a power-of-two ``size``."""
+
+    def __init__(self, key: bytes, size: int, rounds: int = 6):
+        if size < 4 or size & (size - 1):
+            raise ValueError(f"size must be a power of two >= 4, got {size}")
+        self.size = size
+        bits = size.bit_length() - 1
+        # Balanced Feistel needs an even width; walk cycles for odd widths.
+        self._bits = bits + (bits % 2)
+        self._feistel = TweakableFeistel(
+            key, block_bits=self._bits, rounds=rounds
+        )
+
+    def scramble(self, addr: int) -> int:
+        """Logical -> physical."""
+        if not 0 <= addr < self.size:
+            raise ValueError(f"address {addr:#x} outside [0, {self.size:#x})")
+        value = addr
+        while True:
+            value = self._feistel.encrypt_int(value, tweak=0)
+            if value < self.size:
+                return value
+
+    def unscramble(self, addr: int) -> int:
+        """Physical -> logical."""
+        if not 0 <= addr < self.size:
+            raise ValueError(f"address {addr:#x} outside [0, {self.size:#x})")
+        value = addr
+        while True:
+            value = self._feistel.decrypt_int(value, tweak=0)
+            if value < self.size:
+                return value
+
+    def __call__(self, addr: int) -> int:
+        return self.scramble(addr)

@@ -1,0 +1,195 @@
+"""AES-128/192/256, implemented from scratch per FIPS 197.
+
+The survey's two academic engines (XOM [13] and AEGIS [14]) are built on
+pipelined AES hardware.  This module provides the functional transformation;
+the hardware pipeline timing (XOM's 14-cycle latency, one block per cycle) is
+modeled in :mod:`repro.sim.pipeline` and the engines in :mod:`repro.core`.
+
+The S-box is *derived* (multiplicative inverse in GF(2^8) followed by the
+affine transform) rather than pasted in, so the table itself is covered by
+the algebraic tests in ``tests/test_aes.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+__all__ = ["AES", "SBOX", "INV_SBOX", "gf_mul"]
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiply two elements of GF(2^8) modulo the AES polynomial x^8+x^4+x^3+x+1."""
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        b >>= 1
+        carry = a & 0x80
+        a = (a << 1) & 0xFF
+        if carry:
+            a ^= 0x1B
+    return result
+
+
+def _build_sbox() -> Tuple[List[int], List[int]]:
+    """Construct the AES S-box from GF(2^8) inverses and the affine transform."""
+    # Exponent/log tables over generator 3 give O(1) inverses.
+    exp = [0] * 256
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x = gf_mul(x, 3)
+    exp[255] = exp[0]
+
+    def inverse(v: int) -> int:
+        if v == 0:
+            return 0
+        return exp[255 - log[v]]
+
+    sbox = [0] * 256
+    inv_sbox = [0] * 256
+    for value in range(256):
+        inv = inverse(value)
+        # Affine transform: b ^ rotl(b,1) ^ rotl(b,2) ^ rotl(b,3) ^ rotl(b,4) ^ 0x63
+        b = inv
+        res = 0x63
+        for shift in range(5):
+            res ^= ((b << shift) | (b >> (8 - shift))) & 0xFF
+        sbox[value] = res
+        inv_sbox[res] = value
+    return sbox, inv_sbox
+
+
+SBOX, INV_SBOX = _build_sbox()
+
+_RCON = [0x01]
+while len(_RCON) < 14:
+    _RCON.append(gf_mul(_RCON[-1], 2))
+
+
+class AES:
+    """AES block cipher with 128-, 192- or 256-bit keys.
+
+    >>> key = bytes(range(16))
+    >>> pt = bytes.fromhex('00112233445566778899aabbccddeeff')
+    >>> AES(bytes.fromhex('000102030405060708090a0b0c0d0e0f')).encrypt_block(pt).hex()
+    '69c4e0d86a7b0430d8cdb78070b4c55a'
+    """
+
+    block_size = 16
+
+    def __init__(self, key: bytes):
+        if len(key) not in (16, 24, 32):
+            raise ValueError(f"AES key must be 16, 24 or 32 bytes, got {len(key)}")
+        self.key_size = len(key)
+        self._rounds = {16: 10, 24: 12, 32: 14}[len(key)]
+        self._round_keys = self._expand_key(key)
+
+    def _expand_key(self, key: bytes) -> List[List[int]]:
+        """FIPS 197 key expansion; returns one 16-byte round key per round + 1."""
+        nk = len(key) // 4
+        words = [list(key[4 * i: 4 * i + 4]) for i in range(nk)]
+        total_words = 4 * (self._rounds + 1)
+        for i in range(nk, total_words):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]
+                temp = [SBOX[b] for b in temp]
+                temp[0] ^= _RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                temp = [SBOX[b] for b in temp]
+            words.append([words[i - nk][j] ^ temp[j] for j in range(4)])
+        return [
+            sum((words[4 * r + c] for c in range(4)), [])
+            for r in range(self._rounds + 1)
+        ]
+
+    # -- round primitives (state is a flat list of 16 bytes, column major as
+    #    in FIPS 197: state[r + 4*c]) ------------------------------------
+
+    @staticmethod
+    def _add_round_key(state: List[int], rk: List[int]) -> None:
+        for i in range(16):
+            state[i] ^= rk[i]
+
+    @staticmethod
+    def _sub_bytes(state: List[int]) -> None:
+        for i in range(16):
+            state[i] = SBOX[state[i]]
+
+    @staticmethod
+    def _inv_sub_bytes(state: List[int]) -> None:
+        for i in range(16):
+            state[i] = INV_SBOX[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: List[int]) -> None:
+        for r in range(1, 4):
+            row = [state[r + 4 * c] for c in range(4)]
+            row = row[r:] + row[:r]
+            for c in range(4):
+                state[r + 4 * c] = row[c]
+
+    @staticmethod
+    def _inv_shift_rows(state: List[int]) -> None:
+        for r in range(1, 4):
+            row = [state[r + 4 * c] for c in range(4)]
+            row = row[-r:] + row[:-r]
+            for c in range(4):
+                state[r + 4 * c] = row[c]
+
+    @staticmethod
+    def _mix_columns(state: List[int]) -> None:
+        for c in range(4):
+            col = state[4 * c: 4 * c + 4]
+            state[4 * c + 0] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3]
+            state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3]
+            state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3)
+            state[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2)
+
+    @staticmethod
+    def _inv_mix_columns(state: List[int]) -> None:
+        for c in range(4):
+            col = state[4 * c: 4 * c + 4]
+            state[4 * c + 0] = (gf_mul(col[0], 14) ^ gf_mul(col[1], 11)
+                                ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9))
+            state[4 * c + 1] = (gf_mul(col[0], 9) ^ gf_mul(col[1], 14)
+                                ^ gf_mul(col[2], 11) ^ gf_mul(col[3], 13))
+            state[4 * c + 2] = (gf_mul(col[0], 13) ^ gf_mul(col[1], 9)
+                                ^ gf_mul(col[2], 14) ^ gf_mul(col[3], 11))
+            state[4 * c + 3] = (gf_mul(col[0], 11) ^ gf_mul(col[1], 13)
+                                ^ gf_mul(col[2], 9) ^ gf_mul(col[3], 14))
+
+    # -- public API ------------------------------------------------------
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise ValueError(f"AES block must be 16 bytes, got {len(block)}")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[0])
+        for rnd in range(1, self._rounds):
+            self._sub_bytes(state)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[rnd])
+        self._sub_bytes(state)
+        self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[self._rounds])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise ValueError(f"AES block must be 16 bytes, got {len(block)}")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[self._rounds])
+        for rnd in range(self._rounds - 1, 0, -1):
+            self._inv_shift_rows(state)
+            self._inv_sub_bytes(state)
+            self._add_round_key(state, self._round_keys[rnd])
+            self._inv_mix_columns(state)
+        self._inv_shift_rows(state)
+        self._inv_sub_bytes(state)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)

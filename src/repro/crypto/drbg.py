@@ -1,0 +1,81 @@
+"""Deterministic random bit generator (hash-DRBG style, over SHA-256).
+
+Every stochastic element of the reproduction — RSA prime search, random IVs,
+workload generation, key material — draws from this DRBG so that every
+experiment is exactly reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+from .sha256 import sha256
+
+__all__ = ["DRBG"]
+
+
+class DRBG:
+    """Counter-mode DRBG over SHA-256.
+
+    Not certified SP 800-90A — it is a reproducibility tool whose output is
+    uniform enough for statistical experiments and key generation within the
+    simulation.
+    """
+
+    def __init__(self, seed) -> None:
+        if isinstance(seed, int):
+            seed = seed.to_bytes(16, "big", signed=False)
+        elif isinstance(seed, str):
+            seed = seed.encode()
+        self._key = sha256(b"repro-drbg" + bytes(seed))
+        self._counter = 0
+        self._pool = b""
+
+    def random_bytes(self, n: int) -> bytes:
+        """Return ``n`` pseudo-random bytes."""
+        while len(self._pool) < n:
+            block = sha256(self._key + self._counter.to_bytes(8, "big"))
+            self._counter += 1
+            self._pool += block
+        out, self._pool = self._pool[:n], self._pool[n:]
+        return out
+
+    def randbits(self, bits: int) -> int:
+        """Return a uniform integer of at most ``bits`` bits."""
+        nbytes = (bits + 7) // 8
+        value = int.from_bytes(self.random_bytes(nbytes), "big")
+        return value >> (8 * nbytes - bits)
+
+    def randbelow(self, n: int) -> int:
+        """Return a uniform integer in [0, n) by rejection sampling."""
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        bits = n.bit_length()
+        while True:
+            value = self.randbits(bits)
+            if value < n:
+                return value
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Return a uniform integer in [lo, hi] inclusive."""
+        if hi < lo:
+            raise ValueError(f"empty range [{lo}, {hi}]")
+        return lo + self.randbelow(hi - lo + 1)
+
+    def random(self) -> float:
+        """Return a uniform float in [0, 1)."""
+        return self.randbits(53) / (1 << 53)
+
+    def choice(self, seq):
+        """Return a uniform element from a non-empty sequence."""
+        if not seq:
+            raise ValueError("cannot choose from an empty sequence")
+        return seq[self.randbelow(len(seq))]
+
+    def shuffle(self, items: list) -> None:
+        """In-place Fisher-Yates shuffle."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.randbelow(i + 1)
+            items[i], items[j] = items[j], items[i]
+
+    def fork(self, label: str) -> "DRBG":
+        """Derive an independent child stream (for parallel components)."""
+        return DRBG(self._key + label.encode())

@@ -1,0 +1,51 @@
+"""HMAC keyed hash (RFC 2104) over the from-scratch SHA-256.
+
+The General Instrument patent (survey Figure 5) authenticates data coming
+from external memory with "a keyed hash algorithm"; this is that algorithm
+in the reproduction, and it also backs the PRF used for key derivation.
+"""
+
+from __future__ import annotations
+
+from .sha256 import SHA256, sha256
+
+__all__ = ["hmac_sha256", "verify_hmac", "prf"]
+
+_BLOCK = 64
+
+
+def hmac_sha256(key: bytes, message: bytes) -> bytes:
+    """Compute HMAC-SHA256(key, message)."""
+    if len(key) > _BLOCK:
+        key = sha256(key)
+    key = key.ljust(_BLOCK, b"\x00")
+    ipad = bytes(b ^ 0x36 for b in key)
+    opad = bytes(b ^ 0x5C for b in key)
+    inner = SHA256(ipad).update(message).digest()
+    return SHA256(opad).update(inner).digest()
+
+
+def verify_hmac(key: bytes, message: bytes, tag: bytes) -> bool:
+    """Constant-time-style comparison of an HMAC tag."""
+    expected = hmac_sha256(key, message)
+    if len(tag) != len(expected):
+        return False
+    diff = 0
+    for a, b in zip(expected, tag):
+        diff |= a ^ b
+    return diff == 0
+
+
+def prf(key: bytes, *parts: bytes, out_len: int = 32) -> bytes:
+    """Pseudo-random function used for key/tweak derivation.
+
+    Domain-separates the variable-length ``parts`` with length prefixes and
+    expands to ``out_len`` bytes in counter mode over HMAC.
+    """
+    message = b"".join(len(p).to_bytes(4, "big") + p for p in parts)
+    out = b""
+    counter = 0
+    while len(out) < out_len:
+        out += hmac_sha256(key, counter.to_bytes(4, "big") + message)
+        counter += 1
+    return out[:out_len]

@@ -1,0 +1,188 @@
+"""Block-cipher modes of operation: ECB, CBC, CTR, OFB, CFB.
+
+Section 2.2 of the survey hinges on the properties these modes give a bus
+encryption unit:
+
+* **ECB** — "a same data will be ciphered to the same value", the mode's main
+  weakness; demonstrated by :mod:`repro.attacks.ecb_analysis`.
+* **CBC** — robust, but each block depends on the previous one, which defeats
+  random access ("JUMP instructions"); the General Instrument engine (E08)
+  chains the whole image, AEGIS (E11) chains only within one cache line.
+* **CTR** — a block cipher turned stream cipher; the pad is *seekable* by
+  block index, which is exactly what a pad-ahead bus engine needs (E02).
+
+All modes operate on any object exposing ``block_size``/``encrypt_block``/
+``decrypt_block`` (DES, TripleDES, AES, the small Feistel ciphers...).
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol
+
+__all__ = ["BlockCipher", "ECB", "CBC", "CTR", "OFB", "CFB", "xor_bytes"]
+
+
+class BlockCipher(Protocol):
+    """Structural interface every repro cipher implements."""
+
+    block_size: int
+
+    def encrypt_block(self, block: bytes) -> bytes: ...
+
+    def decrypt_block(self, block: bytes) -> bytes: ...
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def _split_blocks(data: bytes, block_size: int) -> List[bytes]:
+    if len(data) % block_size != 0:
+        raise ValueError(
+            f"data length {len(data)} is not a multiple of block size {block_size}"
+        )
+    return [data[i: i + block_size] for i in range(0, len(data), block_size)]
+
+
+class ECB:
+    """Electronic codebook: each block enciphered independently."""
+
+    def __init__(self, cipher: BlockCipher):
+        self.cipher = cipher
+        self.block_size = cipher.block_size
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        enc = self.cipher.encrypt_block
+        return b"".join(enc(b) for b in _split_blocks(plaintext, self.block_size))
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        dec = self.cipher.decrypt_block
+        return b"".join(dec(b) for b in _split_blocks(ciphertext, self.block_size))
+
+
+class CBC:
+    """Cipher block chaining: C_i = E(P_i xor C_{i-1}), C_0 = IV."""
+
+    def __init__(self, cipher: BlockCipher, iv: bytes):
+        if len(iv) != cipher.block_size:
+            raise ValueError(
+                f"IV must be {cipher.block_size} bytes, got {len(iv)}"
+            )
+        self.cipher = cipher
+        self.block_size = cipher.block_size
+        self.iv = iv
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        prev = self.iv
+        out = []
+        for block in _split_blocks(plaintext, self.block_size):
+            prev = self.cipher.encrypt_block(xor_bytes(block, prev))
+            out.append(prev)
+        return b"".join(out)
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        prev = self.iv
+        out = []
+        for block in _split_blocks(ciphertext, self.block_size):
+            out.append(xor_bytes(self.cipher.decrypt_block(block), prev))
+            prev = block
+        return b"".join(out)
+
+
+class CTR:
+    """Counter mode; the keystream is addressable by block index.
+
+    The counter block is ``nonce || counter`` where the counter occupies the
+    low ``counter_bytes`` bytes, big endian.  ``keystream_block(i)`` exposes
+    random access, which the stream bus engines rely on.
+    """
+
+    def __init__(self, cipher: BlockCipher, nonce: bytes, counter_bytes: int = 4):
+        if counter_bytes >= cipher.block_size:
+            raise ValueError("counter must be narrower than the cipher block")
+        if len(nonce) != cipher.block_size - counter_bytes:
+            raise ValueError(
+                f"nonce must be {cipher.block_size - counter_bytes} bytes, "
+                f"got {len(nonce)}"
+            )
+        self.cipher = cipher
+        self.block_size = cipher.block_size
+        self.nonce = nonce
+        self.counter_bytes = counter_bytes
+
+    def keystream_block(self, index: int) -> bytes:
+        """Return keystream block ``index`` (seekable — no chaining state)."""
+        counter = index % (1 << (8 * self.counter_bytes))
+        block = self.nonce + counter.to_bytes(self.counter_bytes, "big")
+        return self.cipher.encrypt_block(block)
+
+    def keystream(self, nbytes: int, start_block: int = 0) -> bytes:
+        nblocks = -(-nbytes // self.block_size)
+        stream = b"".join(
+            self.keystream_block(start_block + i) for i in range(nblocks)
+        )
+        return stream[:nbytes]
+
+    def encrypt(self, plaintext: bytes, start_block: int = 0) -> bytes:
+        return xor_bytes(plaintext, self.keystream(len(plaintext), start_block))
+
+    # CTR decryption is encryption.
+    decrypt = encrypt
+
+
+class OFB:
+    """Output feedback: keystream S_i = E(S_{i-1}), S_0 = IV."""
+
+    def __init__(self, cipher: BlockCipher, iv: bytes):
+        if len(iv) != cipher.block_size:
+            raise ValueError(
+                f"IV must be {cipher.block_size} bytes, got {len(iv)}"
+            )
+        self.cipher = cipher
+        self.block_size = cipher.block_size
+        self.iv = iv
+
+    def keystream(self, nbytes: int) -> bytes:
+        state = self.iv
+        out = []
+        while sum(len(s) for s in out) < nbytes:
+            state = self.cipher.encrypt_block(state)
+            out.append(state)
+        return b"".join(out)[:nbytes]
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        return xor_bytes(plaintext, self.keystream(len(plaintext)))
+
+    decrypt = encrypt
+
+
+class CFB:
+    """Full-block cipher feedback: C_i = P_i xor E(C_{i-1})."""
+
+    def __init__(self, cipher: BlockCipher, iv: bytes):
+        if len(iv) != cipher.block_size:
+            raise ValueError(
+                f"IV must be {cipher.block_size} bytes, got {len(iv)}"
+            )
+        self.cipher = cipher
+        self.block_size = cipher.block_size
+        self.iv = iv
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        prev = self.iv
+        out = []
+        for block in _split_blocks(plaintext, self.block_size):
+            prev = xor_bytes(block, self.cipher.encrypt_block(prev))
+            out.append(prev)
+        return b"".join(out)
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        prev = self.iv
+        out = []
+        for block in _split_blocks(ciphertext, self.block_size):
+            out.append(xor_bytes(block, self.cipher.encrypt_block(prev)))
+            prev = block
+        return b"".join(out)

@@ -1,0 +1,29 @@
+"""PKCS#7 padding for block ciphers (RFC 5652 §6.3)."""
+
+from __future__ import annotations
+
+__all__ = ["pad", "unpad", "PaddingError"]
+
+
+class PaddingError(ValueError):
+    """Raised when removing padding from a malformed buffer."""
+
+
+def pad(data: bytes, block_size: int) -> bytes:
+    """Pad ``data`` to a multiple of ``block_size`` (1-255)."""
+    if not 1 <= block_size <= 255:
+        raise ValueError(f"block_size must be in [1, 255], got {block_size}")
+    n = block_size - (len(data) % block_size)
+    return data + bytes([n]) * n
+
+
+def unpad(data: bytes, block_size: int) -> bytes:
+    """Strip PKCS#7 padding, validating every pad byte."""
+    if not data or len(data) % block_size != 0:
+        raise PaddingError("padded data length is not a multiple of the block size")
+    n = data[-1]
+    if n < 1 or n > block_size:
+        raise PaddingError(f"invalid pad length {n}")
+    if data[-n:] != bytes([n]) * n:
+        raise PaddingError("inconsistent pad bytes")
+    return data[:-n]

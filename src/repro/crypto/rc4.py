@@ -1,0 +1,49 @@
+"""RC4 stream cipher.
+
+Named in the survey's introduction as the canonical stream cipher example.
+Serves as one of the keystream generators available to the stream bus
+engine (Figure 2a); its non-seekable keystream is exactly the property the
+pad-ahead engines must design around (CTR mode is seekable, RC4 is not).
+"""
+
+from __future__ import annotations
+
+__all__ = ["RC4"]
+
+
+class RC4:
+    """RC4 with the standard KSA/PRGA.
+
+    >>> RC4(b'Key').keystream(5).hex()
+    'eb9f7781b7'
+    """
+
+    def __init__(self, key: bytes):
+        if not 1 <= len(key) <= 256:
+            raise ValueError(f"RC4 key must be 1-256 bytes, got {len(key)}")
+        s = list(range(256))
+        j = 0
+        for i in range(256):
+            j = (j + s[i] + key[i % len(key)]) % 256
+            s[i], s[j] = s[j], s[i]
+        self._s = s
+        self._i = 0
+        self._j = 0
+
+    def keystream(self, nbytes: int) -> bytes:
+        """Generate the next ``nbytes`` of keystream (stateful)."""
+        s = self._s
+        i, j = self._i, self._j
+        out = bytearray()
+        for _ in range(nbytes):
+            i = (i + 1) % 256
+            j = (j + s[i]) % 256
+            s[i], s[j] = s[j], s[i]
+            out.append(s[(s[i] + s[j]) % 256])
+        self._i, self._j = i, j
+        return bytes(out)
+
+    def process(self, data: bytes) -> bytes:
+        """Encrypt or decrypt ``data`` (XOR with keystream)."""
+        stream = self.keystream(len(data))
+        return bytes(a ^ b for a, b in zip(data, stream))

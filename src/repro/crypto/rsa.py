@@ -1,0 +1,164 @@
+"""RSA public-key cryptography, from scratch.
+
+Figure 1 of the survey establishes the session key K over an insecure
+channel with an asymmetric algorithm: the chip manufacturer's public key
+(E_m) encrypts K, only the on-chip private key (D_m) can recover it.  This
+module implements RSA key generation (Miller-Rabin primality), raw modular
+exponentiation, and a simple randomized padding so equal plaintexts do not
+produce equal ciphertexts.
+
+Section 2.2's rationale for excluding asymmetric algorithms from the bus
+path — modular exponentiation on 512-2048-bit integers costs far more than a
+block cipher, and ciphertext is longer than plaintext — is measured in E01
+using the ``modmul_count`` operation counter this module maintains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .drbg import DRBG
+
+__all__ = ["RSAKeyPair", "RSAPublicKey", "RSAPrivateKey", "generate_keypair",
+           "is_probable_prime"]
+
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+]
+
+
+def is_probable_prime(n: int, rng: DRBG, rounds: int = 20) -> bool:
+    """Miller-Rabin probabilistic primality test."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = 2 + rng.randbelow(n - 3)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _random_prime(bits: int, rng: DRBG) -> int:
+    while True:
+        candidate = rng.randbits(bits) | (1 << (bits - 1)) | 1
+        if is_probable_prime(candidate, rng):
+            return candidate
+
+
+@dataclass
+class RSAPublicKey:
+    """Public half (n, e); counts modular multiplications for cost modeling."""
+
+    n: int
+    e: int
+    modmul_count: int = 0
+
+    @property
+    def modulus_bytes(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    def encrypt_int(self, m: int) -> int:
+        if not 0 <= m < self.n:
+            raise ValueError("message representative out of range")
+        # Square-and-multiply cost: one squaring per exponent bit plus one
+        # multiply per set bit.
+        self.modmul_count += self.e.bit_length() + bin(self.e).count("1") - 2
+        return pow(m, self.e, self.n)
+
+    def encrypt(self, message: bytes, rng: DRBG) -> bytes:
+        """Encrypt with random left padding: 0x02 || random non-zero || 0x00 || m."""
+        k = self.modulus_bytes
+        if len(message) > k - 11:
+            raise ValueError(
+                f"message too long: {len(message)} > {k - 11} bytes for "
+                f"{self.n.bit_length()}-bit modulus"
+            )
+        pad_len = k - len(message) - 3
+        pad = bytearray()
+        while len(pad) < pad_len:
+            b = rng.randbits(8)
+            if b != 0:
+                pad.append(b)
+        block = b"\x00\x02" + bytes(pad) + b"\x00" + message
+        c = self.encrypt_int(int.from_bytes(block, "big"))
+        return c.to_bytes(k, "big")
+
+
+@dataclass
+class RSAPrivateKey:
+    """Private half with CRT parameters; counts modular multiplications."""
+
+    n: int
+    d: int
+    p: int
+    q: int
+    modmul_count: int = 0
+
+    @property
+    def modulus_bytes(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    def decrypt_int(self, c: int) -> int:
+        if not 0 <= c < self.n:
+            raise ValueError("ciphertext representative out of range")
+        self.modmul_count += self.d.bit_length() + bin(self.d).count("1") - 2
+        return pow(c, self.d, self.n)
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        k = self.modulus_bytes
+        if len(ciphertext) != k:
+            raise ValueError(
+                f"ciphertext must be {k} bytes, got {len(ciphertext)}"
+            )
+        m = self.decrypt_int(int.from_bytes(ciphertext, "big"))
+        block = m.to_bytes(k, "big")
+        if block[0:2] != b"\x00\x02":
+            raise ValueError("decryption error: bad padding header")
+        sep = block.find(b"\x00", 2)
+        if sep < 0:
+            raise ValueError("decryption error: missing separator")
+        return block[sep + 1:]
+
+
+@dataclass
+class RSAKeyPair:
+    public: RSAPublicKey
+    private: RSAPrivateKey
+
+
+def generate_keypair(bits: int, rng: DRBG, e: int = 65537) -> RSAKeyPair:
+    """Generate an RSA key pair with an n of approximately ``bits`` bits."""
+    if bits < 128:
+        raise ValueError(f"modulus too small to be meaningful: {bits} bits")
+    while True:
+        p = _random_prime(bits // 2, rng)
+        q = _random_prime(bits - bits // 2, rng)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        if phi % e == 0:
+            continue
+        d = pow(e, -1, phi)
+        return RSAKeyPair(
+            public=RSAPublicKey(n=n, e=e),
+            private=RSAPrivateKey(n=n, d=d, p=p, q=q),
+        )

@@ -1,0 +1,26 @@
+"""MCU substrate: an 8051-flavoured core (the DS5002FP stand-in), a two-pass
+assembler and sample firmware."""
+
+from .assembler import AssemblerError, assemble
+from .disassembler import Instruction, disassemble, format_listing
+from .mcu import INSTRUCTION_LENGTHS, MCU, MCUError, Op, StepEvent
+from .programs import (
+    bubble_sort_program,
+    checksum_program,
+    counter_program,
+    fibonacci_program,
+    memcpy_program,
+    memset_program,
+    mcu_trace,
+    secret_table_program,
+    string_search_program,
+)
+
+__all__ = [
+    "AssemblerError", "assemble",
+    "Instruction", "disassemble", "format_listing",
+    "INSTRUCTION_LENGTHS", "MCU", "MCUError", "Op", "StepEvent",
+    "bubble_sort_program", "checksum_program", "counter_program",
+    "fibonacci_program", "memcpy_program", "memset_program",
+    "mcu_trace", "secret_table_program", "string_search_program",
+]

@@ -1,0 +1,229 @@
+"""Two-pass assembler for the repro MCU.
+
+Source syntax: one instruction per line, ``;`` comments, ``label:``
+definitions, ``.org ADDR`` and ``.byte v1, v2`` directives.  Operands:
+``#imm`` immediates, ``Rn`` registers, bare numbers/labels as 16-bit
+addresses.  Numbers accept decimal or ``0x`` hex.
+
+>>> assemble("start: MOV A, #5\\n OUT\\n HALT")[:4].hex()
+'010504ff'
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .mcu import Op
+
+__all__ = ["assemble", "AssemblerError"]
+
+
+class AssemblerError(ValueError):
+    """Malformed assembly source."""
+
+
+# mnemonic -> (opcode, operand spec)
+# operand specs: "" none, "imm", "addr16", "reg", "reg,imm", "reg,addr16"
+_MNEMONICS: Dict[str, Tuple[int, str]] = {
+    "NOP": (Op.NOP, ""),
+    "OUT": (Op.OUT, ""),
+    "INC": (Op.INC_A, ""),          # INC A handled specially below
+    "DEC": (Op.DEC_A, ""),
+    "JMP": (Op.JMP, "addr16"),
+    "JZ": (Op.JZ, "addr16"),
+    "JNZ": (Op.JNZ, "addr16"),
+    "DJNZ": (Op.DJNZ, "reg,addr16"),
+    "CALL": (Op.CALL, "addr16"),
+    "RET": (Op.RET, ""),
+    "PUSH": (Op.PUSH_A, ""),
+    "POP": (Op.POP_A, ""),
+    "MOVI": (Op.MOVI_A, ""),
+    "MOVIST": (Op.MOVI_ST, ""),
+    "HALT": (Op.HALT, ""),
+}
+
+
+def _parse_number(token: str, labels: Dict[str, int]) -> int:
+    token = token.strip()
+    if token in labels:
+        return labels[token]
+    try:
+        if token.lower().startswith("0x"):
+            return int(token, 16)
+        return int(token)
+    except ValueError:
+        raise AssemblerError(f"unresolved symbol or bad number: {token!r}")
+
+
+def _encode(mnemonic: str, operands: List[str], labels: Dict[str, int]
+            ) -> List[int]:
+    """Encode one instruction; labels may be incomplete during pass 1."""
+
+    def num(token: str) -> int:
+        return _parse_number(token, labels)
+
+    def reg(token: str) -> int:
+        token = token.strip().upper()
+        if not token.startswith("R") or not token[1:].isdigit():
+            raise AssemblerError(f"expected register, got {token!r}")
+        idx = int(token[1:])
+        if not 0 <= idx <= 7:
+            raise AssemblerError(f"register out of range: {token}")
+        return idx
+
+    def addr16(token: str) -> List[int]:
+        value = num(token)
+        return [value & 0xFF, (value >> 8) & 0xFF]
+
+    m = mnemonic.upper()
+
+    if m == "MOV":
+        if len(operands) != 2:
+            raise AssemblerError(f"MOV needs 2 operands, got {operands}")
+        dst, src = operands[0].strip().upper(), operands[1].strip()
+        if dst == "A" and src.startswith("#"):
+            return [Op.MOV_A_IMM, num(src[1:]) & 0xFF]
+        if dst == "A" and src.upper().startswith("R") and src[1:].isdigit():
+            return [Op.MOV_A_R, reg(src)]
+        if dst == "A":
+            return [Op.MOV_A_DIR] + addr16(src)
+        if dst.startswith("R") and dst[1:].isdigit():
+            if src.startswith("#"):
+                return [Op.MOV_R_IMM, reg(dst), num(src[1:]) & 0xFF]
+            if src.upper() == "A":
+                return [Op.MOV_R_A, reg(dst)]
+            raise AssemblerError(f"bad MOV source for register: {src!r}")
+        if src.upper() == "A":
+            return [Op.MOV_DIR_A] + addr16(dst)
+        raise AssemblerError(f"unsupported MOV form: {operands}")
+
+    if m in ("ADD", "SUB", "XRL", "ANL", "ORL"):
+        if len(operands) != 2 or operands[0].strip().upper() != "A":
+            raise AssemblerError(f"{m} needs 'A, operand'")
+        src = operands[1].strip()
+        if src.startswith("#"):
+            imm_ops = {"ADD": Op.ADD_A_IMM, "XRL": Op.XRL_A_IMM,
+                       "ANL": Op.ANL_A_IMM, "ORL": Op.ORL_A_IMM}
+            if m == "SUB":
+                raise AssemblerError(
+                    "SUB has no immediate form on this part; use a register"
+                )
+            return [imm_ops[m], num(src[1:]) & 0xFF]
+        if m == "ADD":
+            return [Op.ADD_A_R, reg(src)]
+        if m == "SUB":
+            return [Op.SUB_A_R, reg(src)]
+        raise AssemblerError(f"{m} supports only immediate operands")
+
+    if m == "INC":
+        if operands and operands[0].strip().upper() != "A":
+            return [Op.INC_R, reg(operands[0])]
+        return [Op.INC_A]
+
+    if m == "DEC":
+        return [Op.DEC_A]
+
+    if m == "DJNZ":
+        if len(operands) != 2:
+            raise AssemblerError("DJNZ needs 'Rn, target'")
+        return [Op.DJNZ, reg(operands[0])] + addr16(operands[1])
+
+    if m in _MNEMONICS:
+        opcode, spec = _MNEMONICS[m]
+        if spec == "":
+            if m in ("INC", "DEC") or not operands:
+                return [opcode]
+            if operands == ["A"]:
+                return [opcode]
+            raise AssemblerError(f"{m} takes no operands, got {operands}")
+        if spec == "addr16":
+            if len(operands) != 1:
+                raise AssemblerError(f"{m} needs one address operand")
+            return [opcode] + addr16(operands[0])
+
+    raise AssemblerError(f"unknown mnemonic {mnemonic!r}")
+
+
+def _tokenize(line: str) -> Tuple[str, List[str]]:
+    parts = line.split(None, 1)
+    mnemonic = parts[0]
+    operands = []
+    if len(parts) > 1:
+        operands = [tok.strip() for tok in parts[1].split(",")]
+    return mnemonic, operands
+
+
+def assemble(source: str, origin: int = 0, size: int = None) -> bytes:
+    """Assemble ``source`` into a binary image starting at ``origin``.
+
+    Returns the image bytes from address 0 up to the highest assembled
+    address (or padded/truncated to ``size`` if given).
+    """
+    labels: Dict[str, int] = {}
+
+    def parse_lines():
+        for raw in source.splitlines():
+            line = raw.split(";", 1)[0].strip()
+            if not line:
+                continue
+            yield line
+
+    # Pass 1 sizes instructions with unknown labels resolving to 0 (every
+    # reference is fixed-width, so layout is stable); pass 2 encodes.
+    image: Dict[int, int] = {}
+    for pass_num in (1, 2):
+        pc = origin
+        image = {}
+        lookup = labels if pass_num == 2 else _Forgiving(labels)
+        for line in parse_lines():
+            # Peel off any leading "label:" prefixes.
+            while line:
+                head = line.split(None, 1)[0]
+                if not head.endswith(":"):
+                    break
+                label = head[:-1].strip()
+                if not label.isidentifier():
+                    raise AssemblerError(f"bad label {label!r}")
+                if pass_num == 1:
+                    labels[label] = pc
+                line = line[len(head):].strip()
+            if not line:
+                continue
+            if line.startswith(".org"):
+                pc = _parse_number(line.split(None, 1)[1], lookup)
+                continue
+            if line.startswith(".byte"):
+                for token in line.split(None, 1)[1].split(","):
+                    value = _parse_number(token, lookup) if pass_num == 2 else 0
+                    image[pc] = value & 0xFF
+                    pc += 1
+                continue
+            mnemonic, operands = _tokenize(line)
+            encoded = _encode(mnemonic, operands, lookup)
+            for byte in encoded:
+                image[pc] = byte
+                pc += 1
+
+    if not image:
+        return b"" if size is None else bytes(size)
+    top = max(image) + 1
+    length = size if size is not None else top
+    out = bytearray(length)
+    for addr, byte in image.items():
+        if addr < length:
+            out[addr] = byte
+    return bytes(out)
+
+
+class _Forgiving(dict):
+    """Label table that resolves unknown labels to 0 during pass 1."""
+
+    def __init__(self, known: Dict[str, int]):
+        super().__init__(known)
+
+    def __contains__(self, key) -> bool:
+        # Accept every identifier so pass 1 can size instructions.
+        return isinstance(key, str) and (key.isidentifier() or super().__contains__(key))
+
+    def __getitem__(self, key):
+        return super().get(key, 0)

@@ -1,0 +1,109 @@
+"""Linear-sweep disassembler for the repro MCU.
+
+Turns recovered memory dumps (e.g. the Kuhn attack's output) back into
+readable assembly — the last step of the §2.3 story, where the attacker
+reads the stolen program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .mcu import INSTRUCTION_LENGTHS, Op
+
+__all__ = ["Instruction", "disassemble", "format_listing"]
+
+_MNEMONICS = {
+    Op.NOP: "NOP",
+    Op.MOV_A_IMM: "MOV A, #{imm}",
+    Op.MOV_A_DIR: "MOV A, {addr}",
+    Op.MOV_DIR_A: "MOV {addr}, A",
+    Op.OUT: "OUT",
+    Op.MOV_A_R: "MOV A, R{reg}",
+    Op.MOV_R_A: "MOV R{reg}, A",
+    Op.MOV_R_IMM: "MOV R{reg}, #{imm}",
+    Op.ADD_A_IMM: "ADD A, #{imm}",
+    Op.ADD_A_R: "ADD A, R{reg}",
+    Op.SUB_A_R: "SUB A, R{reg}",
+    Op.INC_A: "INC",
+    Op.DEC_A: "DEC",
+    Op.XRL_A_IMM: "XRL A, #{imm}",
+    Op.ANL_A_IMM: "ANL A, #{imm}",
+    Op.ORL_A_IMM: "ORL A, #{imm}",
+    Op.JMP: "JMP {addr}",
+    Op.JZ: "JZ {addr}",
+    Op.JNZ: "JNZ {addr}",
+    Op.DJNZ: "DJNZ R{reg}, {addr}",
+    Op.CALL: "CALL {addr}",
+    Op.RET: "RET",
+    Op.PUSH_A: "PUSH",
+    Op.POP_A: "POP",
+    Op.MOVI_A: "MOVI",
+    Op.MOVI_ST: "MOVIST",
+    Op.INC_R: "INC R{reg}",
+    Op.HALT: "HALT",
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction."""
+
+    addr: int
+    opcode: int
+    length: int
+    text: str
+    raw: bytes
+
+    @property
+    def is_defined(self) -> bool:
+        return self.opcode in INSTRUCTION_LENGTHS
+
+
+def _decode_one(image: bytes, addr: int) -> Instruction:
+    opcode = image[addr]
+    length = INSTRUCTION_LENGTHS.get(opcode, 1)
+    length = min(length, len(image) - addr)
+    raw = bytes(image[addr: addr + length])
+    template = _MNEMONICS.get(opcode)
+    if template is None:
+        text = f".byte {opcode:#04x}"
+    else:
+        fields = {}
+        if "{reg}" in template:
+            fields["reg"] = raw[1] & 7 if length > 1 else 0
+        if "{imm}" in template:
+            imm_pos = 2 if "{reg}" in template else 1
+            fields["imm"] = raw[imm_pos] if length > imm_pos else 0
+        if "{addr}" in template:
+            addr_pos = 2 if "{reg}" in template else 1
+            if length > addr_pos + 1:
+                fields["addr"] = f"0x{raw[addr_pos] | (raw[addr_pos + 1] << 8):04X}"
+            else:
+                fields["addr"] = "0x????"
+        text = template.format(**fields)
+    return Instruction(addr=addr, opcode=opcode, length=length, text=text,
+                       raw=raw)
+
+
+def disassemble(image: bytes, start: int = 0,
+                end: Optional[int] = None) -> List[Instruction]:
+    """Linear sweep over [start, end); undefined bytes decode as data."""
+    end = len(image) if end is None else min(end, len(image))
+    out = []
+    addr = start
+    while addr < end:
+        inst = _decode_one(image, addr)
+        out.append(inst)
+        addr += max(1, inst.length)
+    return out
+
+
+def format_listing(instructions: List[Instruction]) -> str:
+    """Render a classic three-column listing."""
+    lines = []
+    for inst in instructions:
+        raw_hex = inst.raw.hex()
+        lines.append(f"{inst.addr:04X}:  {raw_hex:<8s}  {inst.text}")
+    return "\n".join(lines)

@@ -1,0 +1,307 @@
+"""A small 8051-flavoured microcontroller — the DS5002FP stand-in.
+
+The Dallas DS5002FP (survey Figure 6, §2.3) is a secure 8051 derivative
+executing encrypted code from external memory.  This model keeps exactly the
+properties Kuhn's Cipher Instruction Search attack [6] needs:
+
+* byte-granular external memory, every byte passing through an
+  address-dependent decryptor on its way in (and encryptor on its way out);
+* a parallel port whose writes are visible on the package pins;
+* a bus whose fetch addresses are visible (board-level probing);
+* a public instruction set (it is a standard part — only the key is secret);
+* deterministic reset state (A = 0, registers cleared, PC = 0).
+
+Fidelity note: the instruction set is a compact 8051 flavour.  It omits a
+subtract-immediate form, so every two-byte A-immediate instruction computes
+``A = f(imm)`` with ``f = identity`` when A = 0 at reset (MOV, ADD, ORL,
+XRL) or constant (ANL) — the property the table-building phase of the
+attack exploits.  The real attack disambiguates richer instruction behaviour
+with more measurements; the model keeps the search structure (256 candidates
+per address, behavioural classification over bus/port observations) intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+__all__ = ["Op", "INSTRUCTION_LENGTHS", "StepEvent", "MCU", "MCUError"]
+
+
+class MCUError(Exception):
+    """Execution fault (bad stack, unmapped address)."""
+
+
+class Op:
+    """Opcode map (public knowledge — the part is standard)."""
+
+    NOP = 0x00
+    MOV_A_IMM = 0x01    # A = imm
+    MOV_A_DIR = 0x02    # A = ext[addr16]
+    MOV_DIR_A = 0x03    # ext[addr16] = A
+    OUT = 0x04          # port <- A   (MOV P0, A)
+    MOV_A_R = 0x05      # A = R[r]
+    MOV_R_A = 0x06      # R[r] = A
+    MOV_R_IMM = 0x07    # R[r] = imm
+    ADD_A_IMM = 0x08    # A += imm
+    ADD_A_R = 0x09      # A += R[r]
+    SUB_A_R = 0x0A      # A -= R[r]
+    INC_A = 0x0B
+    DEC_A = 0x0C
+    XRL_A_IMM = 0x0D    # A ^= imm
+    ANL_A_IMM = 0x0E    # A &= imm
+    ORL_A_IMM = 0x0F    # A |= imm
+    JMP = 0x10
+    JZ = 0x11
+    JNZ = 0x12
+    DJNZ = 0x13         # R[r] -= 1; jump if non-zero
+    CALL = 0x14
+    RET = 0x15
+    PUSH_A = 0x16
+    POP_A = 0x17
+    MOVI_A = 0x18       # A = ext[R0:R1]
+    MOVI_ST = 0x19      # ext[R0:R1] = A
+    INC_R = 0x1A        # R[r] += 1
+    HALT = 0xFF
+
+
+INSTRUCTION_LENGTHS = {
+    Op.NOP: 1, Op.MOV_A_IMM: 2, Op.MOV_A_DIR: 3, Op.MOV_DIR_A: 3,
+    Op.OUT: 1, Op.MOV_A_R: 2, Op.MOV_R_A: 2, Op.MOV_R_IMM: 3,
+    Op.ADD_A_IMM: 2, Op.ADD_A_R: 2, Op.SUB_A_R: 2, Op.INC_A: 1,
+    Op.DEC_A: 1, Op.XRL_A_IMM: 2, Op.ANL_A_IMM: 2, Op.ORL_A_IMM: 2,
+    Op.JMP: 3, Op.JZ: 3, Op.JNZ: 3, Op.DJNZ: 4, Op.CALL: 3, Op.RET: 1,
+    Op.PUSH_A: 1, Op.POP_A: 1, Op.MOVI_A: 1, Op.MOVI_ST: 1, Op.INC_R: 2,
+    Op.HALT: 1,
+}
+
+
+@dataclass
+class StepEvent:
+    """Everything observable about one executed instruction.
+
+    ``fetched`` lists the external addresses the instruction fetch touched —
+    the bus-probe view that lets the attacker classify instruction lengths.
+    """
+
+    pc: int
+    opcode: int
+    next_pc: int
+    fetched: List[int] = field(default_factory=list)
+    port_write: Optional[int] = None
+    data_read: Optional[int] = None
+    data_write: Optional[int] = None
+    halted: bool = False
+
+
+class MCU:
+    """The microcontroller core.
+
+    ``decrypt``/``encrypt`` are the bus-encryption hooks: callables
+    ``(addr, byte) -> byte`` applied to every external read/write.  ``None``
+    runs the part in clear (the insecure baseline).
+
+    ``translate`` is the address-bus scrambler (Best's patents and the
+    DS5002FP encrypt addresses as well as data): a keyed bijection mapping
+    the CPU's logical address to the physical address emitted on the pins.
+    The cipher hooks receive the *physical* address (the tweak the hardware
+    sees), and :class:`StepEvent` reports physical addresses — exactly what
+    a probe on the package observes.
+    """
+
+    STACK_SIZE = 256
+
+    def __init__(
+        self,
+        memory: bytearray,
+        decrypt: Optional[Callable[[int, int], int]] = None,
+        encrypt: Optional[Callable[[int, int], int]] = None,
+        translate: Optional[Callable[[int], int]] = None,
+    ):
+        self.memory = memory
+        self._decrypt = decrypt
+        self._encrypt = encrypt
+        self._translate = translate
+        self.port_log: List[int] = []
+        self.reset()
+
+    def reset(self) -> None:
+        """Deterministic reset: A=0, registers cleared, PC=0, empty stack."""
+        self.a = 0
+        self.r = [0] * 8
+        self.pc = 0
+        self.sp = 0
+        self._stack = [0] * self.STACK_SIZE
+        self.halted = False
+        self.cycles = 0
+
+    # -- external memory interface (through the cipher) ---------------------
+
+    def _physical(self, addr: int) -> int:
+        # The address decoder wraps (hardware-like): injected garbage
+        # operands must not fault, they must do *something observable*.
+        addr %= len(self.memory)
+        if self._translate is not None:
+            addr = self._translate(addr) % len(self.memory)
+        return addr
+
+    def _bus_address(self, addr: int) -> int:
+        """The address a probe on the package pins observes.
+
+        Without a scrambler the full 16-bit value drives the bus (the
+        memory decode wrap happens in the external decoder, after the
+        probe); with a scrambler the pins carry the scrambled value.
+        """
+        if self._translate is None:
+            return addr
+        return self._translate(addr % len(self.memory)) % len(self.memory)
+
+    def _read_ext(self, addr: int) -> int:
+        phys = self._physical(addr)
+        value = self.memory[phys]
+        if self._decrypt is not None:
+            value = self._decrypt(phys, value)
+        return value
+
+    def _write_ext(self, addr: int, value: int) -> None:
+        phys = self._physical(addr)
+        if self._encrypt is not None:
+            value = self._encrypt(phys, value)
+        self.memory[phys] = value
+
+    # -- stack (circular, hardware-like: no faults on over/underflow) -------
+
+    def _push(self, value: int) -> None:
+        self._stack[self.sp % self.STACK_SIZE] = value
+        self.sp = (self.sp + 1) % self.STACK_SIZE
+
+    def _pop(self) -> int:
+        self.sp = (self.sp - 1) % self.STACK_SIZE
+        return self._stack[self.sp]
+
+    # -- execution ----------------------------------------------------------------
+
+    def step(self) -> StepEvent:
+        """Execute one instruction; returns the observable event."""
+        if self.halted:
+            return StepEvent(pc=self.pc, opcode=Op.HALT, next_pc=self.pc,
+                             halted=True)
+        pc = self.pc
+        event = StepEvent(pc=pc, opcode=0, next_pc=pc)
+
+        def fetch() -> int:
+            addr = self.pc
+            # The probe sees the physical (possibly scrambled) address.
+            event.fetched.append(self._bus_address(addr))
+            value = self._read_ext(addr)
+            self.pc = (self.pc + 1) % len(self.memory)
+            return value
+
+        def fetch_addr16() -> int:
+            lo = fetch()
+            hi = fetch()
+            return (hi << 8) | lo
+
+        op = fetch()
+        event.opcode = op
+        a_mask = 0xFF
+
+        if op == Op.NOP:
+            pass
+        elif op == Op.MOV_A_IMM:
+            self.a = fetch()
+        elif op == Op.MOV_A_DIR:
+            addr = fetch_addr16()
+            event.data_read = self._bus_address(addr)
+            self.a = self._read_ext(addr)
+        elif op == Op.MOV_DIR_A:
+            addr = fetch_addr16()
+            event.data_write = self._bus_address(addr)
+            self._write_ext(addr, self.a)
+        elif op == Op.OUT:
+            self.port_log.append(self.a)
+            event.port_write = self.a
+        elif op == Op.MOV_A_R:
+            self.a = self.r[fetch() & 7]
+        elif op == Op.MOV_R_A:
+            self.r[fetch() & 7] = self.a
+        elif op == Op.MOV_R_IMM:
+            reg = fetch() & 7
+            self.r[reg] = fetch()
+        elif op == Op.ADD_A_IMM:
+            self.a = (self.a + fetch()) & a_mask
+        elif op == Op.ADD_A_R:
+            self.a = (self.a + self.r[fetch() & 7]) & a_mask
+        elif op == Op.SUB_A_R:
+            self.a = (self.a - self.r[fetch() & 7]) & a_mask
+        elif op == Op.INC_A:
+            self.a = (self.a + 1) & a_mask
+        elif op == Op.DEC_A:
+            self.a = (self.a - 1) & a_mask
+        elif op == Op.XRL_A_IMM:
+            self.a ^= fetch()
+        elif op == Op.ANL_A_IMM:
+            self.a &= fetch()
+        elif op == Op.ORL_A_IMM:
+            self.a |= fetch()
+        elif op == Op.JMP:
+            self.pc = fetch_addr16()
+        elif op == Op.JZ:
+            target = fetch_addr16()
+            if self.a == 0:
+                self.pc = target
+        elif op == Op.JNZ:
+            target = fetch_addr16()
+            if self.a != 0:
+                self.pc = target
+        elif op == Op.DJNZ:
+            reg = fetch() & 7
+            target = fetch_addr16()
+            self.r[reg] = (self.r[reg] - 1) & a_mask
+            if self.r[reg] != 0:
+                self.pc = target
+        elif op == Op.CALL:
+            target = fetch_addr16()
+            self._push(self.pc & 0xFF)
+            self._push((self.pc >> 8) & 0xFF)
+            self.pc = target
+        elif op == Op.RET:
+            hi = self._pop()
+            lo = self._pop()
+            self.pc = (hi << 8) | lo
+        elif op == Op.PUSH_A:
+            self._push(self.a)
+        elif op == Op.POP_A:
+            self.a = self._pop()
+        elif op == Op.MOVI_A:
+            addr = ((self.r[0] << 8) | self.r[1]) % len(self.memory)
+            event.data_read = self._bus_address(addr)
+            self.a = self._read_ext(addr)
+        elif op == Op.MOVI_ST:
+            addr = ((self.r[0] << 8) | self.r[1]) % len(self.memory)
+            event.data_write = self._bus_address(addr)
+            self._write_ext(addr, self.a)
+        elif op == Op.INC_R:
+            reg = fetch() & 7
+            self.r[reg] = (self.r[reg] + 1) & a_mask
+        elif op == Op.HALT:
+            self.halted = True
+            event.halted = True
+        else:
+            # Undefined opcodes execute as single-byte NOPs (the permissive
+            # behaviour that widens the attack's fall-through class).
+            pass
+
+        self.cycles += len(event.fetched) + 1
+        event.next_pc = self.pc
+        return event
+
+    def run(self, max_steps: int = 100000) -> List[StepEvent]:
+        """Run until HALT or ``max_steps``; returns the event log."""
+        events = []
+        for _ in range(max_steps):
+            event = self.step()
+            events.append(event)
+            if event.halted:
+                break
+        return events

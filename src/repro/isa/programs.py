@@ -1,0 +1,245 @@
+"""Sample MCU programs.
+
+The "commercial software" whose confidentiality the bus encryption is
+supposed to protect — used by the examples, the Kuhn attack demo (as the
+victim firmware) and the MCU-derived trace generator.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..crypto.drbg import DRBG
+from .assembler import assemble
+from .mcu import MCU, StepEvent
+
+__all__ = [
+    "bubble_sort_program",
+    "checksum_program",
+    "counter_program",
+    "fibonacci_program",
+    "memcpy_program",
+    "memset_program",
+    "mcu_trace",
+    "secret_table_program",
+    "string_search_program",
+]
+
+
+def checksum_program(table_base: int = 0x0100, table_len: int = 16) -> str:
+    """Sum ``table_len`` bytes at ``table_base`` and emit the sum on the port."""
+    return f"""
+        ; checksum of a data table, result on the port
+        MOV R0, #{table_base >> 8}
+        MOV R1, #{table_base & 0xFF}
+        MOV R2, #{table_len}
+        MOV R3, #0
+    loop:
+        MOVI                ; A = ext[R0:R1]
+        ADD A, R3
+        MOV R3, A
+        INC R1
+        DJNZ R2, loop
+        MOV A, R3
+        OUT
+        HALT
+    """
+
+
+def fibonacci_program(count: int = 10) -> str:
+    """Emit the first ``count`` Fibonacci numbers (mod 256) on the port."""
+    return f"""
+        MOV R0, #0          ; F(n-1)
+        MOV R1, #1          ; F(n)
+        MOV R2, #{count}
+    loop:
+        MOV A, R0
+        OUT
+        MOV A, R0
+        ADD A, R1
+        MOV R3, A           ; F(n+1)
+        MOV A, R1
+        MOV R0, A
+        MOV A, R3
+        MOV R1, A
+        DJNZ R2, loop
+        HALT
+    """
+
+
+def counter_program(limit: int = 20) -> str:
+    """Count up on the port — the minimal bus-activity smoke test."""
+    return f"""
+        MOV R2, #{limit}
+        MOV A, #0
+    loop:
+        OUT
+        INC
+        DJNZ R2, loop
+        HALT
+    """
+
+
+def secret_table_program(seed: int = 77, table_len: int = 64) -> str:
+    """Firmware with an embedded secret table — the Kuhn-attack victim.
+
+    The code merely sums the table; the attacker's goal is recovering the
+    table (and the code) from encrypted external memory.
+    """
+    rng = DRBG(seed).fork("secret-table")
+    secret = [rng.randbits(8) for _ in range(table_len)]
+    table = ", ".join(str(b) for b in secret)
+    return f"""
+        {checksum_program(table_base=0x0100, table_len=table_len)}
+        .org 0x0100
+        .byte {table}
+    """
+
+
+def bubble_sort_program(table_base: int = 0x0200, table_len: int = 12,
+                        seed: int = 99) -> str:
+    """Bubble-sort a byte table in external memory, then emit it sorted.
+
+    A genuinely write-heavy kernel: every swap is two external stores
+    through the encryption engine — the workload class Gilmont's engine
+    never faced.  Table values stay below 128 so the sign-bit comparison
+    is exact.
+    """
+    rng = DRBG(seed).fork("sort-table")
+    values = ", ".join(str(rng.randbits(7)) for _ in range(table_len))
+    hi, lo = table_base >> 8, table_base & 0xFF
+    return f"""
+        ; bubble sort over ext[{table_base:#x}..+{table_len}]
+        MOV R4, #{table_len - 1}      ; outer pass counter
+    outer:
+        MOV R0, #{hi}
+        MOV R1, #{lo}
+        MOV R5, #{table_len - 1}      ; inner counter
+    inner:
+        MOVI                          ; A = t[i]
+        MOV R2, A                     ; cur
+        INC R1
+        MOVI                          ; A = t[i+1]
+        MOV R3, A                     ; nxt
+        SUB A, R2                     ; nxt - cur
+        JZ no_swap
+        ANL A, #0x80                  ; sign bit set <=> nxt < cur
+        JZ no_swap
+        ; swap: t[i+1] = cur (R1 already at i+1)
+        MOV A, R2
+        MOVIST
+        ; t[i] = nxt: i = lo + (len-1) - R5
+        MOV A, #{lo + table_len - 1}
+        SUB A, R5
+        MOV R1, A
+        MOV A, R3
+        MOVIST
+        INC R1                        ; back to i+1
+    no_swap:
+        DJNZ R5, inner
+        DJNZ R4, outer
+        ; emit the sorted table on the port
+        MOV R0, #{hi}
+        MOV R1, #{lo}
+        MOV R2, #{table_len}
+    emit:
+        MOVI
+        OUT
+        INC R1
+        DJNZ R2, emit
+        HALT
+        .org {table_base}
+        .byte {values}
+    """
+
+
+def memset_program(base: int = 0x0300, length: int = 32,
+                   value: int = 0xA5) -> str:
+    """Fill a memory region — the pure store kernel (sub-block writes)."""
+    return f"""
+        MOV R0, #{base >> 8}
+        MOV R1, #{base & 0xFF}
+        MOV R2, #{length}
+    loop:
+        MOV A, #{value}
+        MOVIST
+        INC R1
+        DJNZ R2, loop
+        MOV A, #{length}
+        OUT
+        HALT
+    """
+
+
+def memcpy_program(src: int = 0x0200, dst: int = 0x0300,
+                   length: int = 24, seed: int = 55) -> str:
+    """Copy a region byte by byte — balanced load/store kernel."""
+    rng = DRBG(seed).fork("memcpy-src")
+    values = ", ".join(str(rng.randbits(8)) for _ in range(length))
+    return f"""
+        MOV R2, #{length}
+        MOV R4, #{src & 0xFF}         ; src low (high fixed)
+        MOV R5, #{dst & 0xFF}         ; dst low
+    loop:
+        MOV R0, #{src >> 8}
+        MOV A, R4
+        MOV R1, A
+        MOVI                          ; A = src byte
+        MOV R3, A
+        MOV R0, #{dst >> 8}
+        MOV A, R5
+        MOV R1, A
+        MOV A, R3
+        MOVIST                        ; dst byte = A
+        INC R4
+        INC R5
+        DJNZ R2, loop
+        MOV A, #1
+        OUT
+        HALT
+        .org {src}
+        .byte {values}
+    """
+
+
+def string_search_program(needle: int = 0x5A, table_base: int = 0x0200,
+                          table_len: int = 48, seed: int = 31) -> str:
+    """Scan a table for a byte value; emit the count — branchy read kernel."""
+    rng = DRBG(seed).fork("search-table")
+    values = [rng.randbits(8) for _ in range(table_len)]
+    values[table_len // 3] = needle           # guarantee at least one hit
+    values[2 * table_len // 3] = needle
+    table = ", ".join(str(v) for v in values)
+    return f"""
+        MOV R0, #{table_base >> 8}
+        MOV R1, #{table_base & 0xFF}
+        MOV R2, #{table_len}
+        MOV R3, #0                    ; match count
+    loop:
+        MOVI
+        XRL A, #{needle}
+        JNZ miss
+        MOV A, R3
+        INC
+        MOV R3, A
+    miss:
+        INC R1
+        DJNZ R2, loop
+        MOV A, R3
+        OUT
+        HALT
+        .org {table_base}
+        .byte {table}
+    """
+
+
+def mcu_trace(source: str, memory_size: int = 4096, max_steps: int = 20000
+              ) -> List[StepEvent]:
+    """Assemble and run a program in clear; returns the event log.
+
+    The events carry every fetch and data address — a *real* instruction
+    trace for the simulator, complementing the synthetic generators.
+    """
+    image = assemble(source, size=memory_size)
+    mcu = MCU(bytearray(image))
+    return mcu.run(max_steps=max_steps)

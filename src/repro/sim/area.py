@@ -1,0 +1,93 @@
+"""Silicon-area (gate-count) estimation for the engines.
+
+The survey weighs every engine against "constraints such as: area, power
+consumption, performance penalties".  AEGIS's pipelined AES is quoted at
+300,000 gates; the other engines are estimated from standard gate-count
+figures for their building blocks.  The absolute numbers are coarse by
+nature — what E11/E14 need is the *ordering* (a fully pipelined AES dwarfs
+an 8-bit substitution unit) and the SRAM cost of the CPU-cache placement
+(Figure 7b doubles the on-chip memory, which Section 5 calls unaffordable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["AreaEstimate", "GATES", "sram_gates", "combine"]
+
+# Gate-equivalent costs of standard blocks (2-input NAND equivalents).
+GATES: Dict[str, int] = {
+    # Cipher cores.
+    "aes_round": 25_000,          # one unrolled AES round (S-boxes dominate)
+    "aes_iterative": 30_000,      # single round + state + key schedule
+    "aes_pipelined": 300_000,     # AEGIS's reported figure [14]
+    "des_round": 2_500,
+    "des_iterative": 15_000,
+    "tdes_iterative": 40_000,
+    "tdes_pipelined": 120_000,    # 48 unrolled rounds
+    # Small units.
+    "byte_sbox": 500,             # one 256x8 combinational S-box
+    "byte_transposition": 200,
+    "lfsr_bit": 12,
+    "hmac_sha256": 25_000,
+    "huffman_decoder": 8_000,
+    "codepack_decoder": 15_000,
+    "dma_controller": 5_000,
+    "fetch_predictor": 3_000,
+    "counter_64": 400,
+    "control_overhead": 2_000,
+}
+
+# SRAM density: gate equivalents per bit (register file ~6-8, SRAM macro ~1.5;
+# use a conservative figure for on-chip buffer estimates).
+_SRAM_GATES_PER_BIT = 1.5
+
+
+def sram_gates(nbytes: int) -> int:
+    """Gate-equivalent cost of ``nbytes`` of on-chip SRAM."""
+    if nbytes < 0:
+        raise ValueError(f"negative SRAM size {nbytes}")
+    return int(8 * nbytes * _SRAM_GATES_PER_BIT)
+
+
+@dataclass
+class AreaEstimate:
+    """Itemized gate count for one engine."""
+
+    name: str
+    items: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, label: str, gates: int) -> "AreaEstimate":
+        if gates < 0:
+            raise ValueError(f"negative gate count for {label}")
+        self.items[label] = self.items.get(label, 0) + gates
+        return self
+
+    def add_block(self, block: str, count: int = 1) -> "AreaEstimate":
+        """Add ``count`` instances of a named standard block."""
+        if block not in GATES:
+            raise KeyError(f"unknown block {block!r}")
+        return self.add(block, GATES[block] * count)
+
+    def add_sram(self, label: str, nbytes: int) -> "AreaEstimate":
+        return self.add(label, sram_gates(nbytes))
+
+    @property
+    def total(self) -> int:
+        return sum(self.items.values())
+
+    def __str__(self) -> str:
+        lines = [f"{self.name}: {self.total:,} gates"]
+        for label, gates in sorted(self.items.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {label:<24s} {gates:>12,}")
+        return "\n".join(lines)
+
+
+def combine(name: str, *estimates: AreaEstimate) -> AreaEstimate:
+    """Merge several estimates (e.g. cipher core + controller + SRAM)."""
+    merged = AreaEstimate(name)
+    for est in estimates:
+        for label, gates in est.items.items():
+            merged.add(f"{est.name}/{label}", gates)
+    return merged

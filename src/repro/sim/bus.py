@@ -1,0 +1,57 @@
+"""Processor-memory bus with probe hooks.
+
+"The main problem is that data and instructions are constantly exchanged
+between memory and CPU in clear form on the bus" — the bus is where the
+survey's adversary sits.  Every transfer is announced to attached probes
+(:class:`repro.attacks.probe.BusProbe` records them), carrying exactly the
+bytes that cross the chip boundary: ciphertext when an engine is present,
+plaintext when not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+__all__ = ["BusTransaction", "Bus"]
+
+
+@dataclass(frozen=True)
+class BusTransaction:
+    """One observable transfer on the external bus."""
+
+    op: str            # "read" (memory -> chip) or "write" (chip -> memory)
+    addr: int
+    data: bytes
+    cycle: int         # CPU cycle at which the transfer started
+
+
+class Bus:
+    """External bus: counts traffic and notifies probes of every transfer."""
+
+    def __init__(self) -> None:
+        self._probes: List[Callable[[BusTransaction], None]] = []
+        self.transactions = 0
+        self.bytes_transferred = 0
+
+    def attach_probe(self, probe: Callable[[BusTransaction], None]) -> None:
+        """Attach a probe called with every :class:`BusTransaction`."""
+        self._probes.append(probe)
+
+    def detach_probe(self, probe: Callable[[BusTransaction], None]) -> None:
+        self._probes.remove(probe)
+
+    def transfer(self, op: str, addr: int, data: bytes, cycle: int) -> None:
+        """Announce a transfer of ``data`` at ``addr`` to all probes."""
+        if op not in ("read", "write"):
+            raise ValueError(f"unknown bus op {op!r}")
+        self.transactions += 1
+        self.bytes_transferred += len(data)
+        if self._probes:
+            txn = BusTransaction(op=op, addr=addr, data=data, cycle=cycle)
+            for probe in self._probes:
+                probe(txn)
+
+    def reset_stats(self) -> None:
+        self.transactions = 0
+        self.bytes_transferred = 0

@@ -1,0 +1,173 @@
+"""Set-associative cache model with LRU replacement.
+
+Models the on-chip cache the survey's engines sit behind (Figure 2c):
+configurable size/line/associativity, write-back or write-through, with or
+without write allocation.  The cache is a *timing and coherence* model: line
+data content is owned by the surrounding :class:`repro.sim.system`, which
+keeps plaintext in the cache and ciphertext in external memory.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional
+
+__all__ = ["WritePolicy", "CacheConfig", "CacheResult", "Cache"]
+
+
+class WritePolicy(Enum):
+    WRITE_BACK = "write-back"
+    WRITE_THROUGH = "write-through"
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and policy of one cache level."""
+
+    size: int = 16 * 1024
+    line_size: int = 32
+    associativity: int = 4
+    write_policy: WritePolicy = WritePolicy.WRITE_BACK
+    write_allocate: bool = True
+    hit_latency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size <= 0 or self.line_size <= 0 or self.associativity <= 0:
+            raise ValueError("cache geometry parameters must be positive")
+        if self.size % (self.line_size * self.associativity) != 0:
+            raise ValueError(
+                f"size {self.size} not divisible by line_size*assoc "
+                f"({self.line_size}*{self.associativity})"
+            )
+        if self.line_size & (self.line_size - 1):
+            raise ValueError(f"line_size must be a power of two, got {self.line_size}")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size // (self.line_size * self.associativity)
+
+
+@dataclass
+class CacheResult:
+    """Outcome of one access: hit/miss plus the bus work it triggers."""
+
+    hit: bool
+    line_addr: int
+    writeback_addr: Optional[int] = None   # dirty victim to write to memory
+    evicted_line: Optional[int] = None     # victim line address (dirty or not)
+    fill_needed: bool = False              # line must be fetched from memory
+    through_write: bool = False            # store must also go to memory now
+
+
+@dataclass
+class _Line:
+    dirty: bool = False
+
+
+class Cache:
+    """LRU set-associative cache.
+
+    Addresses are byte addresses; the cache tracks lines by line address
+    (``addr // line_size``).  :meth:`access` updates state and reports what
+    external traffic the access causes; the caller performs that traffic.
+    """
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self._sets: List["OrderedDict[int, _Line]"] = [
+            OrderedDict() for _ in range(config.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    def _set_index(self, line_addr: int) -> int:
+        return line_addr % self.config.num_sets
+
+    def line_addr(self, addr: int) -> int:
+        return addr // self.config.line_size
+
+    def contains(self, addr: int) -> bool:
+        """True if the line holding ``addr`` is resident (no LRU update)."""
+        line = self.line_addr(addr)
+        return line in self._sets[self._set_index(line)]
+
+    def access(self, addr: int, is_write: bool) -> CacheResult:
+        """Perform one access; returns the external traffic required.
+
+        For a write-through cache, stores propagate to memory whether they
+        hit or miss; for write-back, stores mark the line dirty and the
+        write reaches memory only on eviction.
+        """
+        cfg = self.config
+        line = self.line_addr(addr)
+        cache_set = self._sets[self._set_index(line)]
+
+        if line in cache_set:
+            cache_set.move_to_end(line)
+            self.hits += 1
+            entry = cache_set[line]
+            through = False
+            if is_write:
+                if cfg.write_policy is WritePolicy.WRITE_BACK:
+                    entry.dirty = True
+                else:
+                    through = True
+            return CacheResult(hit=True, line_addr=line, through_write=through)
+
+        self.misses += 1
+
+        if is_write and not cfg.write_allocate:
+            # Store miss bypasses the cache entirely.
+            return CacheResult(
+                hit=False, line_addr=line, fill_needed=False, through_write=True
+            )
+
+        writeback_addr = None
+        evicted_line = None
+        if len(cache_set) >= cfg.associativity:
+            victim_line, victim = cache_set.popitem(last=False)
+            self.evictions += 1
+            evicted_line = victim_line
+            if victim.dirty:
+                self.writebacks += 1
+                writeback_addr = victim_line * cfg.line_size
+
+        entry = _Line()
+        through = False
+        if is_write:
+            if cfg.write_policy is WritePolicy.WRITE_BACK:
+                entry.dirty = True
+            else:
+                through = True
+        cache_set[line] = entry
+        return CacheResult(
+            hit=False,
+            line_addr=line,
+            writeback_addr=writeback_addr,
+            evicted_line=evicted_line,
+            fill_needed=True,
+            through_write=through,
+        )
+
+    def flush(self) -> List[int]:
+        """Evict everything; returns byte addresses of dirty lines."""
+        dirty = []
+        for cache_set in self._sets:
+            for line, entry in cache_set.items():
+                if entry.dirty:
+                    dirty.append(line * self.config.line_size)
+            cache_set.clear()
+        self.writebacks += len(dirty)
+        return dirty
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = self.misses = self.evictions = self.writebacks = 0

@@ -1,0 +1,128 @@
+"""Energy model for bus-encryption engines.
+
+The survey lists "area, power consumption, performance penalties" as the
+constraints a cryptosystem designer must respect, but only ever quantifies
+the first and last.  This module fills in the middle with a standard
+event-energy model: every architectural event (cipher block, bus beat,
+SRAM access, DRAM access, hash) carries a per-event energy, and a run's
+energy is the dot product of its event counts with those costs.
+
+The per-event numbers are order-of-magnitude figures for a ~130 nm node
+(the survey's era); as with the area model, what the experiments use is the
+*ratios* — e.g. that moving a byte across the external bus costs more than
+enciphering it, which is why compression can save energy as well as time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["EnergyModel", "EnergyReport", "DEFAULT_ENERGY", "estimate_run"]
+
+#: Energy per event in picojoules (130 nm-era orders of magnitude).
+DEFAULT_ENERGY: Dict[str, float] = {
+    "aes_block": 2_000.0,       # one 128-bit block through an AES core
+    "des_block": 800.0,         # one 64-bit block through DES
+    "tdes_block": 2_400.0,      # three DES passes
+    "byte_subst": 10.0,         # one S-box lookup
+    "keystream_byte": 25.0,     # LFSR/combiner output byte
+    "hash_block": 3_000.0,      # one SHA-256 compression
+    "sram_access": 50.0,        # one on-chip SRAM word access
+    "bus_beat": 400.0,          # one external bus beat (pad + pin drive)
+    "dram_access": 5_000.0,     # one external memory row access
+    "cpu_cycle": 150.0,         # baseline core energy per cycle
+}
+
+#: Cipher-block energy keyed by the pipelined-unit names in repro.sim.pipeline.
+UNIT_ENERGY_KEYS: Dict[str, str] = {
+    "aes-pipelined-xom": "aes_block",
+    "aes-pipelined-aegis": "aes_block",
+    "aes-iterative": "aes_block",
+    "3des-pipelined": "tdes_block",
+    "3des-iterative": "tdes_block",
+    "des-iterative": "des_block",
+    "keystream-lfsr": "keystream_byte",
+    "byte-substitution": "byte_subst",
+}
+
+
+@dataclass
+class EnergyReport:
+    """Itemized energy for one simulation run, in picojoules."""
+
+    items: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, label: str, picojoules: float) -> "EnergyReport":
+        if picojoules < 0:
+            raise ValueError(f"negative energy for {label}")
+        self.items[label] = self.items.get(label, 0.0) + picojoules
+        return self
+
+    @property
+    def total_pj(self) -> float:
+        return sum(self.items.values())
+
+    @property
+    def total_uj(self) -> float:
+        return self.total_pj / 1e6
+
+    def overhead_vs(self, baseline: "EnergyReport") -> float:
+        if baseline.total_pj == 0:
+            return 0.0
+        return self.total_pj / baseline.total_pj - 1.0
+
+    def __str__(self) -> str:
+        lines = [f"total: {self.total_uj:.2f} uJ"]
+        for label, pj in sorted(self.items.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {label:<20s} {pj / 1e6:>10.3f} uJ")
+        return "\n".join(lines)
+
+
+class EnergyModel:
+    """Turns a :class:`repro.sim.system.SimReport` plus engine state into
+    an :class:`EnergyReport`."""
+
+    def __init__(self, costs: Dict[str, float] = None):
+        self.costs = dict(DEFAULT_ENERGY)
+        if costs:
+            self.costs.update(costs)
+
+    def cost(self, event: str) -> float:
+        if event not in self.costs:
+            raise KeyError(f"unknown energy event {event!r}")
+        return self.costs[event]
+
+    def estimate(self, report, engine=None) -> EnergyReport:
+        """Energy for one run.
+
+        ``report`` is a SimReport; ``engine`` (optional) contributes its
+        cipher-block count through the unit it declares.
+        """
+        out = EnergyReport()
+        out.add("cpu", report.cycles * self.cost("cpu_cycle"))
+        beats = -(-report.bus_bytes // 8)
+        out.add("bus", beats * self.cost("bus_beat"))
+        out.add(
+            "dram",
+            (report.mem_reads + report.mem_writes) * self.cost("dram_access"),
+        )
+        out.add(
+            "cache-sram",
+            (report.cache_hits + report.cache_misses)
+            * self.cost("sram_access"),
+        )
+        if engine is not None:
+            unit = getattr(engine, "unit", None)
+            key = UNIT_ENERGY_KEYS.get(getattr(unit, "name", ""), "aes_block")
+            out.add(
+                "cipher",
+                engine.stats.blocks_processed * self.cost(key),
+            )
+        return out
+
+
+def estimate_run(report, engine=None, costs: Dict[str, float] = None
+                 ) -> EnergyReport:
+    """One-shot convenience wrapper."""
+    return EnergyModel(costs).estimate(report, engine)

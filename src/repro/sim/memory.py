@@ -1,0 +1,101 @@
+"""External memory (RAM) model: functional storage plus access timing.
+
+This is the memory the survey's attacker can read at leisure — board-level
+probing "at almost no cost" — so it is fully functional: it stores the
+actual (cipher)bytes the engine writes.  Timing is a fixed-latency plus
+per-beat transfer model, which is enough to place the crossovers the survey
+discusses (keystream generation vs fetch latency, compression beat savings
+vs decompression latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MemoryConfig", "MainMemory"]
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Timing and geometry of the external RAM and its bus.
+
+    ``latency`` is the cycles from request to first data beat;
+    ``bus_width`` the bytes moved per beat; ``cycles_per_beat`` the bus
+    clock divider relative to the CPU clock.
+    """
+
+    size: int = 1 << 22            # 4 MiB
+    latency: int = 40
+    bus_width: int = 8
+    cycles_per_beat: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"memory size must be positive, got {self.size}")
+        if self.latency < 0:
+            raise ValueError(f"latency must be >= 0, got {self.latency}")
+        if self.bus_width <= 0 or self.cycles_per_beat <= 0:
+            raise ValueError("bus parameters must be positive")
+
+    def beats(self, nbytes: int) -> int:
+        """Bus beats needed to move ``nbytes``."""
+        return -(-nbytes // self.bus_width)
+
+    def transfer_cycles(self, nbytes: int) -> int:
+        """Cycles occupied by the data transfer phase."""
+        return self.beats(nbytes) * self.cycles_per_beat
+
+    def read_cycles(self, nbytes: int) -> int:
+        """Total cycles for a read of ``nbytes``."""
+        return self.latency + self.transfer_cycles(nbytes)
+
+    def write_cycles(self, nbytes: int) -> int:
+        """Total cycles for a write of ``nbytes``."""
+        return self.latency + self.transfer_cycles(nbytes)
+
+
+class MainMemory:
+    """Byte-addressable external RAM with functional contents."""
+
+    def __init__(self, config: MemoryConfig = MemoryConfig()):
+        self.config = config
+        self._data = bytearray(config.size)
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def _check_range(self, addr: int, nbytes: int) -> None:
+        if addr < 0 or addr + nbytes > self.config.size:
+            raise IndexError(
+                f"access [{addr}, {addr + nbytes}) outside memory of "
+                f"{self.config.size} bytes"
+            )
+
+    def read(self, addr: int, nbytes: int) -> bytes:
+        """Functional read (no timing; timing comes from the config)."""
+        self._check_range(addr, nbytes)
+        self.reads += 1
+        self.bytes_read += nbytes
+        return bytes(self._data[addr: addr + nbytes])
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Functional write."""
+        self._check_range(addr, len(data))
+        self.writes += 1
+        self.bytes_written += len(data)
+        self._data[addr: addr + len(data)] = data
+
+    def load_image(self, addr: int, image: bytes) -> None:
+        """Bulk install without touching the access counters (offline load)."""
+        self._check_range(addr, len(image))
+        self._data[addr: addr + len(image)] = image
+
+    def dump(self, addr: int, nbytes: int) -> bytes:
+        """Bulk inspect without touching counters (the attacker's probe)."""
+        self._check_range(addr, nbytes)
+        return bytes(self._data[addr: addr + nbytes])
+
+    def reset_stats(self) -> None:
+        self.reads = self.writes = 0
+        self.bytes_read = self.bytes_written = 0

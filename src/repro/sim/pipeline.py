@@ -1,0 +1,93 @@
+"""Timing model of pipelined hardware cipher units.
+
+The survey reports hardware ciphers as (latency, throughput) pairs: XOM's
+AES has "a low latency of 14 cycles, while a throughput of one
+encrypted/decrypted data per clock cycle is claimed"; Gilmont uses a
+"pipelined triple-DES".  This module captures that abstraction: a unit is a
+pipeline with a fill ``latency`` and an ``initiation_interval`` (cycles
+between successive block issues; 1 for a fully pipelined core).
+
+E10 makes the survey's own point with this model: latency alone "doesn't
+inform about the overall system cost" — the same 14-cycle unit produces very
+different system overheads depending on the workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PipelinedUnit", "XOM_AES_PIPE", "AEGIS_AES_PIPE",
+           "TDES_PIPE", "TDES_ITERATIVE", "DES_ITERATIVE",
+           "AES_ITERATIVE", "KEYSTREAM_UNIT", "BYTE_SUBST_UNIT"]
+
+
+@dataclass(frozen=True)
+class PipelinedUnit:
+    """A hardware unit processing fixed-size blocks.
+
+    ``latency``: cycles from issuing a block to its result.
+    ``initiation_interval``: minimum cycles between issues (1 = fully
+    pipelined; equal to ``latency`` = iterative, non-pipelined core).
+    """
+
+    name: str
+    latency: int
+    initiation_interval: int = 1
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ValueError(f"latency must be >= 0, got {self.latency}")
+        if self.initiation_interval < 1:
+            raise ValueError(
+                f"initiation_interval must be >= 1, got {self.initiation_interval}"
+            )
+
+    def time_for(self, nblocks: int) -> int:
+        """Cycles to process ``nblocks`` issued back to back."""
+        if nblocks <= 0:
+            return 0
+        return self.latency + (nblocks - 1) * self.initiation_interval
+
+    def drain_after_arrivals(self, nblocks: int, arrival_interval: int) -> int:
+        """Extra cycles past the last block's *arrival* until all are processed.
+
+        Blocks arrive every ``arrival_interval`` cycles (e.g. as bus beats
+        complete).  If the pipeline's initiation interval keeps up with the
+        arrival rate, the extra time is just the fill latency; otherwise a
+        backlog accumulates.
+        """
+        if nblocks <= 0:
+            return 0
+        backlog = max(0, (nblocks - 1) * (self.initiation_interval - arrival_interval))
+        return self.latency + backlog
+
+    @property
+    def throughput_blocks_per_cycle(self) -> float:
+        return 1.0 / self.initiation_interval
+
+
+# Reference units with parameters taken from the survey's reported figures.
+
+#: XOM's pipelined AES: 14-cycle latency, one block per cycle [13].
+XOM_AES_PIPE = PipelinedUnit("aes-pipelined-xom", latency=14, initiation_interval=1)
+
+#: AEGIS's pipelined AES (300k gates); same order of latency as XOM's [14].
+AEGIS_AES_PIPE = PipelinedUnit("aes-pipelined-aegis", latency=16, initiation_interval=1)
+
+#: Pipelined triple-DES as used by Gilmont et al. [3]: 48 rounds, pipelined.
+TDES_PIPE = PipelinedUnit("3des-pipelined", latency=48, initiation_interval=1)
+
+#: Iterative (non-pipelined) triple-DES: one block at a time.
+TDES_ITERATIVE = PipelinedUnit("3des-iterative", latency=48, initiation_interval=48)
+
+#: Iterative single DES (16 rounds), the DS5240 class of core.
+DES_ITERATIVE = PipelinedUnit("des-iterative", latency=16, initiation_interval=16)
+
+#: Iterative AES-128 (10 rounds + key add).
+AES_ITERATIVE = PipelinedUnit("aes-iterative", latency=11, initiation_interval=11)
+
+#: LFSR/combiner keystream generator: byte per cycle after a short warm-up.
+KEYSTREAM_UNIT = PipelinedUnit("keystream-lfsr", latency=2, initiation_interval=1)
+
+#: Best-style substitution/transposition path: table lookups, single cycle.
+BYTE_SUBST_UNIT = PipelinedUnit("byte-substitution", latency=1, initiation_interval=1)

@@ -1,0 +1,242 @@
+"""Full-system composition: CPU trace -> cache -> EDU -> bus -> memory.
+
+This is the testbench every experiment runs on.  The cache holds plaintext
+(survey Figure 2c: "data stored in the cache memory will be in clear form"),
+external memory holds whatever the engine produced, and the bus between them
+is observable.  The simulator is trace driven and cycle approximate: each
+access contributes issue + hit latency, misses add the engine-serviced fill
+path, and stores follow the configured write policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.engine import BusEncryptionEngine, MemoryPort, NullEngine, Placement
+from ..traces.trace import Access, AccessKind, Trace
+from .bus import Bus
+from .cache import Cache, CacheConfig
+from .memory import MainMemory, MemoryConfig
+
+__all__ = ["SimReport", "SecureSystem", "run_trace", "overhead"]
+
+
+@dataclass
+class SimReport:
+    """Everything one simulation run produced."""
+
+    label: str
+    cycles: int
+    accesses: int
+    fetches: int
+    loads: int
+    stores: int
+    cache_hits: int
+    cache_misses: int
+    writebacks: int
+    rmw_operations: int
+    bus_transactions: int
+    bus_bytes: int
+    mem_reads: int
+    mem_writes: int
+    engine_extra_read_cycles: int
+    engine_extra_write_cycles: int
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_misses / total if total else 0.0
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per access — the normalized cost metric."""
+        return self.cycles / self.accesses if self.accesses else 0.0
+
+    def overhead_vs(self, baseline: "SimReport") -> float:
+        """Fractional slowdown relative to ``baseline`` (0.25 = +25%)."""
+        if baseline.cycles == 0:
+            return 0.0
+        return self.cycles / baseline.cycles - 1.0
+
+
+class SecureSystem:
+    """A SoC with an optional bus-encryption engine.
+
+    Parameters
+    ----------
+    engine:
+        The EDU under test; ``None`` builds the plaintext baseline.
+    cache_config, mem_config:
+        Geometry/timing of the cache and the external memory.
+    write_buffer:
+        When True (default), writebacks and through-writes are posted: they
+        occupy the bus but do not stall the CPU.  When False every write's
+        full latency lands on the critical path (the pessimistic model the
+        survey's five-step write discussion assumes).
+    issue_cycles:
+        Cycles charged per CPU access before the memory system responds.
+    """
+
+    def __init__(
+        self,
+        engine: Optional[BusEncryptionEngine] = None,
+        cache_config: CacheConfig = CacheConfig(),
+        mem_config: MemoryConfig = MemoryConfig(),
+        write_buffer: bool = True,
+        issue_cycles: int = 1,
+    ):
+        self.engine = engine if engine is not None else NullEngine()
+        self.cache = Cache(cache_config)
+        self.memory = MainMemory(mem_config)
+        self.bus = Bus()
+        self.cycles = 0
+        self.write_buffer = write_buffer
+        self.issue_cycles = issue_cycles
+        self.port = MemoryPort(self.memory, self.bus, clock=lambda: self.cycles)
+        # Plaintext contents of resident lines, keyed by line address.
+        self._line_data: Dict[int, bytearray] = {}
+        self._counts = {kind: 0 for kind in AccessKind}
+
+    # -- content management ---------------------------------------------
+
+    def install_image(self, base_addr: int, plaintext: bytes) -> None:
+        """Offline-encrypt an image into external memory (no cycles charged)."""
+        self.engine.install_image(
+            self.memory, base_addr, plaintext, line_size=self.cache.config.line_size
+        )
+
+    def read_plaintext(self, addr: int, nbytes: int) -> bytes:
+        """Decrypt external memory through the engine (verification helper)."""
+        line_size = self.cache.config.line_size
+        out = bytearray()
+        start = (addr // line_size) * line_size
+        end = -(-(addr + nbytes) // line_size) * line_size
+        for line_addr in range(start, end, line_size):
+            ciphertext = self.memory.dump(line_addr, line_size)
+            out += self.engine.decrypt_line(line_addr, ciphertext)
+        offset = addr - start
+        return bytes(out[offset: offset + nbytes])
+
+    # -- simulation ---------------------------------------------------------
+
+    def _store_data(self, access: Access, data: Optional[bytes]) -> bytes:
+        """Bytes a store writes; deterministic filler when the trace has none."""
+        if data is not None:
+            return data
+        return bytes(
+            (access.addr + i) & 0xFF for i in range(access.size)
+        )
+
+    def step(self, access: Access, data: Optional[bytes] = None) -> None:
+        """Simulate one access."""
+        line_size = self.cache.config.line_size
+        engine = self.engine
+        self.cycles += self.issue_cycles
+        self._counts[access.kind] += 1
+        engine.notify_access(access.addr, access.kind is AccessKind.FETCH)
+
+        if engine.placement is Placement.CPU_CACHE:
+            self.cycles += engine.per_access_cycles()
+
+        result = self.cache.access(access.addr, access.is_write)
+        self.cycles += self.cache.config.hit_latency
+
+        # Evicted victim: drop its plaintext; write it back if dirty.
+        if result.evicted_line is not None:
+            victim_data = self._line_data.pop(result.evicted_line, None)
+            if result.writeback_addr is not None:
+                if victim_data is None:
+                    victim_data = bytearray(line_size)
+                wb_cycles = engine.write_line(
+                    self.port, result.writeback_addr, bytes(victim_data)
+                )
+                if not self.write_buffer:
+                    self.cycles += wb_cycles
+
+        if result.fill_needed:
+            line_addr_bytes = result.line_addr * line_size
+            plaintext, fill_cycles = engine.fill_line(
+                self.port, line_addr_bytes, line_size
+            )
+            self.cycles += fill_cycles
+            self._line_data[result.line_addr] = bytearray(plaintext)
+
+        if access.is_write:
+            payload = self._store_data(access, data)
+            if result.line_addr in self._line_data:
+                line = self._line_data[result.line_addr]
+                offset = access.addr - result.line_addr * line_size
+                end = min(offset + len(payload), line_size)
+                line[offset:end] = payload[: end - offset]
+            if result.through_write:
+                write_cycles = engine.write_partial(
+                    self.port, access.addr, payload, line_size
+                )
+                if not self.write_buffer:
+                    self.cycles += write_cycles
+
+    def run(self, trace: Trace, label: str = "") -> SimReport:
+        """Replay ``trace`` and return the report."""
+        for access in trace:
+            self.step(access)
+        return self.report(label or self.engine.name)
+
+    def flush(self) -> None:
+        """Write back all dirty lines (end-of-run barrier)."""
+        line_size = self.cache.config.line_size
+        for addr in self.cache.flush():
+            data = self._line_data.get(addr // line_size)
+            if data is None:
+                data = bytearray(line_size)
+            cycles = self.engine.write_line(self.port, addr, bytes(data))
+            if not self.write_buffer:
+                self.cycles += cycles
+        self._line_data.clear()
+
+    def report(self, label: str) -> SimReport:
+        return SimReport(
+            label=label,
+            cycles=self.cycles,
+            accesses=sum(self._counts.values()),
+            fetches=self._counts[AccessKind.FETCH],
+            loads=self._counts[AccessKind.LOAD],
+            stores=self._counts[AccessKind.STORE],
+            cache_hits=self.cache.hits,
+            cache_misses=self.cache.misses,
+            writebacks=self.cache.writebacks,
+            rmw_operations=self.engine.stats.rmw_operations,
+            bus_transactions=self.bus.transactions,
+            bus_bytes=self.bus.bytes_transferred,
+            mem_reads=self.memory.reads,
+            mem_writes=self.memory.writes,
+            engine_extra_read_cycles=self.engine.stats.extra_read_cycles,
+            engine_extra_write_cycles=self.engine.stats.extra_write_cycles,
+        )
+
+
+def run_trace(
+    trace: Trace,
+    engine: Optional[BusEncryptionEngine] = None,
+    image: Optional[bytes] = None,
+    image_base: int = 0,
+    label: str = "",
+    **system_kwargs,
+) -> SimReport:
+    """Convenience one-shot: build a system, install an image, run a trace."""
+    system = SecureSystem(engine=engine, **system_kwargs)
+    if image is not None:
+        system.install_image(image_base, image)
+    return system.run(trace, label=label)
+
+
+def overhead(
+    trace: Trace,
+    engine: BusEncryptionEngine,
+    image: Optional[bytes] = None,
+    **system_kwargs,
+) -> float:
+    """Fractional slowdown of ``engine`` vs the plaintext baseline."""
+    secured = run_trace(trace, engine=engine, image=image, **system_kwargs)
+    baseline = run_trace(trace, engine=None, image=image, **system_kwargs)
+    return secured.overhead_vs(baseline)

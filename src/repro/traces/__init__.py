@@ -1,0 +1,32 @@
+"""Workload substrate: access-trace records, synthetic generators and the
+named workload suite the experiments share."""
+
+from .generator import (
+    branchy_code,
+    data_stream,
+    mixed_workload,
+    pointer_chase,
+    random_data,
+    sequential_code,
+    write_burst,
+)
+from .io import TraceFormatError, load_trace, save_trace
+from .trace import Access, AccessKind, Trace, trace_stats
+from .workloads import (
+    MCU_KERNELS,
+    WORKLOAD_NAMES,
+    events_to_trace,
+    make_workload,
+    mcu_workload,
+    standard_suite,
+    synthetic_code_image,
+)
+
+__all__ = [
+    "branchy_code", "data_stream", "mixed_workload", "pointer_chase",
+    "random_data", "sequential_code", "write_burst",
+    "Access", "AccessKind", "Trace", "trace_stats",
+    "TraceFormatError", "load_trace", "save_trace",
+    "MCU_KERNELS", "WORKLOAD_NAMES", "events_to_trace", "make_workload",
+    "mcu_workload", "standard_suite", "synthetic_code_image",
+]

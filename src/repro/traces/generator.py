@@ -1,0 +1,188 @@
+"""Synthetic workload generators.
+
+The surveyed overheads are driven by three workload properties: miss rate,
+sequentiality (how often control flow jumps, §2.2's "random data access
+problem"), and write mix (§2.2's smaller-than-block write penalty).  Each
+generator here sweeps one of those axes; :mod:`repro.traces.workloads` names
+the standard combinations the experiments use.
+
+All generators are deterministic given a :class:`repro.crypto.DRBG` seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..crypto.drbg import DRBG
+from .trace import Access, AccessKind, Trace
+
+__all__ = [
+    "sequential_code",
+    "branchy_code",
+    "data_stream",
+    "random_data",
+    "pointer_chase",
+    "write_burst",
+    "mixed_workload",
+]
+
+
+def sequential_code(
+    n: int,
+    base: int = 0,
+    step: int = 4,
+    code_size: int = 64 * 1024,
+) -> Trace:
+    """Straight-line instruction fetches wrapping within ``code_size``.
+
+    The best case for Gilmont's fetch predictor: the next line is always the
+    one the predictor guessed.
+    """
+    if step <= 0:
+        raise ValueError(f"step must be positive, got {step}")
+    return [
+        Access(AccessKind.FETCH, base + (i * step) % code_size, step)
+        for i in range(n)
+    ]
+
+
+def branchy_code(
+    n: int,
+    rng: DRBG,
+    base: int = 0,
+    p_taken: float = 0.15,
+    code_size: int = 64 * 1024,
+    step: int = 4,
+) -> Trace:
+    """Instruction fetches with probability ``p_taken`` of jumping.
+
+    Jump targets are uniform within the code image — the survey's JUMP
+    problem for chained ciphering modes and fetch predictors.
+    """
+    if not 0.0 <= p_taken <= 1.0:
+        raise ValueError(f"p_taken must be in [0, 1], got {p_taken}")
+    trace: Trace = []
+    pc = base
+    for _ in range(n):
+        trace.append(Access(AccessKind.FETCH, pc, step))
+        if rng.random() < p_taken:
+            pc = base + (rng.randbelow(code_size // step)) * step
+        else:
+            pc = base + ((pc - base) + step) % code_size
+    return trace
+
+
+def data_stream(
+    n: int,
+    rng: DRBG,
+    base: int = 1 << 20,
+    working_set: int = 256 * 1024,
+    write_fraction: float = 0.3,
+    size: int = 4,
+    locality: float = 0.85,
+) -> Trace:
+    """Loads and stores over a working set with tunable spatial locality.
+
+    With probability ``locality`` the next access lands near the previous
+    one (same or next line); otherwise it jumps uniformly in the set.
+    """
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ValueError(f"write_fraction must be in [0, 1], got {write_fraction}")
+    if not 0.0 <= locality <= 1.0:
+        raise ValueError(f"locality must be in [0, 1], got {locality}")
+    trace: Trace = []
+    addr = base
+    span = working_set // size
+    for _ in range(n):
+        kind = AccessKind.STORE if rng.random() < write_fraction else AccessKind.LOAD
+        trace.append(Access(kind, addr, size))
+        if rng.random() < locality:
+            addr = base + ((addr - base) + size) % working_set
+        else:
+            addr = base + rng.randbelow(span) * size
+    return trace
+
+
+def random_data(
+    n: int,
+    rng: DRBG,
+    base: int = 1 << 20,
+    working_set: int = 1 << 20,
+    write_fraction: float = 0.0,
+    size: int = 4,
+) -> Trace:
+    """Uniformly random accesses — the cache-hostile extreme."""
+    return data_stream(
+        n, rng, base=base, working_set=working_set,
+        write_fraction=write_fraction, size=size, locality=0.0,
+    )
+
+
+def pointer_chase(
+    n: int,
+    rng: DRBG,
+    base: int = 1 << 20,
+    nodes: int = 4096,
+    node_size: int = 32,
+) -> Trace:
+    """Follow a random permutation of nodes — serial, unpredictable loads."""
+    order = list(range(nodes))
+    rng.shuffle(order)
+    trace: Trace = []
+    node = 0
+    for _ in range(n):
+        trace.append(Access(AccessKind.LOAD, base + order[node] * node_size, 4))
+        node = (node + 1) % nodes
+    return trace
+
+
+def write_burst(
+    n: int,
+    base: int = 1 << 20,
+    write_size: int = 4,
+    stride: Optional[int] = None,
+    region: int = 512 * 1024,
+) -> Trace:
+    """Back-to-back stores of ``write_size`` bytes — isolates the §2.2
+    read-modify-write penalty (E04)."""
+    if stride is None:
+        stride = write_size
+    return [
+        Access(AccessKind.STORE, base + (i * stride) % region, write_size)
+        for i in range(n)
+    ]
+
+
+def mixed_workload(
+    n: int,
+    rng: DRBG,
+    fetch_fraction: float = 0.7,
+    write_fraction: float = 0.1,
+    p_taken: float = 0.12,
+    code_size: int = 128 * 1024,
+    working_set: int = 256 * 1024,
+) -> Trace:
+    """Interleaved fetch/load/store stream resembling embedded execution.
+
+    ``fetch_fraction`` of accesses are instruction fetches following a
+    branchy PC; the rest are data accesses with ``write_fraction`` stores.
+    """
+    code = branchy_code(n, rng.fork("code"), p_taken=p_taken, code_size=code_size)
+    data_n = max(1, int(n * (1 - fetch_fraction)))
+    wf = write_fraction / max(1e-9, (1 - fetch_fraction))
+    data = data_stream(
+        data_n, rng.fork("data"),
+        write_fraction=min(1.0, wf), working_set=working_set,
+    )
+    trace: Trace = []
+    di = 0
+    for i, fetch in enumerate(code):
+        if len(trace) >= n:
+            break
+        trace.append(fetch)
+        # Insert a data access after the right fraction of fetches.
+        if rng.random() < (1 - fetch_fraction) / max(1e-9, fetch_fraction) \
+                and di < len(data) and len(trace) < n:
+            trace.append(data[di])
+            di += 1
+    return trace[:n]

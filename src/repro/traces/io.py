@@ -1,0 +1,81 @@
+"""Trace file I/O in the classic Dinero ``din`` format.
+
+Interop with the trace-driven-simulation ecosystem the survey's era used:
+one access per line, ``<label> <hex address> [size]``, where the label is
+0 = data read, 1 = data write, 2 = instruction fetch.  Lines starting with
+``#`` (and blank lines) are comments.
+
+>>> from io import StringIO
+>>> buf = StringIO()
+>>> save_trace([Access(AccessKind.FETCH, 0x400, 4)], buf)
+1
+>>> buf.getvalue()
+'2 400 4\\n'
+"""
+
+from __future__ import annotations
+
+from typing import IO, Iterable, List, Union
+
+from .trace import Access, AccessKind, Trace
+
+__all__ = ["save_trace", "load_trace", "TraceFormatError"]
+
+_KIND_TO_LABEL = {
+    AccessKind.LOAD: 0,
+    AccessKind.STORE: 1,
+    AccessKind.FETCH: 2,
+}
+_LABEL_TO_KIND = {v: k for k, v in _KIND_TO_LABEL.items()}
+
+
+class TraceFormatError(ValueError):
+    """Malformed din trace input."""
+
+
+def save_trace(trace: Iterable[Access], destination: Union[str, IO]) -> int:
+    """Write a trace in din format; returns the number of records."""
+    own = isinstance(destination, str)
+    stream = open(destination, "w") if own else destination
+    count = 0
+    try:
+        for access in trace:
+            label = _KIND_TO_LABEL[access.kind]
+            stream.write(f"{label} {access.addr:x} {access.size}\n")
+            count += 1
+    finally:
+        if own:
+            stream.close()
+    return count
+
+
+def load_trace(source: Union[str, IO]) -> Trace:
+    """Read a din-format trace (tolerates the classic 2-column variant)."""
+    own = isinstance(source, str)
+    stream = open(source) if own else source
+    trace: List[Access] = []
+    try:
+        for lineno, raw in enumerate(stream, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise TraceFormatError(
+                    f"line {lineno}: expected 2 or 3 fields, got {len(parts)}"
+                )
+            try:
+                label = int(parts[0])
+                addr = int(parts[1], 16)
+                size = int(parts[2]) if len(parts) == 3 else 4
+            except ValueError as exc:
+                raise TraceFormatError(f"line {lineno}: {exc}") from exc
+            if label not in _LABEL_TO_KIND:
+                raise TraceFormatError(
+                    f"line {lineno}: unknown access label {label}"
+                )
+            trace.append(Access(_LABEL_TO_KIND[label], addr, size))
+    finally:
+        if own:
+            stream.close()
+    return trace

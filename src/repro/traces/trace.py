@@ -1,0 +1,67 @@
+"""Memory-access trace record types.
+
+The CPU model is trace driven: a workload is a sequence of
+:class:`Access` records (instruction fetches, data loads, data stores) that
+the :class:`repro.sim.system.SecureSystem` replays against the cache
+hierarchy and the encryption engine under test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, List
+
+__all__ = ["AccessKind", "Access", "Trace", "trace_stats"]
+
+
+class AccessKind(Enum):
+    """What the CPU is doing on the bus."""
+
+    FETCH = "fetch"   # instruction fetch
+    LOAD = "load"     # data read
+    STORE = "store"   # data write
+
+
+@dataclass(frozen=True)
+class Access:
+    """One CPU memory reference.
+
+    ``addr`` is a byte address; ``size`` the number of bytes referenced.
+    """
+
+    kind: AccessKind
+    addr: int
+    size: int = 4
+
+    def __post_init__(self) -> None:
+        if self.addr < 0:
+            raise ValueError(f"negative address {self.addr}")
+        if self.size <= 0:
+            raise ValueError(f"non-positive size {self.size}")
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is AccessKind.STORE
+
+
+Trace = List[Access]
+
+
+def trace_stats(trace: Iterable[Access]) -> dict:
+    """Summary counts used by workload sanity tests and reports."""
+    counts = {kind: 0 for kind in AccessKind}
+    total_bytes = 0
+    n = 0
+    for access in trace:
+        counts[access.kind] += 1
+        total_bytes += access.size
+        n += 1
+    return {
+        "accesses": n,
+        "fetches": counts[AccessKind.FETCH],
+        "loads": counts[AccessKind.LOAD],
+        "stores": counts[AccessKind.STORE],
+        "bytes": total_bytes,
+        "write_fraction": counts[AccessKind.STORE] / n if n else 0.0,
+    }

@@ -1,0 +1,145 @@
+"""The named workload suite used across experiments.
+
+Five synthetic points spanning the axes the survey cares about, code
+*images* whose statistics resemble embedded binaries (for the compression
+and ECB experiments), and traces derived from *real* MCU kernel executions
+(sort, memcpy, memset, search, checksum) — instruction and data streams of
+actual programs rather than statistical mimics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from ..crypto.drbg import DRBG
+from . import generator
+from .trace import Access, AccessKind, Trace
+
+__all__ = ["standard_suite", "make_workload", "synthetic_code_image",
+           "WORKLOAD_NAMES", "MCU_KERNELS", "events_to_trace",
+           "mcu_workload"]
+
+WORKLOAD_NAMES = (
+    "sequential",
+    "branchy",
+    "data-local",
+    "data-random",
+    "write-heavy",
+    "mixed",
+)
+
+
+def make_workload(name: str, n: int = 20000, seed: int = 2005) -> Trace:
+    """Build one named workload deterministically."""
+    rng = DRBG(seed).fork(name)
+    if name == "sequential":
+        return generator.sequential_code(n, code_size=256 * 1024)
+    if name == "branchy":
+        return generator.branchy_code(n, rng, p_taken=0.25, code_size=256 * 1024)
+    if name == "data-local":
+        return generator.data_stream(
+            n, rng, write_fraction=0.25, locality=0.9, working_set=128 * 1024
+        )
+    if name == "data-random":
+        return generator.random_data(
+            n, rng, working_set=1 << 20, write_fraction=0.2
+        )
+    if name == "write-heavy":
+        return generator.data_stream(
+            n, rng, write_fraction=0.6, locality=0.7, working_set=256 * 1024
+        )
+    if name == "mixed":
+        return generator.mixed_workload(n, rng)
+    raise KeyError(f"unknown workload {name!r}; choose from {WORKLOAD_NAMES}")
+
+
+def standard_suite(n: int = 20000, seed: int = 2005) -> Dict[str, Trace]:
+    """All named workloads."""
+    return {name: make_workload(name, n=n, seed=seed) for name in WORKLOAD_NAMES}
+
+
+#: Kernels available through :func:`mcu_workload`.
+MCU_KERNELS = ("checksum", "fibonacci", "sort", "memset", "memcpy", "search")
+
+
+def events_to_trace(events: Iterable) -> Trace:
+    """Convert MCU step events into a simulator access trace."""
+    trace: List[Access] = []
+    for ev in events:
+        for addr in ev.fetched:
+            trace.append(Access(AccessKind.FETCH, addr, 1))
+        if ev.data_read is not None:
+            trace.append(Access(AccessKind.LOAD, ev.data_read, 1))
+        if ev.data_write is not None:
+            trace.append(Access(AccessKind.STORE, ev.data_write, 1))
+    return trace
+
+
+def mcu_workload(kernel: str, repeat: int = 3, seed: int = 2005) -> Trace:
+    """A trace from actually executing an MCU kernel, ``repeat`` times over.
+
+    Unlike the synthetic generators, these carry the true fetch/load/store
+    interleavings of running code — loops revisit their own instructions,
+    data accesses cluster around real tables.
+    """
+    # Imported here: repro.isa imports repro.crypto, not repro.traces, so
+    # the only cycle risk is at module import time.
+    from ..isa.programs import (
+        bubble_sort_program,
+        checksum_program,
+        fibonacci_program,
+        mcu_trace,
+        memcpy_program,
+        memset_program,
+        string_search_program,
+    )
+
+    sources = {
+        "checksum": lambda: checksum_program(table_len=32),
+        "fibonacci": lambda: fibonacci_program(count=40),
+        "sort": lambda: bubble_sort_program(table_len=12, seed=seed),
+        "memset": lambda: memset_program(length=48),
+        "memcpy": lambda: memcpy_program(length=32, seed=seed),
+        "search": lambda: string_search_program(table_len=48, seed=seed),
+    }
+    if kernel not in sources:
+        raise KeyError(f"unknown kernel {kernel!r}; choose from {MCU_KERNELS}")
+    events = mcu_trace(sources[kernel](), memory_size=2048, max_steps=50000)
+    single = events_to_trace(events)
+    return single * max(1, repeat)
+
+
+def synthetic_code_image(
+    size: int = 64 * 1024,
+    seed: int = 2005,
+    opcode_skew: float = 0.8,
+    idiom_fraction: float = 0.3,
+) -> bytes:
+    """A code-like byte image with realistic redundancy.
+
+    Real instruction streams have a heavily skewed opcode histogram and many
+    repeated multi-word idioms (prologues, load-immediate pairs).  The image
+    is built from a small pool of 4-byte "instructions" drawn with a skewed
+    distribution, with whole idiom sequences (16 bytes) pasted in at
+    ``idiom_fraction`` — enough structure for CodePack to reach its
+    published compression range and for ECB to leak repeats.
+    """
+    if size % 4 != 0:
+        raise ValueError(f"size must be a multiple of 4, got {size}")
+    rng = DRBG(seed).fork("code-image")
+    # Instruction pool: a few very common words, a tail of rarer ones.
+    common = [bytes([rng.randbits(8) for _ in range(4)]) for _ in range(16)]
+    rare = [bytes([rng.randbits(8) for _ in range(4)]) for _ in range(240)]
+    idioms = [
+        b"".join(rng.choice(common) for _ in range(4)) for _ in range(8)
+    ]
+    out = bytearray()
+    while len(out) < size:
+        roll = rng.random()
+        if roll < idiom_fraction:
+            out += rng.choice(idioms)
+        elif roll < idiom_fraction + (1 - idiom_fraction) * opcode_skew:
+            out += rng.choice(common)
+        else:
+            out += rng.choice(rare)
+    return bytes(out[:size])

@@ -1,0 +1,116 @@
+"""AES: FIPS 197 vectors, S-box algebra, structure, errors."""
+
+import pytest
+
+from repro.crypto import AES
+from repro.crypto.aes import INV_SBOX, SBOX, gf_mul
+
+
+class TestFIPSVectors:
+    PLAIN = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+    def test_aes128_appendix_c1(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        assert AES(key).encrypt_block(self.PLAIN).hex() == \
+            "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+    def test_aes192_appendix_c2(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f1011121314151617")
+        assert AES(key).encrypt_block(self.PLAIN).hex() == \
+            "dda97ca4864cdfe06eaf70a0ec0d7191"
+
+    def test_aes256_appendix_c3(self):
+        key = bytes.fromhex(
+            "000102030405060708090a0b0c0d0e0f"
+            "101112131415161718191a1b1c1d1e1f"
+        )
+        assert AES(key).encrypt_block(self.PLAIN).hex() == \
+            "8ea2b7ca516745bfeafc49904b496089"
+
+    def test_aes128_appendix_b(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plain = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        assert AES(key).encrypt_block(plain).hex() == \
+            "3925841d02dc09fbdc118597196a0b32"
+
+    @pytest.mark.parametrize("key_len", [16, 24, 32])
+    def test_decrypt_inverts_fips_vectors(self, key_len):
+        key = bytes(range(key_len))
+        aes = AES(key)
+        assert aes.decrypt_block(aes.encrypt_block(self.PLAIN)) == self.PLAIN
+
+
+class TestSboxAlgebra:
+    def test_sbox_is_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+    def test_inv_sbox_inverts(self):
+        for v in range(256):
+            assert INV_SBOX[SBOX[v]] == v
+
+    def test_sbox_known_entries(self):
+        # FIPS 197 Figure 7 corners.
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x01] == 0x7C
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+    def test_sbox_has_no_fixed_points(self):
+        assert all(SBOX[v] != v for v in range(256))
+
+    def test_gf_mul_identity(self):
+        for v in (0, 1, 0x53, 0xFF):
+            assert gf_mul(v, 1) == v
+
+    def test_gf_mul_known_product(self):
+        # FIPS 197 §4.2: {57} x {83} = {c1}
+        assert gf_mul(0x57, 0x83) == 0xC1
+
+    def test_gf_mul_commutative(self):
+        for a, b in [(3, 7), (0x57, 0x13), (0xAA, 0x55)]:
+            assert gf_mul(a, b) == gf_mul(b, a)
+
+    def test_gf_mul_distributes_over_xor(self):
+        a, b, c = 0x57, 0x83, 0x1F
+        assert gf_mul(a, b ^ c) == gf_mul(a, b) ^ gf_mul(a, c)
+
+
+class TestStructure:
+    def test_roundtrip_various_keys(self):
+        for key_len in (16, 24, 32):
+            aes = AES(bytes(range(100, 100 + key_len)))
+            for i in range(8):
+                block = bytes([(i * 31 + j) & 0xFF for j in range(16)])
+                assert aes.decrypt_block(aes.encrypt_block(block)) == block
+
+    def test_avalanche(self):
+        aes = AES(b"0123456789abcdef")
+        a = aes.encrypt_block(bytes(16))
+        b = aes.encrypt_block(bytes([1] + [0] * 15))
+        diff = sum(bin(x ^ y).count("1") for x, y in zip(a, b))
+        assert 40 <= diff <= 88
+
+    def test_key_sensitivity(self):
+        block = bytes(16)
+        a = AES(b"0123456789abcdef").encrypt_block(block)
+        b = AES(b"0123456789abcdeg").encrypt_block(block)
+        assert a != b
+
+    def test_rounds_by_key_size(self):
+        assert AES(bytes(16))._rounds == 10
+        assert AES(bytes(24))._rounds == 12
+        assert AES(bytes(32))._rounds == 14
+
+
+class TestErrors:
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            AES(bytes(15))
+
+    def test_bad_block_length(self):
+        with pytest.raises(ValueError):
+            AES(bytes(16)).encrypt_block(bytes(15))
+
+    def test_bad_block_length_decrypt(self):
+        with pytest.raises(ValueError):
+            AES(bytes(16)).decrypt_block(bytes(17))

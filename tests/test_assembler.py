@@ -1,0 +1,118 @@
+"""Two-pass assembler: encodings, labels, directives, errors."""
+
+import pytest
+
+from repro.isa import AssemblerError, Op, assemble
+
+
+class TestEncodings:
+    def test_mov_a_imm(self):
+        assert assemble("MOV A, #0x42") == bytes([Op.MOV_A_IMM, 0x42])
+
+    def test_mov_a_dir(self):
+        assert assemble("MOV A, 0x1234") == bytes([Op.MOV_A_DIR, 0x34, 0x12])
+
+    def test_mov_dir_a(self):
+        assert assemble("MOV 0x80, A") == bytes([Op.MOV_DIR_A, 0x80, 0x00])
+
+    def test_mov_register_forms(self):
+        assert assemble("MOV R3, #9") == bytes([Op.MOV_R_IMM, 3, 9])
+        assert assemble("MOV A, R5") == bytes([Op.MOV_A_R, 5])
+        assert assemble("MOV R2, A") == bytes([Op.MOV_R_A, 2])
+
+    def test_alu_immediates(self):
+        assert assemble("ADD A, #1") == bytes([Op.ADD_A_IMM, 1])
+        assert assemble("XRL A, #2") == bytes([Op.XRL_A_IMM, 2])
+        assert assemble("ANL A, #3") == bytes([Op.ANL_A_IMM, 3])
+        assert assemble("ORL A, #4") == bytes([Op.ORL_A_IMM, 4])
+
+    def test_alu_registers(self):
+        assert assemble("ADD A, R1") == bytes([Op.ADD_A_R, 1])
+        assert assemble("SUB A, R2") == bytes([Op.SUB_A_R, 2])
+
+    def test_inc_dec(self):
+        assert assemble("INC") == bytes([Op.INC_A])
+        assert assemble("INC A") == bytes([Op.INC_A])
+        assert assemble("INC R7") == bytes([Op.INC_R, 7])
+        assert assemble("DEC") == bytes([Op.DEC_A])
+
+    def test_control_flow(self):
+        assert assemble("JMP 0x0005") == bytes([Op.JMP, 5, 0])
+        assert assemble("JZ 10") == bytes([Op.JZ, 10, 0])
+        assert assemble("DJNZ R1, 0") == bytes([Op.DJNZ, 1, 0, 0])
+        assert assemble("RET") == bytes([Op.RET])
+
+    def test_simple_ops(self):
+        assert assemble("NOP") == bytes([Op.NOP])
+        assert assemble("OUT") == bytes([Op.OUT])
+        assert assemble("HALT") == bytes([Op.HALT])
+        assert assemble("MOVI") == bytes([Op.MOVI_A])
+        assert assemble("MOVIST") == bytes([Op.MOVI_ST])
+
+    def test_decimal_and_hex(self):
+        assert assemble("MOV A, #255") == assemble("MOV A, #0xFF")
+
+
+class TestLabels:
+    def test_forward_reference(self):
+        code = assemble("JMP end\n NOP\n end: HALT")
+        assert code == bytes([Op.JMP, 4, 0, Op.NOP, Op.HALT])
+
+    def test_backward_reference(self):
+        code = assemble("start: NOP\n JMP start")
+        assert code == bytes([Op.NOP, Op.JMP, 0, 0])
+
+    def test_label_on_own_line(self):
+        code = assemble("loop:\n NOP\n JMP loop")
+        assert code == bytes([Op.NOP, Op.JMP, 0, 0])
+
+    def test_unresolved_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("JMP nowhere")
+
+
+class TestDirectives:
+    def test_org(self):
+        code = assemble("NOP\n .org 0x10\n HALT")
+        assert code[0] == Op.NOP
+        assert code[0x10] == Op.HALT
+        assert len(code) == 0x11
+
+    def test_byte(self):
+        code = assemble(".byte 1, 2, 0xFF")
+        assert code == bytes([1, 2, 0xFF])
+
+    def test_comments_ignored(self):
+        assert assemble("NOP ; comment\n; whole line\nHALT") == \
+            bytes([Op.NOP, Op.HALT])
+
+    def test_size_parameter(self):
+        code = assemble("NOP", size=16)
+        assert len(code) == 16
+
+    def test_empty_source(self):
+        assert assemble("") == b""
+        assert assemble("", size=8) == bytes(8)
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError):
+            assemble("FLY A, #1")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError):
+            assemble("MOV A, R9")
+
+    def test_sub_immediate_unsupported(self):
+        """The ISA design choice the Kuhn model leans on (see mcu.py)."""
+        with pytest.raises(AssemblerError):
+            assemble("SUB A, #1")
+
+    def test_mov_needs_two_operands(self):
+        with pytest.raises(AssemblerError):
+            assemble("MOV A")
+
+    def test_bad_number(self):
+        with pytest.raises(AssemblerError):
+            assemble("MOV A, #zz")

@@ -1,0 +1,117 @@
+"""Birthday/IV analysis and brute-force lifetime modeling."""
+
+import math
+
+import pytest
+
+from repro.attacks import (
+    CLASS_I_ADVERSARY,
+    CLASS_III_ADVERSARY,
+    collision_probability,
+    count_collisions,
+    effective_key_bits_after,
+    expected_writes_to_collision,
+    first_collision_index,
+    moore_speedup,
+    years_to_break,
+)
+from repro.core import AegisEngine
+from repro.crypto import DRBG
+
+KEY = b"0123456789abcdef"
+
+
+class TestBirthdayMath:
+    def test_zero_or_one_write_never_collides(self):
+        assert collision_probability(0, 32) == 0.0
+        assert collision_probability(1, 32) == 0.0
+
+    def test_full_space_certain(self):
+        assert collision_probability(2 ** 8, 8) == 1.0
+
+    def test_classic_birthday_paradox(self):
+        """23 people, 365 days ~ 50%: sanity anchor with ~2^8.5 space."""
+        # Use the formula with vector space 365 ~ 8.51 bits.
+        p = 1 - math.exp(-23 * 22 / (2 * 365))
+        assert 0.4 < p < 0.6  # the anchor itself
+
+    def test_monotone_in_writes(self):
+        probs = [collision_probability(n, 32) for n in (10, 1000, 100000)]
+        assert probs == sorted(probs)
+
+    def test_expected_writes_scale(self):
+        """sqrt scaling: 32-bit vectors collide near 2^16 writes."""
+        expected = expected_writes_to_collision(32)
+        assert 2 ** 15 < expected < 2 ** 18
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            collision_probability(10, 0)
+        with pytest.raises(ValueError):
+            expected_writes_to_collision(-1)
+
+
+class TestEmpiricalCollisions:
+    def test_count_and_first_index(self):
+        vectors = [1, 2, 3, 2, 1, 4]
+        assert count_collisions(vectors) == 2
+        assert first_collision_index(vectors) == 3
+
+    def test_no_collisions(self):
+        assert count_collisions(range(100)) == 0
+        assert first_collision_index(list(range(100))) == -1
+
+    def test_aegis_random_iv_collides_at_birthday_scale(self):
+        """A (deliberately narrow) 8-bit random vector collides within a
+        few dozen writes — the attack AEGIS's counter mode prevents."""
+        engine = AegisEngine(KEY, iv_mode="random", vector_bits=8,
+                             rng=DRBG(11))
+        line = bytes(32)
+        for i in range(64):
+            engine.encrypt_line(i * 32, line)
+        assert count_collisions(engine.issued_vectors) > 0
+
+    def test_aegis_counter_iv_never_collides(self):
+        engine = AegisEngine(KEY, iv_mode="counter", vector_bits=8)
+        line = bytes(32)
+        for i in range(200):
+            engine.encrypt_line(i * 32, line)
+        # Counter wraps at 256; within 200 writes: zero collisions.
+        assert count_collisions(engine.issued_vectors) == 0
+
+    def test_aegis_rejects_bad_iv_mode(self):
+        with pytest.raises(ValueError):
+            AegisEngine(KEY, iv_mode="timestamp")
+        with pytest.raises(ValueError):
+            AegisEngine(KEY, vector_bits=0)
+
+
+class TestBruteForce:
+    def test_moore_speedup(self):
+        assert moore_speedup(0) == 1.0
+        assert moore_speedup(1.5) == pytest.approx(2.0)
+        assert moore_speedup(15) == pytest.approx(2 ** 10)
+
+    def test_effective_bits_decay(self):
+        """The survey's 10-year lifetime costs ~6.7 bits of margin."""
+        assert effective_key_bits_after(56, 10) == pytest.approx(56 - 10 / 1.5)
+
+    def test_years_to_break_scales_exponentially(self):
+        fast = years_to_break(40, 1e9)
+        slow = years_to_break(56, 1e9)
+        assert slow / fast == pytest.approx(2 ** 16)
+
+    def test_des_falls_to_class_iii(self):
+        """56-bit DES (the DS5240's single-DES option) is inside a funded
+        organization's 10-year budget; AES-128 is not."""
+        assert CLASS_III_ADVERSARY.breaks_within_lifetime(56)
+        assert not CLASS_III_ADVERSARY.breaks_within_lifetime(128)
+
+    def test_class_i_cannot_touch_des(self):
+        assert not CLASS_I_ADVERSARY.breaks_within_lifetime(56)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            years_to_break(56, 0)
+        with pytest.raises(ValueError):
+            moore_speedup(-1)

@@ -1,0 +1,162 @@
+"""Set-associative cache: geometry, LRU, write policies, eviction flow."""
+
+import pytest
+
+from repro.sim import Cache, CacheConfig, WritePolicy
+
+
+def make_cache(**kwargs) -> Cache:
+    defaults = dict(size=1024, line_size=32, associativity=2)
+    defaults.update(kwargs)
+    return Cache(CacheConfig(**defaults))
+
+
+class TestGeometry:
+    def test_num_sets(self):
+        cfg = CacheConfig(size=1024, line_size=32, associativity=2)
+        assert cfg.num_sets == 16
+
+    def test_direct_mapped(self):
+        cfg = CacheConfig(size=1024, line_size=32, associativity=1)
+        assert cfg.num_sets == 32
+
+    def test_fully_associative(self):
+        cfg = CacheConfig(size=1024, line_size=32, associativity=32)
+        assert cfg.num_sets == 1
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size=1000, line_size=32, associativity=2)
+        with pytest.raises(ValueError):
+            CacheConfig(size=0)
+        with pytest.raises(ValueError):
+            CacheConfig(size=1024, line_size=24, associativity=1)
+
+
+class TestHitMiss:
+    def test_cold_miss_then_hit(self):
+        cache = make_cache()
+        first = cache.access(0x100, is_write=False)
+        assert not first.hit and first.fill_needed
+        second = cache.access(0x100, is_write=False)
+        assert second.hit
+
+    def test_same_line_different_offsets_hit(self):
+        cache = make_cache(line_size=32)
+        cache.access(0x100, is_write=False)
+        assert cache.access(0x11F, is_write=False).hit
+        assert not cache.access(0x120, is_write=False).hit
+
+    def test_contains_without_lru_update(self):
+        cache = make_cache()
+        cache.access(0x100, is_write=False)
+        assert cache.contains(0x100)
+        assert not cache.contains(0x200)
+
+    def test_stats_counters(self):
+        cache = make_cache()
+        cache.access(0, False)
+        cache.access(0, False)
+        cache.access(64, False)
+        assert cache.hits == 1
+        assert cache.misses == 2
+        assert cache.miss_rate == pytest.approx(2 / 3)
+
+    def test_reset_stats(self):
+        cache = make_cache()
+        cache.access(0, False)
+        cache.reset_stats()
+        assert cache.hits == cache.misses == 0
+
+
+class TestLRU:
+    def test_lru_victim_selection(self):
+        # 2-way: lines mapping to set 0 are multiples of 16 lines.
+        cache = make_cache()  # 16 sets, 2 ways, line 32
+        stride = 16 * 32      # same set
+        cache.access(0 * stride, False)
+        cache.access(1 * stride, False)
+        cache.access(0 * stride, False)          # touch 0: now MRU
+        result = cache.access(2 * stride, False)  # evicts line 1
+        assert result.evicted_line == stride // 32
+        assert cache.contains(0)
+        assert not cache.contains(stride)
+
+    def test_associativity_capacity(self):
+        cache = make_cache()
+        stride = 16 * 32
+        cache.access(0 * stride, False)
+        cache.access(1 * stride, False)
+        assert cache.access(0 * stride, False).hit
+        assert cache.access(1 * stride, False).hit
+
+
+class TestWriteBack:
+    def test_store_hit_marks_dirty_no_traffic(self):
+        cache = make_cache()
+        cache.access(0x100, False)
+        result = cache.access(0x100, True)
+        assert result.hit and not result.through_write
+
+    def test_dirty_eviction_writes_back(self):
+        cache = make_cache()
+        stride = 16 * 32
+        cache.access(0, True)               # allocate dirty
+        cache.access(stride, False)
+        result = cache.access(2 * stride, False)
+        assert result.writeback_addr == 0
+        assert cache.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        cache = make_cache()
+        stride = 16 * 32
+        cache.access(0, False)
+        cache.access(stride, False)
+        result = cache.access(2 * stride, False)
+        assert result.writeback_addr is None
+        assert result.evicted_line == 0
+
+    def test_store_miss_allocates(self):
+        cache = make_cache()
+        result = cache.access(0x300, True)
+        assert result.fill_needed
+        assert cache.contains(0x300)
+
+    def test_flush_returns_dirty_lines(self):
+        cache = make_cache()
+        cache.access(0, True)
+        cache.access(64, False)
+        dirty = cache.flush()
+        assert dirty == [0]
+        assert not cache.contains(0)
+        assert not cache.contains(64)
+
+
+class TestWriteThrough:
+    def test_store_hit_propagates(self):
+        cache = make_cache(write_policy=WritePolicy.WRITE_THROUGH)
+        cache.access(0x100, False)
+        result = cache.access(0x100, True)
+        assert result.hit and result.through_write
+
+    def test_no_write_allocate_bypasses(self):
+        cache = make_cache(
+            write_policy=WritePolicy.WRITE_THROUGH, write_allocate=False
+        )
+        result = cache.access(0x100, True)
+        assert not result.hit
+        assert not result.fill_needed
+        assert result.through_write
+        assert not cache.contains(0x100)
+
+    def test_write_allocate_fills_and_propagates(self):
+        cache = make_cache(write_policy=WritePolicy.WRITE_THROUGH)
+        result = cache.access(0x100, True)
+        assert result.fill_needed and result.through_write
+
+    def test_no_writebacks_ever(self):
+        cache = make_cache(write_policy=WritePolicy.WRITE_THROUGH)
+        stride = 16 * 32
+        for i in range(4):
+            cache.access(i * stride, True)
+        assert cache.writebacks == 0

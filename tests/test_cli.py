@@ -1,0 +1,62 @@
+"""CLI: every subcommand runs and produces the expected structure."""
+
+import pytest
+
+from repro.cli import ENGINE_FACTORIES, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for cmd in ("list", "survey", "area"):
+            args = parser.parse_args([cmd])
+            assert args.command == cmd
+
+    def test_overhead_defaults(self):
+        args = build_parser().parse_args(["overhead", "stream"])
+        assert args.workload == "mixed"
+        assert args.accesses == 4000
+
+    def test_bad_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["overhead", "stream", "not-a-load"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "aegis" in out and "Workloads:" in out
+
+    def test_overhead(self, capsys):
+        rc = main(["overhead", "stream", "sequential", "--accesses", "500"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "overhead" in out and "stream" in out
+
+    def test_overhead_unknown_engine(self, capsys):
+        assert main(["overhead", "quantum"]) == 2
+
+    def test_attack(self, capsys):
+        rc = main(["attack", "--quiet", "--memory", "256"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "256/256" in out
+
+    def test_protocol(self, capsys):
+        rc = main(["protocol", "--size", "512", "--key-bits", "256"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "eavesdropper saw K" in out
+        assert "False" in out
+
+    def test_area(self, capsys):
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        for name in ENGINE_FACTORIES:
+            engine_name = ENGINE_FACTORIES[name]().name
+            assert engine_name in out

@@ -1,0 +1,80 @@
+"""Correlation attack on the Geffe generator: the 'sufficiently random'
+requirement of §4, enforced experimentally."""
+
+import pytest
+
+from repro.attacks import (
+    correlate,
+    geffe_correlation_attack,
+    recover_register,
+)
+from repro.crypto.lfsr import LFSR, GeffeGenerator
+
+# Small maximal-length registers keep the search test-sized.
+TAPS_A = (9, 5)
+TAPS_B = (10, 7)
+TAPS_C = (11, 9)
+SEEDS = (0x1AB, 0x2CD, 0x3EF)
+
+
+def keystream(n=300, seeds=SEEDS):
+    gen = GeffeGenerator(*seeds, taps_a=TAPS_A, taps_b=TAPS_B, taps_c=TAPS_C)
+    return [gen.step() for _ in range(n)]
+
+
+class TestCorrelate:
+    def test_identical(self):
+        assert correlate([1, 0, 1], [1, 0, 1]) == 1.0
+
+    def test_opposite(self):
+        assert correlate([1, 0], [0, 1]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            correlate([1], [1, 0])
+        with pytest.raises(ValueError):
+            correlate([], [])
+
+
+class TestRecoverRegister:
+    def test_finds_correct_seed(self):
+        ks = keystream()
+        assert recover_register(ks, TAPS_B) == SEEDS[1]
+
+    def test_wrong_taps_find_nothing(self):
+        ks = keystream()
+        assert recover_register(ks, (8, 6, 5, 4), threshold=0.72) is None
+
+    def test_correlation_level_is_three_quarters(self):
+        """The structural 75% bias that makes the attack work."""
+        ks = keystream(n=2000)
+        bits_b = LFSR(TAPS_B, SEEDS[1]).bits(2000)
+        assert 0.70 < correlate(bits_b, ks) < 0.80
+
+
+class TestFullAttack:
+    def test_recovers_all_seeds(self):
+        result = geffe_correlation_attack(keystream(), TAPS_A, TAPS_B, TAPS_C)
+        assert result.succeeded
+        assert (result.seed_a, result.seed_b, result.seed_c) == SEEDS
+
+    def test_recovered_seeds_regenerate_keystream(self):
+        ks = keystream()
+        result = geffe_correlation_attack(ks, TAPS_A, TAPS_B, TAPS_C)
+        clone = GeffeGenerator(result.seed_a, result.seed_b, result.seed_c,
+                               taps_a=TAPS_A, taps_b=TAPS_B, taps_c=TAPS_C)
+        assert [clone.step() for _ in range(len(ks))] == ks
+
+    def test_divide_and_conquer_speedup(self):
+        """2^|b| + 2^|c| + 2^|a| instead of 2^(|a|+|b|+|c|)."""
+        result = geffe_correlation_attack(keystream(), TAPS_A, TAPS_B, TAPS_C)
+        assert result.naive_keyspace == 1 << 30
+        assert result.candidates_tested < 1 << 13
+        assert result.speedup > 100_000
+
+    def test_different_seeds_also_fall(self):
+        ks = keystream(seeds=(0x17, 0x89, 0x41))
+        result = geffe_correlation_attack(ks, TAPS_A, TAPS_B, TAPS_C)
+        assert result.succeeded
+        assert (result.seed_a, result.seed_b, result.seed_c) == \
+            (0x17, 0x89, 0x41)

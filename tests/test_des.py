@@ -1,0 +1,128 @@
+"""DES / 3DES: FIPS vectors, structure, and error handling."""
+
+import pytest
+
+from repro.crypto import DES, TripleDES
+
+
+class TestDESVectors:
+    def test_all_zero_key_and_block(self):
+        assert DES(bytes(8)).encrypt_block(bytes(8)).hex() == "8ca64de9c1b123a7"
+
+    def test_classic_walkthrough_vector(self):
+        # The widely published FIPS walkthrough pair.
+        key = bytes.fromhex("133457799BBCDFF1")
+        plain = bytes.fromhex("0123456789ABCDEF")
+        assert DES(key).encrypt_block(plain).hex() == "85e813540f0ab405"
+
+    def test_all_ones(self):
+        key = bytes.fromhex("FFFFFFFFFFFFFFFF")
+        plain = bytes.fromhex("FFFFFFFFFFFFFFFF")
+        assert DES(key).encrypt_block(plain).hex() == "7359b2163e4edc58"
+
+    def test_known_vector_3(self):
+        key = bytes.fromhex("0113B970FD34F2CE")
+        plain = bytes.fromhex("059B5E0851CF143A")
+        assert DES(key).encrypt_block(plain).hex() == "86a560f10ec6d85b"
+
+
+class TestDESStructure:
+    def test_roundtrip(self):
+        des = DES(b"8bytekey")
+        block = b"ABCDEFGH"
+        assert des.decrypt_block(des.encrypt_block(block)) == block
+
+    def test_roundtrip_many_blocks(self):
+        des = DES(b"\x01\x23\x45\x67\x89\xab\xcd\xef")
+        for i in range(32):
+            block = bytes([(i * 17 + j) & 0xFF for j in range(8)])
+            assert des.decrypt_block(des.encrypt_block(block)) == block
+
+    def test_encryption_is_not_identity(self):
+        des = DES(b"8bytekey")
+        assert des.encrypt_block(bytes(8)) != bytes(8)
+
+    def test_different_keys_different_ciphertext(self):
+        block = b"constant"
+        assert DES(b"key-one!").encrypt_block(block) != \
+            DES(b"key-two!").encrypt_block(block)
+
+    def test_avalanche_one_plaintext_bit(self):
+        """Flipping one input bit flips roughly half the output bits."""
+        des = DES(b"avalanch")
+        a = des.encrypt_block(bytes(8))
+        b = des.encrypt_block(bytes([0x80] + [0] * 7))
+        diff = sum(bin(x ^ y).count("1") for x, y in zip(a, b))
+        assert 16 <= diff <= 48
+
+    def test_avalanche_one_key_bit(self):
+        block = bytes(8)
+        a = DES(bytes(8)).encrypt_block(block)
+        # Flip a non-parity key bit (bit 2 of first byte).
+        b = DES(bytes([0x04] + [0] * 7)).encrypt_block(block)
+        diff = sum(bin(x ^ y).count("1") for x, y in zip(a, b))
+        assert 16 <= diff <= 48
+
+    def test_complementation_property(self):
+        """DES's complementation: E_~k(~p) == ~E_k(p)."""
+        key = bytes.fromhex("133457799BBCDFF1")
+        plain = bytes.fromhex("0123456789ABCDEF")
+        ct = DES(key).encrypt_block(plain)
+        comp_key = bytes(b ^ 0xFF for b in key)
+        comp_plain = bytes(b ^ 0xFF for b in plain)
+        comp_ct = DES(comp_key).encrypt_block(comp_plain)
+        assert comp_ct == bytes(b ^ 0xFF for b in ct)
+
+
+class TestDESErrors:
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            DES(b"short")
+
+    def test_bad_block_length_encrypt(self):
+        with pytest.raises(ValueError):
+            DES(b"8bytekey").encrypt_block(b"tiny")
+
+    def test_bad_block_length_decrypt(self):
+        with pytest.raises(ValueError):
+            DES(b"8bytekey").decrypt_block(b"way-too-long!")
+
+
+class TestTripleDES:
+    def test_roundtrip_24_byte_key(self):
+        tdes = TripleDES(bytes(range(24)))
+        block = b"3DES-blk"
+        assert tdes.decrypt_block(tdes.encrypt_block(block)) == block
+
+    def test_roundtrip_16_byte_key(self):
+        tdes = TripleDES(bytes(range(16)))
+        block = b"3DES-blk"
+        assert tdes.decrypt_block(tdes.encrypt_block(block)) == block
+
+    def test_degenerates_to_single_des_with_equal_keys(self):
+        key = b"8bytekey"
+        block = b"whatever"
+        assert TripleDES(key).encrypt_block(block) == \
+            DES(key).encrypt_block(block)
+
+    def test_degenerates_with_repeated_24_byte_key(self):
+        key = b"8bytekey"
+        assert TripleDES(key * 3).encrypt_block(b"whatever") == \
+            DES(key).encrypt_block(b"whatever")
+
+    def test_three_distinct_keys_differ_from_single(self):
+        block = b"whatever"
+        assert TripleDES(bytes(range(24))).encrypt_block(block) != \
+            DES(bytes(range(8))).encrypt_block(block)
+
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            TripleDES(bytes(10))
+
+    def test_known_3des_vector(self):
+        # SP 800-67 style EDE with K1=K2=K3 equals single DES on the
+        # published pair — cross-checks the EDE ordering.
+        key = bytes.fromhex("133457799BBCDFF1")
+        plain = bytes.fromhex("0123456789ABCDEF")
+        assert TripleDES(key * 3).encrypt_block(plain).hex() == \
+            "85e813540f0ab405"

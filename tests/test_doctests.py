@@ -1,0 +1,28 @@
+"""Run the documented examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.crypto.aes
+import repro.crypto.des
+import repro.crypto.rc4
+import repro.isa.assembler
+import repro.traces.io
+
+DOCTESTED_MODULES = [
+    repro.crypto.aes,
+    repro.crypto.des,
+    repro.crypto.rc4,
+    repro.isa.assembler,
+    repro.traces.io,
+]
+
+
+@pytest.mark.parametrize(
+    "module", DOCTESTED_MODULES, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0

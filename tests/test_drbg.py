@@ -1,0 +1,102 @@
+"""Deterministic RNG: reproducibility, ranges, derived streams."""
+
+import pytest
+
+from repro.crypto import DRBG
+from repro.compression import shannon_entropy
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        assert DRBG(42).random_bytes(64) == DRBG(42).random_bytes(64)
+
+    def test_different_seeds_differ(self):
+        assert DRBG(42).random_bytes(64) != DRBG(43).random_bytes(64)
+
+    def test_seed_types(self):
+        for seed in (0, "string-seed", b"bytes-seed"):
+            rng = DRBG(seed)
+            assert len(rng.random_bytes(8)) == 8
+
+    def test_fork_independence(self):
+        root = DRBG(42)
+        a = root.fork("a").random_bytes(32)
+        b = root.fork("b").random_bytes(32)
+        assert a != b
+
+    def test_fork_reproducible(self):
+        assert DRBG(42).fork("x").random_bytes(16) == \
+            DRBG(42).fork("x").random_bytes(16)
+
+    def test_fork_does_not_consume_parent(self):
+        root1, root2 = DRBG(42), DRBG(42)
+        root1.fork("a")
+        assert root1.random_bytes(16) == root2.random_bytes(16)
+
+
+class TestRanges:
+    def test_randbits_width(self):
+        rng = DRBG(1)
+        for bits in (1, 7, 8, 13, 64):
+            for _ in range(20):
+                assert 0 <= rng.randbits(bits) < (1 << bits)
+
+    def test_randbelow_bounds(self):
+        rng = DRBG(1)
+        for n in (1, 2, 10, 1000):
+            for _ in range(20):
+                assert 0 <= rng.randbelow(n) < n
+
+    def test_randbelow_covers_range(self):
+        rng = DRBG(1)
+        seen = {rng.randbelow(4) for _ in range(200)}
+        assert seen == {0, 1, 2, 3}
+
+    def test_randbelow_invalid(self):
+        with pytest.raises(ValueError):
+            DRBG(1).randbelow(0)
+
+    def test_randint_inclusive(self):
+        rng = DRBG(1)
+        values = {rng.randint(5, 7) for _ in range(100)}
+        assert values == {5, 6, 7}
+
+    def test_randint_empty_range(self):
+        with pytest.raises(ValueError):
+            DRBG(1).randint(5, 4)
+
+    def test_random_unit_interval(self):
+        rng = DRBG(1)
+        for _ in range(50):
+            x = rng.random()
+            assert 0.0 <= x < 1.0
+
+
+class TestCollections:
+    def test_choice(self):
+        rng = DRBG(1)
+        items = ["a", "b", "c"]
+        assert all(rng.choice(items) in items for _ in range(30))
+
+    def test_choice_empty(self):
+        with pytest.raises(ValueError):
+            DRBG(1).choice([])
+
+    def test_shuffle_is_permutation(self):
+        rng = DRBG(1)
+        items = list(range(50))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+        assert shuffled != items  # astronomically unlikely to be identity
+
+
+class TestQuality:
+    def test_byte_entropy(self):
+        data = DRBG(7).random_bytes(16384)
+        assert shannon_entropy(data) > 7.9
+
+    def test_mean_near_half(self):
+        rng = DRBG(7)
+        mean = sum(rng.random() for _ in range(2000)) / 2000
+        assert 0.45 < mean < 0.55

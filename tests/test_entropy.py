@@ -1,0 +1,95 @@
+"""Entropy estimators and the compress-before-encrypt ordering claim."""
+
+import pytest
+
+from repro.compression import (
+    block_collision_rate,
+    byte_histogram,
+    chi_square_uniform,
+    lz77_compress,
+    redundancy,
+    shannon_entropy,
+)
+from repro.crypto import AES, CTR, DRBG
+
+
+class TestShannonEntropy:
+    def test_empty(self):
+        assert shannon_entropy(b"") == 0.0
+
+    def test_constant(self):
+        assert shannon_entropy(b"\x00" * 100) == 0.0
+
+    def test_two_equal_symbols(self):
+        assert shannon_entropy(b"ab" * 50) == pytest.approx(1.0)
+
+    def test_uniform_max(self):
+        assert shannon_entropy(bytes(range(256)) * 4) == pytest.approx(8.0)
+
+    def test_bounds(self):
+        data = b"some typical english-like text with structure"
+        assert 0.0 < shannon_entropy(data) < 8.0
+
+
+class TestRedundancy:
+    def test_constant_is_fully_redundant(self):
+        assert redundancy(b"\x00" * 64) == pytest.approx(1.0)
+
+    def test_uniform_has_none(self):
+        assert redundancy(bytes(range(256)) * 2) == pytest.approx(0.0)
+
+
+class TestCollisionRate:
+    def test_no_duplicates(self):
+        data = bytes(range(64))
+        assert block_collision_rate(data, 8) == 0.0
+
+    def test_all_duplicates(self):
+        data = b"ABCDEFGH" * 8
+        assert block_collision_rate(data, 8) == pytest.approx(7 / 8)
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            block_collision_rate(b"x", 0)
+
+    def test_empty(self):
+        assert block_collision_rate(b"", 8) == 0.0
+
+
+class TestChiSquare:
+    def test_uniform_near_dof(self):
+        data = DRBG(5).random_bytes(65536)
+        assert 150 < chi_square_uniform(data) < 400  # dof = 255
+
+    def test_constant_is_huge(self):
+        assert chi_square_uniform(b"\x00" * 1000) > 100_000
+
+    def test_empty(self):
+        assert chi_square_uniform(b"") == 0.0
+
+
+class TestHistogram:
+    def test_counts(self):
+        hist = byte_histogram(b"aab")
+        assert hist[ord("a")] == 2
+        assert hist[ord("b")] == 1
+
+
+class TestOrderingClaim:
+    """§4: compression must precede encryption."""
+
+    def test_ciphertext_does_not_compress(self):
+        plain = b"compressible structured data! " * 200
+        ct = CTR(AES(b"0123456789abcdef"), nonce=bytes(12)).encrypt(plain)
+        assert len(lz77_compress(ct)) > 0.95 * len(ct)
+
+    def test_plaintext_does_compress(self):
+        plain = b"compressible structured data! " * 200
+        assert len(lz77_compress(plain)) < 0.5 * len(plain)
+
+    def test_encryption_raises_entropy(self):
+        """'compression increases the message entropy' — so does ciphering;
+        a structured message gains entropy through AES-CTR."""
+        plain = b"low entropy plaintext " * 100
+        ct = CTR(AES(b"0123456789abcdef"), nonce=bytes(12)).encrypt(plain)
+        assert shannon_entropy(ct) > shannon_entropy(plain) + 2.0

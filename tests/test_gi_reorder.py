@@ -1,0 +1,110 @@
+"""General Instrument block reordering (the patent's second layer)."""
+
+import pytest
+
+from repro.core import GeneralInstrumentEngine
+from repro.core.engine import MemoryPort
+from repro.crypto import DRBG
+from repro.sim import Bus, MainMemory, MemoryConfig
+
+KEY = b"0123456789abcdef01234567"
+REGION = 256
+
+
+def fresh(reorder=True, image=None):
+    engine = GeneralInstrumentEngine(KEY, region_size=REGION, reorder=reorder)
+    port = MemoryPort(MainMemory(MemoryConfig(size=1 << 16)), Bus())
+    if image is not None:
+        engine.install_image(port.memory, 0, image)
+    return engine, port
+
+
+@pytest.fixture(scope="module")
+def image():
+    return DRBG(4).random_bytes(1024)
+
+
+class TestFunctional:
+    def test_fills_correct_everywhere(self, image):
+        engine, port = fresh(image=image)
+        for addr in (0, 32, 224, 512, 992):
+            line, _ = engine.fill_line(port, addr, 32)
+            assert line == image[addr: addr + 32]
+
+    def test_write_then_fill(self, image):
+        engine, port = fresh(image=image)
+        engine.write_line(port, 64, bytes(range(32)))
+        line, _ = engine.fill_line(port, 64, 32)
+        assert line == bytes(range(32))
+        # Neighbours unaffected.
+        assert engine.read_plain(port.memory, 0, 64) == image[:64]
+        assert engine.read_plain(port.memory, 96, 32) == image[96:128]
+
+    def test_tag_follows_rewrite(self, image):
+        engine, port = fresh(image=image)
+        engine.write_line(port, 0, bytes(32))
+        assert engine.verify_region(port.memory, 0)
+
+    def test_read_plain_unpermutes(self, image):
+        engine, port = fresh(image=image)
+        assert engine.read_plain(port.memory, 300, 100) == image[300:400]
+
+
+class TestLayout:
+    def test_storage_is_a_pure_block_permutation(self, image):
+        reordered, port_r = fresh(reorder=True, image=image)
+        chained, port_c = fresh(reorder=False, image=image)
+        stored_r = port_r.memory.dump(0, REGION)
+        stored_c = port_c.memory.dump(0, REGION)
+        assert stored_r != stored_c
+        blocks_r = sorted(stored_r[i: i + 8] for i in range(0, REGION, 8))
+        blocks_c = sorted(stored_c[i: i + 8] for i in range(0, REGION, 8))
+        assert blocks_r == blocks_c
+
+    def test_permutation_differs_per_region(self, image):
+        engine, _ = fresh(image=image)
+        assert engine._permutation(0) != engine._permutation(REGION)
+
+    def test_permutation_is_keyed(self, image):
+        a = GeneralInstrumentEngine(KEY, region_size=REGION, reorder=True)
+        b = GeneralInstrumentEngine(KEY, region_size=REGION, reorder=True,
+                                    mac_key=b"other-mac-key")
+        assert a._permutation(0) != b._permutation(0)
+
+    def test_chain_structure_hidden(self, image):
+        """Without reordering, consecutive logical blocks sit adjacent in
+        memory (the chain order is visible); reordering destroys that."""
+        reordered, port_r = fresh(reorder=True, image=image)
+        perm = reordered._permutation(0)
+        adjacent = sum(
+            1 for i in range(len(perm) - 1) if perm[i + 1] == perm[i] + 1
+        )
+        assert adjacent < len(perm) // 4
+
+
+class TestTiming:
+    def test_every_fill_is_a_region_burst(self, image):
+        engine, port = fresh(image=image)
+        _, first = engine.fill_line(port, 0, 32)
+        _, deep = engine.fill_line(port, 224, 32)
+        # Fetch cost identical (whole region); only the chain drain differs.
+        assert deep > first
+        assert port.bus.bytes_transferred >= 2 * REGION
+
+    def test_sequential_chain_shortcut_lost(self, image):
+        """Reordering forfeits the chain-register benefit: sequential
+        continuations cost as much as restarts."""
+        chained, port_c = fresh(reorder=False, image=image)
+        reordered, port_r = fresh(reorder=True, image=image)
+        chained.fill_line(port_c, 0, 32)
+        _, chained_next = chained.fill_line(port_c, 32, 32)
+        reordered.fill_line(port_r, 0, 32)
+        _, reordered_next = reordered.fill_line(port_r, 32, 32)
+        assert reordered_next > chained_next
+
+    def test_writes_rewrite_whole_region(self, image):
+        engine, port = fresh(image=image)
+        before = port.bus.bytes_transferred
+        engine.write_line(port, 224, bytes(32))   # last line of region 0
+        # read region + write whole region.
+        assert port.bus.bytes_transferred - before >= 2 * REGION

@@ -1,0 +1,85 @@
+"""Canonical Huffman codec: roundtrips, edge cases, corruption handling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import huffman_compress, huffman_decompress
+from repro.compression.huffman import build_code_lengths, canonical_codes
+
+
+class TestCodeConstruction:
+    def test_lengths_reflect_frequency(self):
+        data = b"a" * 100 + b"b" * 10 + b"c"
+        lengths = build_code_lengths(data)
+        assert lengths[ord("a")] <= lengths[ord("b")] <= lengths[ord("c")]
+
+    def test_single_symbol(self):
+        lengths = build_code_lengths(b"aaaa")
+        assert lengths == {ord("a"): 1}
+
+    def test_empty(self):
+        assert build_code_lengths(b"") == {}
+
+    def test_kraft_inequality(self):
+        """Code lengths must satisfy sum(2^-l) <= 1 (prefix-free)."""
+        data = bytes(range(256)) + b"abc" * 40
+        lengths = build_code_lengths(data)
+        assert sum(2 ** -l for l in lengths.values()) <= 1.0 + 1e-9
+
+    def test_canonical_codes_prefix_free(self):
+        data = b"hello huffman world" * 10
+        codes = canonical_codes(build_code_lengths(data))
+        items = [(format(c, f"0{l}b")) for c, l in codes.values()]
+        for i, a in enumerate(items):
+            for j, b in enumerate(items):
+                if i != j:
+                    assert not b.startswith(a)
+
+
+class TestRoundtrip:
+    def test_text(self):
+        data = b"the quick brown fox jumps over the lazy dog" * 20
+        assert huffman_decompress(huffman_compress(data)) == data
+
+    def test_empty(self):
+        assert huffman_decompress(huffman_compress(b"")) == b""
+
+    def test_single_byte(self):
+        assert huffman_decompress(huffman_compress(b"x")) == b"x"
+
+    def test_single_symbol_run(self):
+        data = b"\x00" * 1000
+        assert huffman_decompress(huffman_compress(data)) == data
+
+    def test_all_byte_values(self):
+        data = bytes(range(256)) * 4
+        assert huffman_decompress(huffman_compress(data)) == data
+
+    def test_skewed_data_compresses(self):
+        data = b"a" * 900 + bytes(range(100))
+        compressed = huffman_compress(data)
+        assert len(compressed) < len(data)
+
+    def test_uniform_data_does_not_explode(self):
+        """Header is 264 bytes; payload stays near 8 bits/byte."""
+        data = bytes((i * 37) & 0xFF for i in range(2048))
+        compressed = huffman_compress(data)
+        assert len(compressed) < len(data) + 300
+
+
+class TestErrors:
+    def test_truncated_blob(self):
+        with pytest.raises(ValueError):
+            huffman_decompress(b"too short")
+
+    def test_truncated_payload(self):
+        blob = huffman_compress(b"some reasonable input data here")
+        with pytest.raises((ValueError, IndexError)):
+            huffman_decompress(blob[:-2])
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.binary(max_size=512))
+def test_huffman_roundtrip_property(data):
+    assert huffman_decompress(huffman_compress(data)) == data

@@ -1,0 +1,151 @@
+"""Kuhn's cipher instruction search: the DS5002FP break end-to-end, and
+why the DS5240 resists it (E05)."""
+
+import pytest
+
+from repro.attacks import (
+    AttackFailure,
+    DallasBoard,
+    KuhnAttack,
+    block_diffusion_probe,
+    brute_force_tries,
+)
+from repro.crypto import SmallBlockCipher, TweakableFeistel
+from repro.isa import Op, assemble, secret_table_program
+
+
+@pytest.fixture(scope="module")
+def broken_board():
+    firmware = assemble(secret_table_program(seed=77, table_len=32), size=512)
+    cipher = SmallBlockCipher(b"factory-secret-key")
+    return firmware, DallasBoard(cipher, firmware, memory_size=512)
+
+
+@pytest.fixture(scope="module")
+def attack_report(broken_board):
+    firmware, board = broken_board
+    report = KuhnAttack(board).run()
+    return firmware, board, report
+
+
+class TestFullAttack:
+    def test_plaintext_fully_recovered(self, attack_report):
+        firmware, _, report = attack_report
+        assert report.plaintext == firmware
+
+    def test_no_ambiguity_for_this_firmware(self, attack_report):
+        """The victim starts with MOV R0,#imm — uniquely classifiable."""
+        _, _, report = attack_report
+        assert report.fully_determined
+
+    def test_probe_count_is_256_scale(self, attack_report):
+        """'exhaustive attack (8-bit instruction <=> 256 possibilities)':
+        the probe budget is a few multiples of 256 plus one run per byte."""
+        _, _, report = attack_report
+        assert report.probe_runs < 6 * 256 + 512 + 50
+
+    def test_d_tables_are_real_decryption(self, attack_report):
+        firmware, board, report = attack_report
+        # Independent check against the sealed cipher via a fresh board.
+        cipher = SmallBlockCipher(b"factory-secret-key")
+        for cell, table in report.d_tables.items():
+            for c in (0, 1, 77, 200, 255):
+                assert table[c] == cipher.decrypt_byte(cell, c)
+
+    def test_board_restored_after_attack(self, attack_report):
+        firmware, board, _ = attack_report
+        cipher = SmallBlockCipher(b"factory-secret-key")
+        expected = cipher.encrypt(0, firmware.ljust(512, b"\x00"))
+        assert bytes(board.memory) == expected
+
+    def test_key_never_needed(self, attack_report):
+        """The attack object holds tables, not keys."""
+        _, _, report = attack_report
+        assert not hasattr(report, "key")
+
+
+class TestAttackMechanics:
+    def test_dump_range(self):
+        firmware = assemble(secret_table_program(seed=3, table_len=8), size=256)
+        board = DallasBoard(SmallBlockCipher(b"k2"), firmware, memory_size=256)
+        report = KuhnAttack(board).run(dump_range=(16, 48))
+        assert report.plaintext == firmware[16:48]
+
+    def test_bad_dump_range(self):
+        firmware = assemble("HALT", size=64)
+        board = DallasBoard(SmallBlockCipher(b"k3"), firmware, memory_size=64)
+        with pytest.raises(ValueError):
+            KuhnAttack(board).run(dump_range=(50, 20))
+
+    def test_different_keys_still_broken(self):
+        """The attack is key-independent — any key falls in ~256-way
+        search, which is the survey's entire point about 8-bit blocks."""
+        firmware = assemble(secret_table_program(seed=5, table_len=16),
+                            size=256)
+        for key in (b"a", b"another-key", bytes(16)):
+            board = DallasBoard(SmallBlockCipher(key), firmware,
+                                memory_size=256)
+            report = KuhnAttack(board).run(dump_range=(0, len(firmware)))
+            assert report.plaintext[: len(firmware)] == firmware
+
+    def test_ambiguous_cell0_reported(self):
+        """Firmware starting with NOP: cell 0 is behaviourally ambiguous
+        with PUSH/POP/undefined — the attack must say so, and everything
+        else must still be exact."""
+        firmware = assemble("NOP\n MOV A, #7\n OUT\n HALT", size=128)
+        board = DallasBoard(SmallBlockCipher(b"kx"), firmware, memory_size=128)
+        report = KuhnAttack(board).run()
+        assert 0 in report.ambiguous_cells
+        assert Op.NOP in report.ambiguous_cells[0]
+        assert report.plaintext[1:] == firmware[1:]
+
+    def test_jump_start_decoded(self):
+        firmware = assemble("JMP 0x10\n .org 0x10\n MOV A, #1\n OUT\n HALT",
+                            size=128)
+        board = DallasBoard(SmallBlockCipher(b"ky"), firmware, memory_size=128)
+        report = KuhnAttack(board).run()
+        # JMP/JZ/CALL are equivalent from reset: reported as an ambiguity
+        # set containing the truth.
+        assert report.plaintext[1:] == firmware[1:]
+        if report.ambiguous_cells:
+            assert Op.JMP in report.ambiguous_cells[0]
+
+
+class TestDS5240Resistance:
+    def test_search_space_explodes(self):
+        assert brute_force_tries(8) == 256
+        assert brute_force_tries(64) == 2 ** 64
+
+    def test_diffusion_denies_byte_search(self):
+        """64-bit blocks: one flipped bit garbles ~half the block, so
+        per-byte tabulation cannot get a foothold."""
+        cipher = TweakableFeistel(b"ds5240-key", block_bits=64)
+        assert 0.35 < block_diffusion_probe(cipher) < 0.65
+
+    def test_8bit_block_has_no_diffusion_room(self):
+        cipher = TweakableFeistel(b"ds5002-key", block_bits=8)
+        # Diffusion bounded by the tiny block: the whole output is 8 bits.
+        assert block_diffusion_probe(cipher) <= 1.0
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            brute_force_tries(0)
+
+
+class TestBoardModel:
+    def test_firmware_too_large(self):
+        with pytest.raises(ValueError):
+            DallasBoard(SmallBlockCipher(b"k"), bytes(600), memory_size=512)
+
+    def test_raw_access(self):
+        board = DallasBoard(SmallBlockCipher(b"k"), b"\x00" * 16,
+                            memory_size=64)
+        board.write_raw(10, b"\xAB")
+        assert board.read_raw(10) == b"\xAB"
+
+    def test_reset_and_step_counts_runs(self):
+        board = DallasBoard(SmallBlockCipher(b"k"), assemble("HALT", size=64),
+                            memory_size=64)
+        board.reset_and_step(3)
+        board.reset_and_step(3)
+        assert board.runs == 2

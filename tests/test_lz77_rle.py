@@ -1,0 +1,107 @@
+"""LZ77 and RLE codecs: roundtrips, compression effectiveness, corruption."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import (
+    lz77_compress,
+    lz77_decompress,
+    rle_compress,
+    rle_decompress,
+)
+
+
+class TestLZ77:
+    def test_roundtrip_text(self):
+        data = b"abracadabra abracadabra abracadabra" * 8
+        assert lz77_decompress(lz77_compress(data)) == data
+
+    def test_roundtrip_empty(self):
+        assert lz77_decompress(lz77_compress(b"")) == b""
+
+    def test_roundtrip_no_matches(self):
+        data = bytes(range(256))
+        assert lz77_decompress(lz77_compress(data)) == data
+
+    def test_repetitive_data_compresses(self):
+        data = b"0123456789ABCDEF" * 256
+        assert len(lz77_compress(data)) < len(data) // 2
+
+    def test_overlapping_match(self):
+        """Distance < length exercises the RLE-like overlap copy."""
+        data = b"ab" * 300
+        assert lz77_decompress(lz77_compress(data)) == data
+
+    def test_long_literal_runs_split(self):
+        data = bytes((i * 101 + 7) & 0xFF for i in range(1000))
+        assert lz77_decompress(lz77_compress(data)) == data
+
+    def test_truncated_blob(self):
+        with pytest.raises(ValueError):
+            lz77_decompress(b"ab")
+
+    def test_corrupt_distance(self):
+        # match token with distance beyond output
+        blob = (10).to_bytes(4, "big") + b"\x01\xff\xff\x08"
+        with pytest.raises(ValueError):
+            lz77_decompress(blob)
+
+    def test_unknown_tag(self):
+        blob = (1).to_bytes(4, "big") + b"\x07"
+        with pytest.raises(ValueError):
+            lz77_decompress(blob)
+
+    def test_exhausted_stream(self):
+        blob = (100).to_bytes(4, "big") + b"\x00\x01a"
+        with pytest.raises(ValueError):
+            lz77_decompress(blob)
+
+
+class TestRLE:
+    def test_roundtrip(self):
+        data = b"\x00" * 100 + b"abc" + b"\xff" * 50
+        assert rle_decompress(rle_compress(data)) == data
+
+    def test_roundtrip_empty(self):
+        assert rle_decompress(rle_compress(b"")) == b""
+
+    def test_long_run_split(self):
+        data = b"z" * 1000
+        assert rle_decompress(rle_compress(data)) == data
+
+    def test_zero_runs_compress_well(self):
+        data = bytes(4096)
+        assert len(rle_compress(data)) < 64
+
+    def test_alternating_data_expands(self):
+        data = bytes(i & 1 for i in range(100))
+        assert len(rle_compress(data)) > len(data)
+
+    def test_truncated(self):
+        with pytest.raises(ValueError):
+            rle_decompress(b"ab")
+
+    def test_odd_payload(self):
+        with pytest.raises(ValueError):
+            rle_decompress((1).to_bytes(4, "big") + b"\x01")
+
+    def test_zero_run_rejected(self):
+        with pytest.raises(ValueError):
+            rle_decompress((1).to_bytes(4, "big") + b"\x00\x41")
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            rle_decompress((5).to_bytes(4, "big") + b"\x01\x41")
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.binary(max_size=1024))
+def test_lz77_roundtrip_property(data):
+    assert lz77_decompress(lz77_compress(data)) == data
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.binary(max_size=1024))
+def test_rle_roundtrip_property(data):
+    assert rle_decompress(rle_compress(data)) == data

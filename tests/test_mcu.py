@@ -1,0 +1,268 @@
+"""MCU core: instruction semantics, observable events, encrypted execution."""
+
+import pytest
+
+from repro.crypto import SmallBlockCipher
+from repro.isa import INSTRUCTION_LENGTHS, MCU, Op, assemble
+
+
+def run_mcu(source: str, size: int = 512, decrypt=None, encrypt=None,
+            encrypt_image=None):
+    image = assemble(source, size=size)
+    if encrypt_image is not None:
+        image = encrypt_image(image)
+    mcu = MCU(bytearray(image), decrypt=decrypt, encrypt=encrypt)
+    mcu.run()
+    return mcu
+
+
+class TestInstructions:
+    def test_mov_a_imm_and_out(self):
+        mcu = run_mcu("MOV A, #0x42\n OUT\n HALT")
+        assert mcu.port_log == [0x42]
+
+    def test_registers(self):
+        mcu = run_mcu("""
+            MOV R3, #7
+            MOV A, R3
+            OUT
+            MOV A, #1
+            MOV R3, A
+            MOV A, R3
+            OUT
+            HALT
+        """)
+        assert mcu.port_log == [7, 1]
+
+    def test_arithmetic(self):
+        mcu = run_mcu("""
+            MOV A, #250
+            ADD A, #10      ; wraps to 4
+            OUT
+            MOV R1, #3
+            SUB A, R1       ; 1
+            OUT
+            INC
+            INC
+            OUT             ; 3
+            DEC
+            OUT             ; 2
+            HALT
+        """)
+        assert mcu.port_log == [4, 1, 3, 2]
+
+    def test_logic(self):
+        mcu = run_mcu("""
+            MOV A, #0x0F
+            XRL A, #0xFF
+            OUT             ; 0xF0
+            ANL A, #0x3C
+            OUT             ; 0x30
+            ORL A, #0x03
+            OUT             ; 0x33
+            HALT
+        """)
+        assert mcu.port_log == [0xF0, 0x30, 0x33]
+
+    def test_jumps(self):
+        mcu = run_mcu("""
+            MOV A, #0
+            JZ taken
+            MOV A, #1       ; skipped
+        taken:
+            OUT             ; 0
+            MOV A, #5
+            JNZ also
+            MOV A, #2       ; skipped
+        also:
+            OUT             ; 5
+            JMP end
+            MOV A, #3       ; skipped
+        end:
+            OUT             ; 5
+            HALT
+        """)
+        assert mcu.port_log == [0, 5, 5]
+
+    def test_djnz_loop(self):
+        mcu = run_mcu("""
+            MOV R2, #3
+            MOV A, #0
+        loop:
+            INC
+            DJNZ R2, loop
+            OUT
+            HALT
+        """)
+        assert mcu.port_log == [3]
+
+    def test_call_ret(self):
+        mcu = run_mcu("""
+            CALL sub
+            OUT             ; A = 9 after return
+            HALT
+        sub:
+            MOV A, #9
+            RET
+        """)
+        assert mcu.port_log == [9]
+
+    def test_push_pop(self):
+        mcu = run_mcu("""
+            MOV A, #7
+            PUSH
+            MOV A, #0
+            POP
+            OUT
+            HALT
+        """)
+        assert mcu.port_log == [7]
+
+    def test_direct_memory(self):
+        mcu = run_mcu("""
+            MOV A, #0x5A
+            MOV 0x100, A
+            MOV A, #0
+            MOV A, 0x100
+            OUT
+            HALT
+        """)
+        assert mcu.port_log == [0x5A]
+
+    def test_indirect_memory(self):
+        mcu = run_mcu("""
+            MOV R0, #1      ; high byte
+            MOV R1, #0      ; low byte -> 0x0100
+            MOV A, #0x77
+            MOVIST
+            MOV A, #0
+            MOVI
+            OUT
+            HALT
+        """)
+        assert mcu.port_log == [0x77]
+
+    def test_inc_r(self):
+        mcu = run_mcu("""
+            MOV R4, #41
+            INC R4
+            MOV A, R4
+            OUT
+            HALT
+        """)
+        assert mcu.port_log == [42]
+
+    def test_undefined_opcode_is_nop(self):
+        image = bytearray(64)
+        image[0] = 0xAB          # undefined
+        image[1] = Op.OUT
+        image[2] = Op.HALT
+        mcu = MCU(image)
+        mcu.run()
+        assert mcu.port_log == [0]
+        assert mcu.halted
+
+
+class TestEvents:
+    def test_fetch_addresses_reported(self):
+        mcu = MCU(bytearray(assemble("MOV A, #1\n HALT", size=64)))
+        ev = mcu.step()
+        assert ev.fetched == [0, 1]
+        assert ev.next_pc == 2
+
+    def test_data_read_event(self):
+        mcu = MCU(bytearray(assemble("MOV A, 0x123\n HALT", size=512)))
+        ev = mcu.step()
+        assert ev.data_read == 0x123
+
+    def test_data_write_event(self):
+        mcu = MCU(bytearray(assemble("MOV 0x80, A\n HALT", size=512)))
+        ev = mcu.step()
+        assert ev.data_write == 0x80
+
+    def test_port_event(self):
+        mcu = MCU(bytearray(assemble("MOV A, #9\n OUT\n HALT", size=64)))
+        mcu.step()
+        ev = mcu.step()
+        assert ev.port_write == 9
+
+    def test_halt_event(self):
+        mcu = MCU(bytearray(assemble("HALT", size=64)))
+        ev = mcu.step()
+        assert ev.halted
+        assert mcu.step().halted  # stays halted
+
+    def test_reset_restores_state(self):
+        mcu = MCU(bytearray(assemble("MOV A, #5\n HALT", size=64)))
+        mcu.run()
+        mcu.reset()
+        assert mcu.a == 0 and mcu.pc == 0 and not mcu.halted
+
+
+class TestEncryptedExecution:
+    def test_program_runs_identically_under_encryption(self):
+        """The DS5002FP property: with matching encrypt/decrypt hooks the
+        encrypted part behaves exactly like the clear one."""
+        source = """
+            MOV R2, #5
+            MOV A, #0
+        loop:
+            ADD A, #3
+            OUT
+            DJNZ R2, loop
+            HALT
+        """
+        clear = run_mcu(source)
+        cipher = SmallBlockCipher(b"secret")
+        encrypted = run_mcu(
+            source,
+            decrypt=cipher.decrypt_byte,
+            encrypt=cipher.encrypt_byte,
+            encrypt_image=lambda img: bytearray(cipher.encrypt(0, bytes(img))),
+        )
+        assert encrypted.port_log == clear.port_log
+
+    def test_memory_holds_ciphertext(self):
+        source = "MOV A, #0x42\n OUT\n HALT"
+        image = assemble(source, size=64)
+        cipher = SmallBlockCipher(b"secret")
+        mcu = MCU(
+            bytearray(cipher.encrypt(0, image)),
+            decrypt=cipher.decrypt_byte,
+            encrypt=cipher.encrypt_byte,
+        )
+        mcu.run()
+        assert mcu.port_log == [0x42]
+        assert bytes(mcu.memory[:8]) != image[:8]
+
+    def test_data_writes_encrypted(self):
+        source = """
+            MOV A, #0x5A
+            MOV 0x30, A
+            HALT
+        """
+        cipher = SmallBlockCipher(b"secret")
+        image = assemble(source, size=64)
+        mcu = MCU(
+            bytearray(cipher.encrypt(0, image)),
+            decrypt=cipher.decrypt_byte,
+            encrypt=cipher.encrypt_byte,
+        )
+        mcu.run()
+        assert mcu.memory[0x30] == cipher.encrypt_byte(0x30, 0x5A)
+        assert mcu.memory[0x30] != 0x5A or cipher.encrypt_byte(0x30, 0x5A) == 0x5A
+
+
+class TestLengthTable:
+    def test_lengths_match_execution(self):
+        """INSTRUCTION_LENGTHS (public ISA knowledge the attack uses) must
+        agree with the core's actual fetch counts."""
+        for opcode, length in INSTRUCTION_LENGTHS.items():
+            if opcode in (Op.JMP, Op.JZ, Op.JNZ, Op.DJNZ, Op.CALL, Op.RET,
+                          Op.HALT):
+                continue
+            image = bytearray(64)
+            image[0] = opcode
+            mcu = MCU(image)
+            ev = mcu.step()
+            assert len(ev.fetched) == length, f"opcode {opcode:#x}"

@@ -1,0 +1,215 @@
+"""Merkle-tree integrity engine: verification, tamper/replay rejection,
+node-cache behaviour and costs."""
+
+import pytest
+
+from repro.core import (
+    MerkleTamperDetected,
+    MerkleTreeEngine,
+    StreamCipherEngine,
+    XomAesEngine,
+)
+from repro.core.engine import MemoryPort
+from repro.crypto import DRBG
+from repro.sim import Bus, MainMemory, MemoryConfig
+
+KEY = b"0123456789abcdef"
+MAC = b"merkle-mac-key"
+REGION = 4096
+TREE_BASE = 0x10000
+
+
+def make_engine(node_cache_size=16, inner=None):
+    inner = inner or StreamCipherEngine(KEY, line_size=32)
+    return MerkleTreeEngine(
+        inner, mac_key=MAC, region_base=0, region_size=REGION,
+        tree_base=TREE_BASE, node_cache_size=node_cache_size,
+    )
+
+
+def make_port():
+    return MemoryPort(MainMemory(MemoryConfig(size=1 << 17)), Bus())
+
+
+@pytest.fixture
+def installed():
+    engine = make_engine()
+    port = make_port()
+    image = DRBG(5).random_bytes(REGION)
+    engine.install_image(port.memory, 0, image)
+    return engine, port, image
+
+
+class TestGeometry:
+    def test_levels(self):
+        assert make_engine().levels == 7  # 128 lines
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            MerkleTreeEngine(
+                StreamCipherEngine(KEY), MAC, region_base=0,
+                region_size=96 * 32, tree_base=TREE_BASE,
+            )
+
+    def test_node_addresses_distinct(self):
+        engine = make_engine()
+        seen = set()
+        for level in range(engine.levels):
+            for index in range(engine.n_lines >> level):
+                addr = engine._node_addr(level, index)
+                assert addr not in seen
+                seen.add(addr)
+
+    def test_tree_overhead(self):
+        engine = make_engine()
+        # 16-byte nodes at 32-byte lines: leaves + internals ~ region size.
+        assert 0.9 * REGION < engine.tree_overhead_bytes() <= REGION
+
+
+class TestVerification:
+    def test_all_lines_fill_correctly(self, installed):
+        engine, port, image = installed
+        for addr in range(0, REGION, 32):
+            line, _ = engine.fill_line(port, addr, 32)
+            assert line == image[addr: addr + 32]
+        assert engine.tampers_detected == 0
+
+    def test_write_then_read(self, installed):
+        engine, port, _ = installed
+        engine.write_line(port, 96, bytes(range(32)))
+        line, _ = engine.fill_line(port, 96, 32)
+        assert line == bytes(range(32))
+
+    def test_sibling_unaffected_by_write(self, installed):
+        engine, port, image = installed
+        engine.write_line(port, 0, bytes(32))
+        line, _ = engine.fill_line(port, 32, 32)  # the written line's sibling
+        assert line == image[32:64]
+
+    def test_root_changes_on_write(self, installed):
+        engine, port, _ = installed
+        root_before = engine.root
+        engine.write_line(port, 0, bytes(range(32)))
+        assert engine.root != root_before
+
+    def test_outside_region_rejected(self, installed):
+        engine, port, _ = installed
+        with pytest.raises(ValueError):
+            engine.fill_line(port, REGION + 32, 32)
+
+
+class TestTamperAndReplay:
+    def test_line_tamper_detected(self, installed):
+        engine, port, _ = installed
+        flipped = port.memory.dump(128, 1)[0] ^ 1
+        port.memory.load_image(128, bytes([flipped]))
+        with pytest.raises(MerkleTamperDetected):
+            engine.fill_line(port, 128, 32)
+
+    def test_node_tamper_detected(self, installed):
+        """Corrupting a stored internal node breaks verification for the
+        lines that use it as a *sibling* (the walk recomputes its own path
+        nodes, so lines under the tampered node are unaffected)."""
+        engine, port, _ = installed
+        node_addr = engine._node_addr(1, 0)   # parent of lines 0-1
+        port.memory.load_image(node_addr, bytes(16))
+        engine._node_cache.clear()
+        # Line 2's level-1 sibling is exactly node (1, 0): detection fires.
+        with pytest.raises(MerkleTamperDetected):
+            engine.fill_line(port, 64, 32)
+        # Line 0 recomputes node (1, 0) from its children: still verifies.
+        engine._node_cache.clear()
+        engine.fill_line(port, 0, 32)
+
+    def test_replay_rejected_without_on_chip_counters(self, installed):
+        """The tree's raison d'etre: a recorded (line, leaf) pair replayed
+        after a newer write fails against the moved root — with only 16
+        bytes of on-chip state."""
+        engine, port, _ = installed
+        stale_line = port.memory.dump(256, 32)
+        stale_leaf = port.memory.dump(engine._node_addr(0, 8), 16)
+        engine.write_line(port, 256, b"NEWDATA!" * 4)
+        port.memory.load_image(256, stale_line)
+        port.memory.load_image(engine._node_addr(0, 8), stale_leaf)
+        engine._node_cache.clear()   # worst case for the defender
+        with pytest.raises(MerkleTamperDetected):
+            engine.fill_line(port, 256, 32)
+
+    def test_full_stale_path_replay_rejected(self, installed):
+        """Even replaying the *entire* stale path fails: the root moved."""
+        engine, port, _ = installed
+        snapshot = bytes(port.memory.dump(TREE_BASE, engine.tree_overhead_bytes()))
+        stale_line = port.memory.dump(0, 32)
+        engine.write_line(port, 0, b"\xEE" * 32)
+        port.memory.load_image(0, stale_line)
+        port.memory.load_image(TREE_BASE, snapshot)
+        engine._node_cache.clear()
+        with pytest.raises(MerkleTamperDetected):
+            engine.fill_line(port, 0, 32)
+
+
+class TestNodeCache:
+    def test_cache_stops_walks_early(self, installed):
+        engine, port, _ = installed
+        engine.fill_line(port, 0, 32)
+        stops_before = engine.cache_stops
+        engine.fill_line(port, 0, 32)   # leaf now trusted
+        assert engine.cache_stops == stops_before + 1
+
+    def test_cached_refill_is_cheaper(self, installed):
+        engine, port, _ = installed
+        _, first = engine.fill_line(port, 0, 32)
+        _, second = engine.fill_line(port, 0, 32)
+        assert second < first
+
+    def test_zero_cache_always_full_paths(self):
+        engine = make_engine(node_cache_size=0)
+        port = make_port()
+        engine.install_image(port.memory, 0, bytes(REGION))
+        _, first = engine.fill_line(port, 0, 32)
+        _, second = engine.fill_line(port, 0, 32)
+        assert first == second
+        assert engine.cache_stops == 0
+
+    def test_cache_capacity_bounded(self, installed):
+        engine, port, _ = installed
+        for addr in range(0, REGION, 32):
+            engine.fill_line(port, addr, 32)
+        assert len(engine._node_cache) <= engine.node_cache_size
+
+
+class TestCosts:
+    def test_verification_cost_scales_with_depth(self):
+        small = make_engine()
+        big = MerkleTreeEngine(
+            StreamCipherEngine(KEY, line_size=32), MAC, region_base=0,
+            region_size=4 * REGION, tree_base=TREE_BASE, node_cache_size=0,
+        )
+        small.node_cache_size = 0
+        port_s, port_b = make_port(), make_port()
+        small.install_image(port_s.memory, 0, bytes(REGION))
+        big.install_image(port_b.memory, 0, bytes(4 * REGION))
+        _, small_cycles = small.fill_line(port_s, 0, 32)
+        _, big_cycles = big.fill_line(port_b, 0, 32)
+        assert big_cycles > small_cycles
+
+    def test_partial_write_rmw(self, installed):
+        engine, port, image = installed
+        engine.write_partial(port, 3, b"\x9A", 32)
+        assert engine.stats.rmw_operations == 1
+        line, _ = engine.fill_line(port, 0, 32)
+        assert line[3] == 0x9A
+        assert line[:3] == image[:3]
+
+    def test_area_has_tiny_state(self):
+        engine = make_engine(node_cache_size=0)
+        area = engine.area()
+        assert area.items["root-register"] < 1000  # 16 bytes of SRAM
+
+    def test_works_with_block_inner(self):
+        engine = make_engine(inner=XomAesEngine(KEY))
+        port = make_port()
+        image = DRBG(6).random_bytes(REGION)
+        engine.install_image(port.memory, 0, image)
+        line, _ = engine.fill_line(port, 512, 32)
+        assert line == image[512:544]

@@ -1,0 +1,62 @@
+"""PKCS#7 padding: roundtrips and malformed-input rejection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import PaddingError, pad, unpad
+
+
+class TestPad:
+    def test_basic(self):
+        assert pad(b"abc", 8) == b"abc\x05\x05\x05\x05\x05"
+
+    def test_exact_multiple_adds_full_block(self):
+        assert pad(b"12345678", 8) == b"12345678" + b"\x08" * 8
+
+    def test_empty_input(self):
+        assert pad(b"", 4) == b"\x04" * 4
+
+    def test_result_is_multiple(self):
+        for n in range(20):
+            assert len(pad(bytes(n), 8)) % 8 == 0
+
+    def test_bad_block_size(self):
+        with pytest.raises(ValueError):
+            pad(b"x", 0)
+        with pytest.raises(ValueError):
+            pad(b"x", 256)
+
+
+class TestUnpad:
+    def test_roundtrip(self):
+        for n in range(32):
+            data = bytes(range(n))
+            assert unpad(pad(data, 16), 16) == data
+
+    def test_empty_buffer_rejected(self):
+        with pytest.raises(PaddingError):
+            unpad(b"", 8)
+
+    def test_non_multiple_rejected(self):
+        with pytest.raises(PaddingError):
+            unpad(b"abc", 8)
+
+    def test_pad_byte_zero_rejected(self):
+        with pytest.raises(PaddingError):
+            unpad(b"1234567\x00", 8)
+
+    def test_pad_byte_too_large_rejected(self):
+        with pytest.raises(PaddingError):
+            unpad(b"1234567\x09", 8)
+
+    def test_inconsistent_pad_rejected(self):
+        with pytest.raises(PaddingError):
+            unpad(b"12345\x02\x03\x03", 8)
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=st.binary(max_size=100),
+       block=st.integers(min_value=1, max_value=32))
+def test_pad_roundtrip_property(data, block):
+    assert unpad(pad(data, block), block) == data

@@ -1,0 +1,55 @@
+"""ASCII plot renderer."""
+
+import pytest
+
+from repro.analysis import ascii_plot
+
+
+class TestAsciiPlot:
+    SERIES = {
+        "a": [(0, 0.0), (10, 5.0), (20, 10.0)],
+        "b": [(0, 10.0), (10, 5.0), (20, 0.0)],
+    }
+
+    def test_renders_axes_and_legend(self):
+        chart = ascii_plot(self.SERIES, title="T", x_label="x", y_label="y")
+        assert "T" in chart
+        assert "o a" in chart and "x b" in chart
+        assert "+----" in chart
+
+    def test_extremes_on_axis_labels(self):
+        chart = ascii_plot(self.SERIES)
+        assert "10" in chart and "0" in chart and "20" in chart
+
+    def test_markers_plotted(self):
+        chart = ascii_plot({"only": [(0, 0), (1, 1)]})
+        assert chart.count("o") >= 2 + 1  # two points + legend marker
+
+    def test_single_point(self):
+        chart = ascii_plot({"p": [(5, 5)]})
+        assert "o" in chart
+
+    def test_distinct_markers(self):
+        many = {f"s{i}": [(i, i)] for i in range(4)}
+        chart = ascii_plot(many)
+        for marker in "ox+*":
+            assert marker in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+        with pytest.raises(ValueError):
+            ascii_plot({"e": []})
+
+    def test_tiny_area_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot(self.SERIES, width=5)
+
+    def test_dimensions(self):
+        chart = ascii_plot(self.SERIES, width=40, height=10)
+        plot_rows = [l for l in chart.splitlines() if "|" in l]
+        assert len(plot_rows) == 10
+
+    def test_negative_values(self):
+        chart = ascii_plot({"n": [(0, -5.0), (1, 5.0)]})
+        assert "-5" in chart

@@ -1,0 +1,149 @@
+"""FIPS 140-1 battery and the MCU kernel workloads."""
+
+import pytest
+
+from repro.analysis import (
+    fips_140_1,
+    long_run_test,
+    monobit_test,
+    poker_test,
+    runs_test,
+)
+from repro.attacks import geffe_correlation_attack
+from repro.crypto import AES, CTR, DRBG, RC4, BestCipher
+from repro.crypto.lfsr import AlternatingStepGenerator, GeffeGenerator
+from repro.isa import MCU, assemble, bubble_sort_program, memcpy_program
+from repro.traces import MCU_KERNELS, mcu_workload, trace_stats
+
+SAMPLE = 2500  # bytes = 20,000 bits
+
+
+class TestFipsBattery:
+    def test_good_generators_pass(self):
+        for label, stream in (
+            ("rc4", RC4(b"fips-key").keystream(SAMPLE)),
+            ("drbg", DRBG(12).random_bytes(SAMPLE)),
+            ("aes-ctr", CTR(AES(b"0123456789abcdef"),
+                            nonce=bytes(12)).keystream(SAMPLE)),
+            ("asg", AlternatingStepGenerator(7, 77, 777).keystream(SAMPLE)),
+        ):
+            assert fips_140_1(stream).passed, label
+
+    def test_constant_fails_everything(self):
+        result = fips_140_1(bytes(SAMPLE))
+        assert not result.monobit_ok
+        assert not result.poker_ok
+        assert not result.long_run_ok
+        assert not result.passed
+
+    def test_biased_stream_fails_monobit(self):
+        rng = DRBG(3)
+        biased = bytes(
+            b | 0x11 for b in rng.random_bytes(SAMPLE)  # extra ones
+        )
+        ok, ones = monobit_test(biased)
+        assert not ok and ones > 10_346
+
+    def test_alternating_fails_runs(self):
+        data = bytes([0b01010101] * SAMPLE)
+        ok, counts = runs_test(data)
+        assert not ok
+        # All runs have length 1.
+        assert counts[0][2] == 0 and counts[1][2] == 0
+
+    def test_long_run_detection(self):
+        rng = DRBG(4)
+        data = bytearray(rng.random_bytes(SAMPLE))
+        data[100:105] = b"\xFF" * 5  # 40-bit run of ones
+        ok, longest = long_run_test(bytes(data))
+        assert not ok and longest >= 34
+
+    def test_short_input_rejected(self):
+        with pytest.raises(ValueError):
+            fips_140_1(bytes(100))
+
+    def test_poker_bounds(self):
+        ok, stat = poker_test(DRBG(5).random_bytes(SAMPLE))
+        assert ok and 1.03 < stat < 57.4
+
+    def test_fips_pass_is_not_security(self):
+        """§4's trap, pinned: the Geffe generator passes the certification
+        battery and still surrenders its full state to correlation."""
+        taps = ((9, 5), (10, 7), (11, 9))
+        gen = GeffeGenerator(0x1F3, 0x2A5, 0x3B7, taps_a=taps[0],
+                             taps_b=taps[1], taps_c=taps[2])
+        stream = gen.keystream(SAMPLE)
+        assert fips_140_1(stream).passed
+
+        fresh = GeffeGenerator(0x1F3, 0x2A5, 0x3B7, taps_a=taps[0],
+                               taps_b=taps[1], taps_c=taps[2])
+        keystream_bits = [fresh.step() for _ in range(300)]
+        result = geffe_correlation_attack(keystream_bits, *taps)
+        assert result.succeeded
+
+    def test_best_ciphertext_of_structured_data_fails(self):
+        """Best's engine output over repetitive plaintext flunks the
+        battery AES-grade engines pass — E06's gap, certification style."""
+        cipher = BestCipher(b"best-key", num_alphabets=4)
+        plaintext = (b"\x00" * 8 + b"\xff" * 8) * (SAMPLE // 16 + 1)
+        ct = bytearray()
+        for i in range(0, len(plaintext) - 7, 8):
+            ct += cipher.encrypt(i, plaintext[i: i + 8])
+        assert not fips_140_1(bytes(ct)).passed
+
+        aes_ct = CTR(AES(b"0123456789abcdef"), nonce=bytes(12)).encrypt(
+            plaintext[:SAMPLE]
+        )
+        assert fips_140_1(aes_ct).passed
+
+
+class TestMcuKernels:
+    def test_bubble_sort_sorts(self):
+        mcu = MCU(bytearray(assemble(bubble_sort_program(table_len=10,
+                                                         seed=42), size=1024)))
+        mcu.run(max_steps=50000)
+        assert mcu.port_log == sorted(mcu.port_log)
+        assert len(mcu.port_log) == 10
+
+    def test_memcpy_copies(self):
+        mcu = MCU(bytearray(assemble(memcpy_program(length=16, seed=8),
+                                     size=1024)))
+        mcu.run()
+        assert bytes(mcu.memory[0x300:0x310]) == bytes(mcu.memory[0x200:0x210])
+
+    def test_all_kernels_produce_traces(self):
+        for kernel in MCU_KERNELS:
+            trace = mcu_workload(kernel, repeat=1)
+            stats = trace_stats(trace)
+            assert stats["accesses"] > 100, kernel
+            assert stats["fetches"] > 0, kernel
+
+    def test_repeat_multiplies(self):
+        single = mcu_workload("checksum", repeat=1)
+        triple = mcu_workload("checksum", repeat=3)
+        assert len(triple) == 3 * len(single)
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError):
+            mcu_workload("raytracer")
+
+    def test_kernels_have_distinct_characters(self):
+        """The kernels span the workload axes: memset writes, search reads."""
+        memset_stats = trace_stats(mcu_workload("memset", repeat=1))
+        search_stats = trace_stats(mcu_workload("search", repeat=1))
+        assert memset_stats["write_fraction"] > 0.05
+        assert search_stats["write_fraction"] == 0.0
+
+    def test_kernel_traces_drive_engines(self):
+        from repro.analysis import measure_overhead
+        from repro.core import StreamCipherEngine
+        from repro.sim import CacheConfig
+
+        trace = mcu_workload("sort", repeat=2)
+        result = measure_overhead(
+            lambda: StreamCipherEngine(b"0123456789abcdef",
+                                       functional=False),
+            trace, workload="mcu-sort",
+            cache_config=CacheConfig(size=256, line_size=32, associativity=2),
+        )
+        assert result.secured.cycles >= result.baseline.cycles

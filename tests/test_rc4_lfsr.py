@@ -1,0 +1,127 @@
+"""Stream generators: RC4 vectors, LFSR periods, combiner properties."""
+
+import pytest
+
+from repro.crypto import LFSR, AlternatingStepGenerator, GeffeGenerator, RC4
+from repro.crypto.lfsr import MAXIMAL_TAPS
+from repro.compression import shannon_entropy
+
+
+class TestRC4:
+    def test_wikipedia_vector_key(self):
+        assert RC4(b"Key").process(b"Plaintext").hex().upper() == \
+            "BBF316E8D940AF0AD3"
+
+    def test_wikipedia_vector_wiki(self):
+        assert RC4(b"Wiki").process(b"pedia").hex().upper() == \
+            "1021BF0420"
+
+    def test_wikipedia_vector_secret(self):
+        assert RC4(b"Secret").process(b"Attack at dawn").hex().upper() == \
+            "45A01F645FC35B383552544B9BF5"
+
+    def test_symmetric(self):
+        ct = RC4(b"key").process(b"message")
+        assert RC4(b"key").process(ct) == b"message"
+
+    def test_keystream_is_stateful(self):
+        rc4 = RC4(b"key")
+        a = rc4.keystream(16)
+        b = rc4.keystream(16)
+        assert a != b
+
+    def test_keystream_matches_fresh_offset(self):
+        rc4 = RC4(b"key")
+        combined = rc4.keystream(32)
+        fresh = RC4(b"key")
+        assert fresh.keystream(16) == combined[:16]
+        assert fresh.keystream(16) == combined[16:]
+
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            RC4(b"")
+
+    def test_keystream_entropy(self):
+        stream = RC4(b"entropy-test-key").keystream(4096)
+        assert shannon_entropy(stream) > 7.5
+
+
+class TestLFSR:
+    def test_period_of_maximal_4bit(self):
+        # x^4 + x^3 + 1 is maximal: period 2^4 - 1 = 15.
+        lfsr = LFSR((4, 3), seed=1)
+        assert lfsr.period() == 15
+
+    def test_period_of_maximal_8bit(self):
+        lfsr = LFSR(MAXIMAL_TAPS[8], seed=1)
+        assert lfsr.period() == 255
+
+    def test_period_of_maximal_16bit(self):
+        lfsr = LFSR(MAXIMAL_TAPS[16], seed=0xACE1)
+        assert lfsr.period() == 65535
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ValueError):
+            LFSR((4, 3), seed=0)
+
+    def test_empty_taps_rejected(self):
+        with pytest.raises(ValueError):
+            LFSR((), seed=1)
+
+    def test_deterministic(self):
+        a = LFSR((16, 15, 13, 4), seed=0xBEEF).bits(64)
+        b = LFSR((16, 15, 13, 4), seed=0xBEEF).bits(64)
+        assert a == b
+
+    def test_balanced_output(self):
+        """Maximal LFSR output over a full period is nearly balanced."""
+        bits = LFSR(MAXIMAL_TAPS[8], seed=1).bits(255)
+        ones = sum(bits)
+        assert ones == 128  # 2^(n-1) ones in a maximal sequence
+
+
+class TestGeffe:
+    def test_deterministic(self):
+        a = GeffeGenerator(1, 2, 3).keystream(64)
+        b = GeffeGenerator(1, 2, 3).keystream(64)
+        assert a == b
+
+    def test_seed_sensitivity(self):
+        assert GeffeGenerator(1, 2, 3).keystream(64) != \
+            GeffeGenerator(1, 2, 4).keystream(64)
+
+    def test_correlation_weakness(self):
+        """The Geffe output correlates ~75% with LFSR b — the textbook flaw.
+
+        This is the quantitative gap between a cheap combiner and a proper
+        cipher that §4's 'sufficiently random to be secure' worries about.
+        """
+        gen = GeffeGenerator(0x1ACE, 0x2BEEF, 0x3CAFE)
+        shadow_b = LFSR(MAXIMAL_TAPS[23], 0x2BEEF)
+        matches = 0
+        n = 4000
+        for _ in range(n):
+            out = gen.step()
+            # Keep the shadow register in lockstep with the real b.
+            if shadow_b.step() == out:
+                matches += 1
+        assert 0.70 <= matches / n <= 0.80
+
+    def test_keystream_entropy(self):
+        stream = GeffeGenerator(11, 222, 3333).keystream(4096)
+        assert shannon_entropy(stream) > 7.0
+
+
+class TestAlternatingStep:
+    def test_deterministic(self):
+        a = AlternatingStepGenerator(5, 6, 7).keystream(64)
+        b = AlternatingStepGenerator(5, 6, 7).keystream(64)
+        assert a == b
+
+    def test_differs_from_geffe(self):
+        assert AlternatingStepGenerator(1, 2, 3).keystream(32) != \
+            GeffeGenerator(1, 2, 3).keystream(32)
+
+    def test_keystream_entropy(self):
+        stream = AlternatingStepGenerator(11, 222, 3333).keystream(4096)
+        assert shannon_entropy(stream) > 7.0

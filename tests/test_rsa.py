@@ -1,0 +1,121 @@
+"""RSA: primality, key generation, encryption roundtrips, padding, and the
+modular-multiplication cost counter E01 relies on."""
+
+import pytest
+
+from repro.crypto import DRBG, generate_keypair
+from repro.crypto.rsa import is_probable_prime
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(512, DRBG(42))
+
+
+class TestMillerRabin:
+    def test_small_primes(self):
+        rng = DRBG(1)
+        for p in (2, 3, 5, 7, 11, 101, 997, 7919):
+            assert is_probable_prime(p, rng)
+
+    def test_small_composites(self):
+        rng = DRBG(1)
+        for c in (0, 1, 4, 9, 100, 561, 1001, 7917):
+            assert not is_probable_prime(c, rng)
+
+    def test_carmichael_numbers(self):
+        """Fermat liars that Miller-Rabin must still reject."""
+        rng = DRBG(1)
+        for c in (561, 1105, 1729, 2465, 2821, 6601):
+            assert not is_probable_prime(c, rng)
+
+    def test_large_known_prime(self):
+        rng = DRBG(1)
+        assert is_probable_prime(2 ** 127 - 1, rng)  # Mersenne prime
+
+    def test_large_known_composite(self):
+        rng = DRBG(1)
+        assert not is_probable_prime(2 ** 128 - 1, rng)
+
+
+class TestKeyGeneration:
+    def test_modulus_size(self, keypair):
+        assert 500 <= keypair.public.n.bit_length() <= 512
+
+    def test_keypair_consistency(self, keypair):
+        """d inverts e modulo phi: raw encrypt/decrypt roundtrips."""
+        m = 0x1234567890ABCDEF
+        c = keypair.public.encrypt_int(m)
+        assert keypair.private.decrypt_int(c) == m
+
+    def test_p_q_are_prime_factors(self, keypair):
+        priv = keypair.private
+        assert priv.p * priv.q == priv.n
+
+    def test_deterministic_from_seed(self):
+        a = generate_keypair(256, DRBG(7))
+        b = generate_keypair(256, DRBG(7))
+        assert a.public.n == b.public.n
+
+    def test_too_small_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            generate_keypair(64, DRBG(1))
+
+
+class TestEncryption:
+    def test_roundtrip(self, keypair):
+        rng = DRBG(99)
+        message = b"session key K!"
+        ct = keypair.public.encrypt(message, rng)
+        assert keypair.private.decrypt(ct) == message
+
+    def test_ciphertext_is_modulus_sized(self, keypair):
+        """§2.2: 'ciphered text is longer than the original clear text'."""
+        rng = DRBG(99)
+        ct = keypair.public.encrypt(b"K", rng)
+        assert len(ct) == keypair.public.modulus_bytes
+        assert len(ct) > 1
+
+    def test_randomized_padding(self, keypair):
+        """Equal messages produce different ciphertexts."""
+        rng = DRBG(99)
+        a = keypair.public.encrypt(b"same", rng)
+        b = keypair.public.encrypt(b"same", rng)
+        assert a != b
+        assert keypair.private.decrypt(a) == keypair.private.decrypt(b)
+
+    def test_message_too_long_rejected(self, keypair):
+        rng = DRBG(99)
+        too_long = bytes(keypair.public.modulus_bytes - 10)
+        with pytest.raises(ValueError):
+            keypair.public.encrypt(too_long, rng)
+
+    def test_wrong_ciphertext_length_rejected(self, keypair):
+        with pytest.raises(ValueError):
+            keypair.private.decrypt(b"short")
+
+    def test_corrupted_ciphertext_detected(self, keypair):
+        rng = DRBG(99)
+        ct = bytearray(keypair.public.encrypt(b"msg", rng))
+        ct[0] ^= 0xFF
+        with pytest.raises(ValueError):
+            keypair.private.decrypt(bytes(ct))
+
+
+class TestCostModel:
+    def test_modmul_counter_advances(self, keypair):
+        before = keypair.public.modmul_count
+        keypair.public.encrypt_int(12345)
+        assert keypair.public.modmul_count > before
+
+    def test_private_exponent_costs_more_than_public(self, keypair):
+        """The asymmetry behind §2.2's 'more processing power' claim:
+        d is ~modulus-sized, e is 17 bits."""
+        pub_before = keypair.public.modmul_count
+        keypair.public.encrypt_int(7)
+        pub_cost = keypair.public.modmul_count - pub_before
+
+        priv_before = keypair.private.modmul_count
+        keypair.private.decrypt_int(7)
+        priv_cost = keypair.private.modmul_count - priv_before
+        assert priv_cost > 10 * pub_cost

@@ -1,0 +1,139 @@
+"""SHA-256 (FIPS 180-4) and HMAC (RFC 4231) vectors plus streaming
+behaviour and the PRF helper."""
+
+import pytest
+
+from repro.crypto import SHA256, hmac_sha256, prf, sha256, verify_hmac
+
+
+class TestSHA256Vectors:
+    def test_empty(self):
+        assert sha256(b"").hex() == (
+            "e3b0c44298fc1c149afbf4c8996fb924"
+            "27ae41e4649b934ca495991b7852b855"
+        )
+
+    def test_abc(self):
+        assert sha256(b"abc").hex() == (
+            "ba7816bf8f01cfea414140de5dae2223"
+            "b00361a396177a9cb410ff61f20015ad"
+        )
+
+    def test_two_block_message(self):
+        msg = b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+        assert sha256(msg).hex() == (
+            "248d6a61d20638b8e5c026930c3e6039"
+            "a33ce45964ff2167f6ecedd419db06c1"
+        )
+
+    def test_million_a(self):
+        assert sha256(b"a" * 1_000_000).hex() == (
+            "cdc76e5c9914fb9281a1c7e284d73e67"
+            "f1809a48a497200e046d39ccc7112cd0"
+        )
+
+    def test_exactly_64_bytes(self):
+        # Forces the padding block to be entirely separate.
+        digest = sha256(b"x" * 64)
+        assert len(digest) == 32
+
+    def test_55_and_56_byte_boundary(self):
+        """55 bytes fits length in the same block; 56 does not."""
+        assert sha256(b"y" * 55) != sha256(b"y" * 56)
+
+
+class TestSHA256Streaming:
+    def test_incremental_equals_oneshot(self):
+        h = SHA256()
+        h.update(b"hello ")
+        h.update(b"world")
+        assert h.digest() == sha256(b"hello world")
+
+    def test_digest_does_not_finalize(self):
+        h = SHA256(b"part1")
+        first = h.digest()
+        assert h.digest() == first
+        h.update(b"part2")
+        assert h.digest() == sha256(b"part1part2")
+
+    def test_chunked_large_input(self):
+        data = bytes(range(256)) * 40
+        h = SHA256()
+        for i in range(0, len(data), 97):
+            h.update(data[i: i + 97])
+        assert h.digest() == sha256(data)
+
+    def test_hexdigest(self):
+        assert SHA256(b"abc").hexdigest() == sha256(b"abc").hex()
+
+
+class TestHMACVectors:
+    """RFC 4231 test cases."""
+
+    def test_case_1(self):
+        key = b"\x0b" * 20
+        assert hmac_sha256(key, b"Hi There").hex() == (
+            "b0344c61d8db38535ca8afceaf0bf12b"
+            "881dc200c9833da726e9376c2e32cff7"
+        )
+
+    def test_case_2(self):
+        assert hmac_sha256(b"Jefe", b"what do ya want for nothing?").hex() == (
+            "5bdcc146bf60754e6a042426089575c7"
+            "5a003f089d2739839dec58b964ec3843"
+        )
+
+    def test_case_3(self):
+        key = b"\xaa" * 20
+        msg = b"\xdd" * 50
+        assert hmac_sha256(key, msg).hex() == (
+            "773ea91e36800e46854db8ebd09181a7"
+            "2959098b3ef8c122d9635514ced565fe"
+        )
+
+    def test_case_6_long_key(self):
+        key = b"\xaa" * 131
+        msg = b"Test Using Larger Than Block-Size Key - Hash Key First"
+        assert hmac_sha256(key, msg).hex() == (
+            "60e431591ee0b67f0d8a26aacbf5b77f"
+            "8e0bc6213728c5140546040f0ee37f54"
+        )
+
+
+class TestVerify:
+    def test_accepts_valid_tag(self):
+        tag = hmac_sha256(b"k", b"msg")
+        assert verify_hmac(b"k", b"msg", tag)
+
+    def test_rejects_modified_message(self):
+        tag = hmac_sha256(b"k", b"msg")
+        assert not verify_hmac(b"k", b"msG", tag)
+
+    def test_rejects_truncated_tag(self):
+        tag = hmac_sha256(b"k", b"msg")
+        assert not verify_hmac(b"k", b"msg", tag[:16])
+
+    def test_rejects_wrong_key(self):
+        tag = hmac_sha256(b"k", b"msg")
+        assert not verify_hmac(b"K", b"msg", tag)
+
+
+class TestPRF:
+    def test_deterministic(self):
+        assert prf(b"key", b"a", b"b") == prf(b"key", b"a", b"b")
+
+    def test_domain_separation(self):
+        """(\"ab\", \"c\") and (\"a\", \"bc\") must differ (length prefixes)."""
+        assert prf(b"key", b"ab", b"c") != prf(b"key", b"a", b"bc")
+
+    def test_output_length(self):
+        assert len(prf(b"key", b"x", out_len=100)) == 100
+
+    def test_extension_consistency(self):
+        """Longer outputs extend shorter ones (counter-mode expansion)."""
+        short = prf(b"key", b"x", out_len=16)
+        long = prf(b"key", b"x", out_len=64)
+        assert long[:16] == short
+
+    def test_key_separation(self):
+        assert prf(b"key1", b"x") != prf(b"key2", b"x")
