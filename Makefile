@@ -1,8 +1,14 @@
 # Convenience targets for the repro package.
 
 PYTHON ?= python
+PYTHONPATH := src:.
+export PYTHONPATH
 
-.PHONY: install test bench bench-verbose examples attack survey clean
+# Engine classes may only be constructed inside repro/core (and its tests);
+# everyone else goes through the registry (repro.core.registry.make_engine).
+ENGINE_CTORS := (Best|DS5002FP|DS5240|VlsiDma|GeneralInstrument|Gilmont|XomAes|Aegis|StreamCipher|CompressedEncryption|IntegrityShield|MerkleTree|AddressScrambled)Engine\(
+
+.PHONY: install test check lint bench bench-quick bench-pytest examples attack survey clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -10,10 +16,33 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+# Tier-1 gate: the test suite plus the registry lint.
+check: test lint
 
-bench-verbose:
+lint:
+	@matches=$$(grep -rnE '$(ENGINE_CTORS)' --include='*.py' \
+		src/repro benchmarks examples | grep -v '^src/repro/core/' || true); \
+	if [ -n "$$matches" ]; then \
+		echo "lint: construct engines via repro.core.registry.make_engine:" >&2; \
+		echo "$$matches" >&2; \
+		exit 1; \
+	fi; \
+	echo "lint: ok (engine construction goes through the registry)"
+
+# The E01-E18 experiment suite via the parallel runner; metrics land in
+# BENCH_metrics.json (+ _profile.json).  Override: make bench WORKERS=4
+WORKERS ?= 1
+
+bench:
+	$(PYTHON) -m repro.cli bench --workers $(WORKERS) --tables
+
+# Scaled-down full suite (< 60 s), e.g. as a pre-commit smoke run.
+bench-quick:
+	$(PYTHON) -m repro.cli bench --quick --workers $(WORKERS) \
+		--out BENCH_quick_metrics.json --cache-dir .bench_cache_quick
+
+# The same experiment bodies under pytest-benchmark (per-bench timing).
+bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 examples:
@@ -31,3 +60,6 @@ survey:
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true
 	rm -rf .pytest_cache .hypothesis *.egg-info src/*.egg-info
+	rm -rf .bench_cache .bench_cache_quick
+	rm -f BENCH_metrics.json BENCH_metrics_profile.json
+	rm -f BENCH_quick_metrics.json BENCH_quick_metrics_profile.json

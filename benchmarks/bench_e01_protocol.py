@@ -1,107 +1,12 @@
-"""E01 — Figure 1 / §2.1-2.2: session-key exchange and the asymmetric
-vs symmetric cost gap.
+"""E01 — Figure 1 / §2.1-2.2: session-key exchange and the asymmetric vs symmetric cost gap.
 
-Paper claims reproduced:
-* the eavesdropper on the insecure channel learns neither K nor the
-  software;
-* asymmetric algorithms "are often based on modular arithmetic, and operate
-  on huge integers (512-2048 bits).  They require more processing power
-  (due to modular exponentiation) than symmetric algorithm" — and
-  "ciphered text is longer than the original clear text; larger memories
-  are thus needed";
-* hence "only symmetric algorithms will be considered" for the bus (§2.2).
-
-Cost metric: modeled *hardware* cycles, not Python wall time (a native
-bigint pow against interpreted AES would compare interpreters, not
-engines).  RSA cost = modular multiplications (counted by the key objects)
-x the cycles of a 32-bit-multiplier schoolbook modmul; AES cost = blocks x
-the iterative core's 11 cycles.
+Thin wrapper: the measurement body, tables and claim checks live in
+:mod:`repro.runner.experiments.e01` (shared with ``python -m repro.cli
+bench``).
 """
 
-import pytest
-
-from repro.analysis import format_table
-from repro.core import run_distribution
-from repro.crypto import AES, CTR, DRBG, generate_keypair
-from repro.sim.pipeline import AES_ITERATIVE
+from benchmarks.common import run_experiment_benchmark
 
 
-def modmul_cycles(modulus_bits: int) -> int:
-    """Schoolbook modular multiply on a 32-bit datapath: (n/32)^2 MACs."""
-    words = -(-modulus_bits // 32)
-    return words * words
-
-
-def measure_cost_gap(payload_sizes=(1024, 4096, 16384), key_bits=512):
-    """Modeled hardware cycles for RSA vs AES-CTR over growing payloads."""
-    rng = DRBG(1)
-    keypair = generate_keypair(key_bits, rng)
-    per_modmul = modmul_cycles(key_bits)
-    rows = []
-    for size in payload_sizes:
-        payload = rng.random_bytes(size)
-
-        chunk = keypair.public.modulus_bytes - 11
-        keypair.private.modmul_count = 0
-        ct_rsa = b""
-        for i in range(0, size, chunk):
-            block_ct = keypair.public.encrypt(payload[i: i + chunk], rng)
-            keypair.private.decrypt(block_ct)   # the processor-side cost
-            ct_rsa += block_ct
-        rsa_cycles = keypair.private.modmul_count * per_modmul
-
-        ct_aes = CTR(AES(b"0123456789abcdef"), nonce=bytes(12)).encrypt(payload)
-        aes_cycles = AES_ITERATIVE.time_for(-(-size // 16))
-
-        rows.append({
-            "size": size,
-            "rsa_cycles": rsa_cycles,
-            "aes_cycles": aes_cycles,
-            "ratio": rsa_cycles / max(aes_cycles, 1),
-            "rsa_expansion": len(ct_rsa) / size,
-            "aes_expansion": len(ct_aes) / size,
-        })
-    return rows
-
-
-def run_protocol(software_size=2048):
-    software = DRBG(2).random_bytes(software_size)
-    processor, eve, session_key = run_distribution(software, seed=3)
-    return software, processor, eve, session_key
-
-
-def test_e01_protocol_secrecy(benchmark):
-    software, processor, eve, session_key = benchmark(run_protocol)
-    assert processor._session_key == session_key
-    assert not eve.saw(session_key)
-    assert not eve.saw(software[:16])
-    assert eve.total_bytes > len(software)  # the traffic itself was seen
-
-
-def test_e01_asymmetric_cost_gap(benchmark):
-    rows = benchmark.pedantic(measure_cost_gap, rounds=1, iterations=1)
-    table = format_table(
-        ["payload", "RSA-512 decrypt (cycles)", "AES-CTR (cycles)",
-         "RSA/AES", "RSA expansion", "AES expansion"],
-        [
-            [r["size"], f"{r['rsa_cycles']:,}", f"{r['aes_cycles']:,}",
-             f"{r['ratio']:.0f}x", f"{r['rsa_expansion']:.2f}x",
-             f"{r['aes_expansion']:.2f}x"]
-            for r in rows
-        ],
-        title="E01: asymmetric vs symmetric bulk encryption, modeled "
-              "hardware cycles (survey §2.2)",
-    )
-    print()
-    print(table)
-    # Shape: RSA costs orders of magnitude more per byte and expands the
-    # ciphertext; AES does neither.
-    for r in rows:
-        assert r["ratio"] > 100
-        assert r["rsa_expansion"] > 1.05
-        assert r["aes_expansion"] == 1.0
-
-
-if __name__ == "__main__":
-    for row in measure_cost_gap():
-        print(row)
+def test_e01(benchmark):
+    run_experiment_benchmark(benchmark, "e01")

@@ -1,95 +1,12 @@
 """E02 — Figure 2a/2b / §2.2: stream vs block cipher on the miss path.
 
-Paper claims reproduced:
-* "stream cipher seems to be more suitable in term of performance: the key
-  stream generation can be parallelised with external data fetch";
-* "the shortcoming of block cipher cryptosystems is that deciphering cannot
-  start until a complete block has been received";
-* ablation: pad-ahead depth of the stream engine.
-
-The bench sweeps external memory latency: the stream engine's overhead is
-flat and tiny (pad generation hides behind the fetch); the block engine
-always pays its pipeline drain on top of the fetch.
+Thin wrapper: the measurement body, tables and claim checks live in
+:mod:`repro.runner.experiments.e02` (shared with ``python -m repro.cli
+bench``).
 """
 
-import pytest
-
-from benchmarks.common import CACHE, KEY16, N_ACCESSES, print_table
-from repro.analysis import ascii_plot, format_percent, format_table, measure_overhead
-from repro.core import StreamCipherEngine, XomAesEngine
-from repro.sim import MemoryConfig
-from repro.traces import make_workload
+from benchmarks.common import run_experiment_benchmark
 
 
-def sweep_memory_latency(latencies=(5, 20, 40, 80, 160)):
-    trace = make_workload("branchy", n=N_ACCESSES)
-    rows = []
-    for latency in latencies:
-        mem = MemoryConfig(size=1 << 21, latency=latency)
-        stream = measure_overhead(
-            lambda: StreamCipherEngine(KEY16, functional=False,
-                                       pad_ahead_depth=2),
-            trace, cache_config=CACHE, mem_config=mem,
-        ).overhead
-        block = measure_overhead(
-            lambda: XomAesEngine(KEY16, functional=False),
-            trace, cache_config=CACHE, mem_config=mem,
-        ).overhead
-        rows.append({"latency": latency, "stream": stream, "block": block})
-    return rows
-
-
-def sweep_pad_ahead(depths=(0, 1, 2, 4, 8)):
-    # Fast memory: the fetch is too short to hide pad generation, so the
-    # precomputed pads are what keeps the miss path clean.
-    fast_mem = MemoryConfig(size=1 << 21, latency=5)
-    trace = make_workload("sequential", n=N_ACCESSES)
-    rows = []
-    for depth in depths:
-        value = measure_overhead(
-            lambda: StreamCipherEngine(KEY16, functional=False,
-                                       pad_ahead_depth=depth,
-                                       pad_cache_lines=max(2, 2 * depth)),
-            trace, cache_config=CACHE, mem_config=fast_mem,
-        ).overhead
-        rows.append({"depth": depth, "overhead": value})
-    return rows
-
-
-def test_e02_stream_vs_block(benchmark):
-    rows = benchmark.pedantic(sweep_memory_latency, rounds=1, iterations=1)
-    print_table(format_table(
-        ["memory latency", "stream overhead", "block overhead"],
-        [[r["latency"], format_percent(r["stream"]),
-          format_percent(r["block"])] for r in rows],
-        title="E02: stream vs block cipher overhead vs memory latency "
-              "(survey Fig. 2)",
-    ))
-    print(ascii_plot(
-        {"stream": [(r["latency"], 100 * r["stream"]) for r in rows],
-         "block": [(r["latency"], 100 * r["block"]) for r in rows]},
-        title="E02 figure: overhead (%) vs memory latency",
-        x_label="memory latency (cycles)", y_label="%",
-    ))
-    # Shape: block always worse than stream; stream stays small once the
-    # fetch is slow enough to hide pad generation.
-    for r in rows:
-        assert r["block"] > r["stream"]
-    assert rows[-1]["stream"] < 0.05
-
-
-def test_e02_pad_ahead_ablation(benchmark):
-    rows = benchmark.pedantic(sweep_pad_ahead, rounds=1, iterations=1)
-    print_table(format_table(
-        ["pad-ahead depth", "stream overhead (sequential, fast memory)"],
-        [[r["depth"], format_percent(r["overhead"])] for r in rows],
-        title="E02 ablation: pad-ahead depth",
-    ))
-    # With fast memory the pads no longer hide behind the fetch: depth >= 1
-    # must beat depth 0, and deeper never hurts on sequential code.
-    assert rows[1]["overhead"] < rows[0]["overhead"]
-    assert rows[-1]["overhead"] <= rows[1]["overhead"] + 1e-9
-
-
-if __name__ == "__main__":
-    test_e02_pad_ahead_ablation()
+def test_e02(benchmark):
+    run_experiment_benchmark(benchmark, "e02")

@@ -1,92 +1,12 @@
 """E03 — §2.2: ECB's determinism leak vs CBC's random-access problem.
 
-Paper claims reproduced:
-* ECB: "a same data will be ciphered to the same value; which is the main
-  security weakness of that mode" — measured as block-collision rate and
-  the ECB distinguisher on a code-like image;
-* CBC: "provides improved security ... Its use proves limited in a
-  processor-memory system due to the random data access problem (JUMP
-  instructions)" — measured as whole-image-chained read cost under
-  sequential vs branchy fetch streams.
+Thin wrapper: the measurement body, tables and claim checks live in
+:mod:`repro.runner.experiments.e03` (shared with ``python -m repro.cli
+bench``).
 """
 
-import pytest
-
-from benchmarks.common import KEY24, N_ACCESSES, print_table
-from repro.analysis import format_percent, format_table, measure_overhead
-from repro.attacks import analyze_ciphertext, ecb_distinguisher
-from repro.core import GeneralInstrumentEngine
-from repro.crypto import CBC, ECB, TripleDES
-from repro.sim import CacheConfig
-from repro.traces import make_workload, synthetic_code_image
+from benchmarks.common import run_experiment_benchmark
 
 
-def security_rows(image_size=32 * 1024):
-    image = synthetic_code_image(size=image_size)
-    tdes = TripleDES(KEY24)
-    ecb_ct = ECB(tdes).encrypt(image)
-    cbc_ct = CBC(tdes, bytes(8)).encrypt(image)
-    rows = []
-    for label, data in (("plaintext", image), ("ECB", ecb_ct),
-                        ("CBC", cbc_ct)):
-        analysis = analyze_ciphertext(data, block_size=8)
-        rows.append({
-            "mode": label,
-            "entropy": analysis.entropy_bits_per_byte,
-            "collisions": analysis.block_collision_rate,
-            "distinguishable": ecb_distinguisher(data, block_size=8),
-        })
-    return rows
-
-
-def performance_rows():
-    """Whole-image CBC chaining vs per-JUMP random access."""
-    cache = CacheConfig(size=1024, line_size=32, associativity=2)
-    image = bytes(16 * 1024)
-    rows = []
-    for name in ("sequential", "branchy"):
-        trace = [a for a in make_workload(name, n=N_ACCESSES)]
-        # Clamp addresses into the chained image.
-        trace = [type(a)(a.kind, a.addr % (16 * 1024), a.size) for a in trace]
-        value = measure_overhead(
-            lambda: GeneralInstrumentEngine(
-                KEY24, region_size=4096, authenticate=False, functional=False,
-            ),
-            trace, image=image, cache_config=cache,
-        ).overhead
-        rows.append({"workload": name, "overhead": value})
-    return rows
-
-
-def test_e03_ecb_leak(benchmark):
-    rows = benchmark.pedantic(security_rows, rounds=1, iterations=1)
-    print_table(format_table(
-        ["mode", "entropy (bits/B)", "block collision rate", "ECB leak?"],
-        [[r["mode"], f"{r['entropy']:.2f}", f"{r['collisions']:.3f}",
-          r["distinguishable"]] for r in rows],
-        title="E03a: ECB determinism leak on a code-like image (survey §2.2)",
-    ))
-    by_mode = {r["mode"]: r for r in rows}
-    assert by_mode["ECB"]["distinguishable"]
-    assert not by_mode["CBC"]["distinguishable"]
-    assert by_mode["ECB"]["collisions"] > 10 * max(
-        by_mode["CBC"]["collisions"], 1e-6
-    )
-
-
-def test_e03_cbc_random_access_penalty(benchmark):
-    rows = benchmark.pedantic(performance_rows, rounds=1, iterations=1)
-    print_table(format_table(
-        ["workload", "chained-CBC overhead"],
-        [[r["workload"], format_percent(r["overhead"])] for r in rows],
-        title="E03b: whole-region CBC vs access pattern (survey §2.2)",
-    ))
-    by_name = {r["workload"]: r["overhead"] for r in rows}
-    # Random access (branchy) pays dramatically more than sequential.
-    assert by_name["branchy"] > 1.5 * by_name["sequential"]
-    assert by_name["branchy"] > 1.0  # "unacceptable" territory
-
-
-if __name__ == "__main__":
-    print(security_rows())
-    print(performance_rows())
+def test_e03(benchmark):
+    run_experiment_benchmark(benchmark, "e03")

@@ -1,101 +1,12 @@
 """E04 — §2.2: the smaller-than-block write penalty.
 
-Paper claim reproduced: "The writing operation of a data smaller than the
-ciphered block size is penalizing because implies the following steps:
-read the block from memory, decipher it, modify the corresponding sequence
-into the block, re-cipher it, write it back in memory."
-
-The bench sweeps store size below and at the cipher block size on a
-write-through/no-allocate system (where stores hit memory directly) and
-reports the per-store cost inflation, plus the contrast cases: a
-byte-granular engine (DS5002FP) and the write-back cache that absorbs the
-problem.
+Thin wrapper: the measurement body, tables and claim checks live in
+:mod:`repro.runner.experiments.e04` (shared with ``python -m repro.cli
+bench``).
 """
 
-import pytest
-
-from benchmarks.common import KEY16, print_table
-from repro.analysis import format_table, measure_overhead
-from repro.core import DS5002FPEngine, DS5240Engine, XomAesEngine
-from repro.sim import CacheConfig, MemoryConfig, WritePolicy
-from repro.traces import write_burst
-
-N_STORES = 300
-WT_CACHE = CacheConfig(
-    size=1024, line_size=32, associativity=2,
-    write_policy=WritePolicy.WRITE_THROUGH, write_allocate=False,
-)
-WB_CACHE = CacheConfig(size=1024, line_size=32, associativity=2)
+from benchmarks.common import run_experiment_benchmark
 
 
-def sweep_store_size(engine_factory, sizes=(1, 2, 4, 8, 16)):
-    rows = []
-    for size in sizes:
-        trace = write_burst(N_STORES, base=0, write_size=size, stride=64)
-        result = measure_overhead(
-            engine_factory, trace,
-            cache_config=WT_CACHE,
-            mem_config=MemoryConfig(size=1 << 20, latency=40),
-            write_buffer=False,
-        )
-        rows.append({
-            "size": size,
-            "overhead": result.overhead,
-            "rmw": result.secured.rmw_operations,
-            "cycles_per_store": result.secured.cycles / N_STORES,
-        })
-    return rows
-
-
-def run_all():
-    return {
-        "ds5240 (8B block)": sweep_store_size(
-            lambda: DS5240Engine(KEY16, functional=False)),
-        "xom (16B block)": sweep_store_size(
-            lambda: XomAesEngine(KEY16, functional=False)),
-        "ds5002fp (1B block)": sweep_store_size(
-            lambda: DS5002FPEngine(KEY16, functional=False)),
-    }
-
-
-def test_e04_write_penalty(benchmark):
-    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
-    for label, rows in results.items():
-        print_table(format_table(
-            ["store size (B)", "overhead", "RMW ops", "cycles/store"],
-            [[r["size"], f"{r['overhead'] * 100:+.0f}%", r["rmw"],
-              f"{r['cycles_per_store']:.0f}"] for r in rows],
-            title=f"E04: sub-block write penalty — {label} (survey §2.2)",
-        ))
-
-    ds5240 = {r["size"]: r for r in results["ds5240 (8B block)"]}
-    xom = {r["size"]: r for r in results["xom (16B block)"]}
-    byte_engine = {r["size"]: r for r in results["ds5002fp (1B block)"]}
-
-    # Sub-block stores trigger the five-step RMW; block-aligned ones don't.
-    assert ds5240[4]["rmw"] == N_STORES
-    assert ds5240[8]["rmw"] == 0
-    assert xom[8]["rmw"] == N_STORES
-    assert xom[16]["rmw"] == 0
-    # The RMW inflates the per-store cost substantially.
-    assert ds5240[4]["cycles_per_store"] > 1.7 * ds5240[8]["cycles_per_store"]
-    # A byte-granular cipher never pays it.
-    assert all(r["rmw"] == 0 for r in byte_engine.values())
-
-
-def test_e04_write_back_cache_absorbs(benchmark):
-    """With write-allocate + write-back, the line fetch doubles as the
-    'read the block' step and the penalty folds into normal miss traffic."""
-    def run():
-        trace = write_burst(N_STORES, base=0, write_size=4, stride=64)
-        return measure_overhead(
-            lambda: DS5240Engine(KEY16, functional=False), trace,
-            cache_config=WB_CACHE,
-            mem_config=MemoryConfig(size=1 << 20, latency=40),
-        )
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
-    assert result.secured.rmw_operations == 0
-
-
-if __name__ == "__main__":
-    print(run_all())
+def test_e04(benchmark):
+    run_experiment_benchmark(benchmark, "e04")

@@ -1,122 +1,12 @@
-"""E05 — §2.3 / Figure 6: the Kuhn attack on the DS5002FP, and the DS5240's
-answer.
+"""E05 — §2.3 / Figure 6: the Kuhn attack on the DS5002FP, and the DS5240's answer.
 
-Paper claims reproduced:
-* "The hacker circumvents the cryptographic problem by ... applying
-  exhaustive attack (8-bit instruction <=> 256 possibilities).  After
-  having identified the MOV instruction, he dumped the external memory
-  content in clear form through the parallel-port" — executed end to end;
-* "the 8-bit based ciphering passes to 64-bit based ciphering" — quantified
-  as search-space explosion (2^8 -> 2^64) and block diffusion.
+Thin wrapper: the measurement body, tables and claim checks live in
+:mod:`repro.runner.experiments.e05` (shared with ``python -m repro.cli
+bench``).
 """
 
-import pytest
-
-from benchmarks.common import print_table
-from repro.analysis import format_table
-from repro.attacks import (
-    DallasBoard,
-    KuhnAttack,
-    PortBasedKuhnAttack,
-    ScrambledDallasBoard,
-    block_diffusion_probe,
-    brute_force_tries,
-)
-from repro.crypto import AddressScrambler, SmallBlockCipher, TweakableFeistel
-from repro.isa import assemble, secret_table_program
-
-MEMORY_SIZE = 1024
+from benchmarks.common import run_experiment_benchmark
 
 
-def run_attack():
-    firmware = assemble(secret_table_program(seed=2005, table_len=64),
-                        size=MEMORY_SIZE)
-    board = DallasBoard(SmallBlockCipher(b"ds5002fp-factory-key"), firmware,
-                        memory_size=MEMORY_SIZE)
-    report = KuhnAttack(board).run()
-    return firmware, report
-
-
-def run_scrambled_attack():
-    """The same break with the address bus enciphered as well."""
-    firmware = assemble(secret_table_program(seed=2005, table_len=64),
-                        size=MEMORY_SIZE)
-    board = ScrambledDallasBoard(
-        SmallBlockCipher(b"ds5002fp-factory-key"), firmware,
-        memory_size=MEMORY_SIZE,
-        scrambler=AddressScrambler(b"address-bus-key", size=MEMORY_SIZE),
-    )
-    report = PortBasedKuhnAttack(board).run()
-    return firmware, report
-
-
-def resistance_rows():
-    rows = []
-    for label, bits in (("DS5002FP", 8), ("DS5240 (DES)", 64)):
-        cipher = TweakableFeistel(b"key", block_bits=bits)
-        rows.append({
-            "device": label,
-            "block_bits": bits,
-            "tries_per_address": brute_force_tries(bits),
-            "diffusion": block_diffusion_probe(cipher),
-        })
-    return rows
-
-
-def test_e05_kuhn_attack_dumps_memory(benchmark):
-    firmware, report = benchmark.pedantic(run_attack, rounds=1, iterations=1)
-    print_table(format_table(
-        ["metric", "value"],
-        [
-            ["memory dumped (bytes)", len(report.plaintext)],
-            ["bytes exactly recovered",
-             sum(a == b for a, b in zip(report.plaintext, firmware))],
-            ["probe runs", report.probe_runs],
-            ["instructions single-stepped", report.steps_executed],
-            ["ambiguous cells", len(report.ambiguous_cells)],
-        ],
-        title="E05a: cipher instruction search vs DS5002FP (survey §2.3)",
-    ))
-    assert report.plaintext == firmware
-    # Kuhn's scale: a few 256-candidate sweeps plus one run per byte.
-    assert report.probe_runs < 6 * 256 + MEMORY_SIZE + 64
-
-
-def test_e05_address_scrambling_does_not_save_it(benchmark):
-    """Enciphering the address bus (which the real part did) only adds a
-    constant number of probe sweeps: the port-based variant of the attack
-    learns the address permutation from the CPU's own fetch pattern."""
-    firmware, report = benchmark.pedantic(run_scrambled_attack, rounds=1,
-                                          iterations=1)
-    print_table(format_table(
-        ["metric", "value"],
-        [
-            ["memory dumped (bytes)", len(report.plaintext)],
-            ["bytes exactly recovered",
-             sum(a == b for a, b in zip(report.plaintext, firmware))],
-            ["probe runs", report.probe_runs],
-        ],
-        title="E05c: the attack vs data + address encryption",
-    ))
-    assert report.plaintext == firmware
-    assert report.probe_runs < 8 * 256 + MEMORY_SIZE + 64
-
-
-def test_e05_ds5240_resists(benchmark):
-    rows = benchmark.pedantic(resistance_rows, rounds=1, iterations=1)
-    print_table(format_table(
-        ["device", "block bits", "tries/address", "bit diffusion"],
-        [[r["device"], r["block_bits"], f"{r['tries_per_address']:.2e}",
-          f"{r['diffusion']:.2f}"] for r in rows],
-        title="E05b: why 64-bit blocks stop the search (survey §3)",
-    ))
-    ds5002, ds5240 = rows
-    assert ds5002["tries_per_address"] == 256
-    assert ds5240["tries_per_address"] == 2 ** 64
-    # The 64-bit block diffuses: a single-byte probe garbles the block.
-    assert 0.35 < ds5240["diffusion"] < 0.65
-
-
-if __name__ == "__main__":
-    fw, rep = run_attack()
-    print("recovered:", rep.plaintext == fw, "runs:", rep.probe_runs)
+def test_e05(benchmark):
+    run_experiment_benchmark(benchmark, "e05")

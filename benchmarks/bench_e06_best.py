@@ -1,81 +1,12 @@
-"""E06 — Figure 3 / §3: Best's 1979 engine — cheap and fast, statistically
-weak.
+"""E06 — Figure 3 / §3: Best's 1979 engine — cheap and fast, statistically weak.
 
-Paper claims reproduced:
-* Best's cipher is built from "basic cryptographic functions such as mono
-  and poly-alphabetic substitutions and byte transpositions" — near-zero
-  latency and tiny area compared to NIST-grade cores;
-* "the principle allowing a strong security is known: hardware
-  implementation of algorithm approved by the NIST" — the statistical gap
-  between Best and AES on the same image is the measurable content of that
-  judgment.
+Thin wrapper: the measurement body, tables and claim checks live in
+:mod:`repro.runner.experiments.e06` (shared with ``python -m repro.cli
+bench``).
 """
 
-import pytest
-
-from benchmarks.common import CACHE, KEY16, N_ACCESSES, print_table
-from repro.analysis import (
-    format_gates,
-    format_percent,
-    format_table,
-    measure_overhead,
-    score_engine_ciphertext,
-)
-from repro.core import BestEngine, XomAesEngine
-from repro.traces import make_workload, synthetic_code_image
+from benchmarks.common import run_experiment_benchmark
 
 
-def _timing_only(factory):
-    """Wrap a factory so the produced engine skips functional crypto."""
-    def make():
-        engine = factory()
-        engine.functional = False
-        return engine
-    return make
-
-
-def build_rows():
-    image = synthetic_code_image(size=32 * 1024)
-    trace = make_workload("mixed", n=N_ACCESSES)
-    rows = []
-    for label, factory in (
-        ("best-1979", lambda: BestEngine(KEY16, num_alphabets=16)),
-        ("xom-aes", lambda: XomAesEngine(KEY16)),
-    ):
-        engine = factory()
-        score = score_engine_ciphertext(engine, image)
-        perf = measure_overhead(
-            _timing_only(factory), trace, cache_config=CACHE,
-        )
-        rows.append({
-            "engine": label,
-            "overhead": perf.overhead,
-            "area": engine.area().total,
-            "entropy": score.entropy_bits_per_byte,
-            "collisions": score.block_collision_rate,
-            "distinguishable": score.distinguishable,
-        })
-    return rows
-
-
-def test_e06_best_vs_aes(benchmark):
-    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
-    print_table(format_table(
-        ["engine", "overhead", "area", "ct entropy", "block collisions",
-         "distinguishable?"],
-        [[r["engine"], format_percent(r["overhead"]),
-          format_gates(r["area"]), f"{r['entropy']:.2f}",
-          f"{r['collisions']:.4f}", r["distinguishable"]] for r in rows],
-        title="E06: Best 1979 vs pipelined AES (survey Fig. 3 / §3)",
-    ))
-    best, xom = rows
-    # Cheap and fast...
-    assert best["overhead"] < xom["overhead"]
-    assert best["area"] < xom["area"] / 10
-    # ...but statistically weaker on structured images.
-    assert best["collisions"] > xom["collisions"]
-    assert best["entropy"] <= xom["entropy"] + 1e-9
-
-
-if __name__ == "__main__":
-    print(build_rows())
+def test_e06(benchmark):
+    run_experiment_benchmark(benchmark, "e06")

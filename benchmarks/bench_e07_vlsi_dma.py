@@ -1,100 +1,12 @@
 """E07 — Figure 4 / §3: VLSI Technology's page-wise secure DMA.
 
-Paper claims reproduced:
-* "data transfers to and from the external memory are done page-by-page
-  ... This system allows the use of block cipher techniques (robustness)"
-  — the page transfer amortizes a heavyweight 3DES-CBC over many accesses;
-* the implied trade: large pages win when locality is high (few faults,
-  on-chip hits are nearly free) and lose when access is scattered
-  (fault cost scales with the page size).
+Thin wrapper: the measurement body, tables and claim checks live in
+:mod:`repro.runner.experiments.e07` (shared with ``python -m repro.cli
+bench``).
 """
 
-import pytest
-
-from benchmarks.common import KEY24, N_ACCESSES, print_table
-from repro.analysis import ascii_plot, format_percent, format_table, measure_overhead
-from repro.core import VlsiDmaEngine
-from repro.sim import CacheConfig, MemoryConfig
-from repro.traces import make_workload
-
-CACHE = CacheConfig(size=1024, line_size=32, associativity=2)
-MEM = MemoryConfig(size=1 << 21, latency=40)
-BUFFER_BYTES = 8192  # constant on-chip budget across the sweep
+from benchmarks.common import run_experiment_benchmark
 
 
-def sweep_page_size(workload, page_sizes=(256, 512, 1024, 2048, 4096)):
-    trace = make_workload(workload, n=N_ACCESSES)
-    rows = []
-    for page_size in page_sizes:
-        engine = VlsiDmaEngine(
-            KEY24, page_size=page_size,
-            buffer_pages=max(1, BUFFER_BYTES // page_size),
-            functional=False,
-        )
-        result = measure_overhead(
-            lambda e=engine: e, trace, workload=workload,
-            cache_config=CACHE, mem_config=MEM,
-        )
-        rows.append({
-            "page_size": page_size,
-            "overhead": result.overhead,
-            "faults": engine.page_faults,
-            "writebacks": engine.page_writebacks,
-        })
-    return rows
-
-
-def run_sweeps():
-    return {
-        "sequential": sweep_page_size("sequential"),
-        "data-random": sweep_page_size("data-random"),
-    }
-
-
-def test_e07_page_size_tradeoff(benchmark):
-    sweeps = benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
-    for workload, rows in sweeps.items():
-        print_table(format_table(
-            ["page size", "overhead", "page faults", "page writebacks"],
-            [[r["page_size"], format_percent(r["overhead"]), r["faults"],
-              r["writebacks"]] for r in rows],
-            title=f"E07: secure-DMA page-size sweep — {workload} "
-                  "(survey Fig. 4)",
-        ))
-    print(ascii_plot(
-        {name: [(r["page_size"], 100 * r["overhead"]) for r in rows]
-         for name, rows in sweeps.items()},
-        title="E07 figure: overhead (%) vs page size",
-        x_label="page size (bytes)", y_label="%",
-    ))
-    seq = {r["page_size"]: r for r in sweeps["sequential"]}
-    rnd = {r["page_size"]: r for r in sweeps["data-random"]}
-
-    # High locality: bigger pages mean fewer faults.
-    assert seq[4096]["faults"] < seq[256]["faults"]
-    # Scattered access: every fault drags a whole page across the bus, so
-    # the random workload suffers far more than the sequential one at any
-    # page size.
-    for size in (256, 1024, 4096):
-        assert rnd[size]["overhead"] > 3 * max(seq[size]["overhead"], 0.01)
-    # And for the random workload, growing pages past the sweet spot hurts.
-    assert rnd[4096]["overhead"] > rnd[256]["overhead"]
-
-
-def test_e07_locality_makes_dma_competitive(benchmark):
-    """With strong locality the page buffer behaves like an L2: most
-    accesses never reach the bus at all."""
-    def run():
-        trace = make_workload("sequential", n=N_ACCESSES)
-        engine = VlsiDmaEngine(KEY24, page_size=2048, buffer_pages=4,
-                               functional=False)
-        return measure_overhead(
-            lambda: engine, trace, cache_config=CACHE, mem_config=MEM,
-        )
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
-    # Bulk 3DES per page amortized over 64 lines: modest overhead.
-    assert result.overhead < 3.0
-
-
-if __name__ == "__main__":
-    print(run_sweeps())
+def test_e07(benchmark):
+    run_experiment_benchmark(benchmark, "e07")

@@ -1,114 +1,12 @@
 """E08 — Figure 5 / §3: General Instrument's 3DES-CBC + keyed hash.
 
-Paper claims reproduced:
-* "cipher block chaining technique is very robust but implies unacceptable
-  CPU performance degradation for random accesses in external memory" —
-  swept over chain-region size, with the sequential case as contrast;
-* "the possibility to authenticate the data coming from external memory
-  thanks to a keyed hash algorithm" — tamper detection demonstrated and
-  its verification cost measured;
-* chain-granularity ablation: region = line degenerates into AEGIS-style
-  per-line chaining and the penalty vanishes.
+Thin wrapper: the measurement body, tables and claim checks live in
+:mod:`repro.runner.experiments.e08` (shared with ``python -m repro.cli
+bench``).
 """
 
-import pytest
-
-from benchmarks.common import KEY24, N_ACCESSES, print_table
-from repro.analysis import ascii_plot, format_percent, format_table, measure_overhead
-from repro.core import AuthenticationError, GeneralInstrumentEngine
-from repro.core.engine import MemoryPort
-from repro.sim import Bus, CacheConfig, MainMemory, MemoryConfig
-from repro.traces import make_workload
-
-CACHE = CacheConfig(size=1024, line_size=32, associativity=2)
-MEM = MemoryConfig(size=1 << 21, latency=40)
-IMAGE_SIZE = 32 * 1024
+from benchmarks.common import run_experiment_benchmark
 
 
-def clamp(trace, size=IMAGE_SIZE):
-    return [type(a)(a.kind, a.addr % size, a.size) for a in trace]
-
-
-def sweep_region_size(workload, region_sizes=(32, 256, 1024, 4096)):
-    trace = clamp(make_workload(workload, n=N_ACCESSES))
-    rows = []
-    for region in region_sizes:
-        result = measure_overhead(
-            lambda: GeneralInstrumentEngine(
-                KEY24, region_size=region, authenticate=False,
-                functional=False,
-            ),
-            trace, image=bytes(IMAGE_SIZE), cache_config=CACHE,
-            mem_config=MEM,
-        )
-        rows.append({"region": region, "overhead": result.overhead})
-    return rows
-
-
-def run_sweeps():
-    return {
-        "sequential": sweep_region_size("sequential"),
-        "data-random": sweep_region_size("data-random"),
-    }
-
-
-def test_e08_random_access_degradation(benchmark):
-    sweeps = benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
-    for workload, rows in sweeps.items():
-        print_table(format_table(
-            ["chain region (B)", "overhead"],
-            [[r["region"], format_percent(r["overhead"])] for r in rows],
-            title=f"E08: 3DES-CBC chain-region sweep — {workload} "
-                  "(survey Fig. 5)",
-        ))
-    print(ascii_plot(
-        {name: [(r["region"], 100 * r["overhead"]) for r in rows]
-         for name, rows in sweeps.items()},
-        title="E08 figure: overhead (%) vs chain-region size",
-        x_label="chain region (bytes)", y_label="%",
-    ))
-    rnd = {r["region"]: r["overhead"] for r in sweeps["data-random"]}
-    seq = {r["region"]: r["overhead"] for r in sweeps["sequential"]}
-    # Random access degrades sharply with the chain length...
-    assert rnd[4096] > 5 * rnd[32]
-    # ...while per-line chaining (the AEGIS fixed point) is bounded by the
-    # iterative core's drain, not the chain (AEGIS + a pipelined core gets
-    # this down to ~25%, see E11).
-    assert rnd[32] < 6.0
-    # Sequential access is insulated by the chain register at every size.
-    assert seq[4096] < rnd[4096] / 3
-
-
-def test_e08_authentication(benchmark):
-    def run():
-        engine = GeneralInstrumentEngine(KEY24, region_size=1024)
-        port = MemoryPort(MainMemory(MemoryConfig(size=1 << 16)), Bus())
-        image = bytes((i * 7) & 0xFF for i in range(4096))
-        engine.install_image(port.memory, 0, image)
-        _, clean_cycles = engine.fill_line(port, 0, 32)
-        # Attacker flips one external bit.
-        tampered = port.memory.dump(2048, 1) [0] ^ 1
-        port.memory.load_image(2048, bytes([tampered]))
-        try:
-            engine.fill_line(port, 2048, 32)
-            detected = False
-        except AuthenticationError:
-            detected = True
-        return clean_cycles, detected, engine.tamper_detected
-
-    clean_cycles, detected, count = benchmark.pedantic(
-        run, rounds=1, iterations=1
-    )
-    print_table(format_table(
-        ["metric", "value"],
-        [["clean first-touch cycles (incl. hash)", clean_cycles],
-         ["single-bit tamper detected", detected],
-         ["tamper events counted", count]],
-        title="E08b: keyed-hash authentication (survey Fig. 5)",
-    ))
-    assert detected
-    assert count == 1
-
-
-if __name__ == "__main__":
-    print(run_sweeps())
+def test_e08(benchmark):
+    run_experiment_benchmark(benchmark, "e08")

@@ -1,111 +1,12 @@
-"""E09 — §3 (Gilmont et al. [3]): fetch prediction + pipelined 3DES.
+"""E09 — §3 (Gilmont et al.): fetch prediction + pipelined 3DES.
 
-Paper claims reproduced:
-* "They assume to keep the deciphering cost under 2,5% in term of
-  performance cost" — holds on the workload class the paper scopes
-  (static, sequential code) and degrades with branchiness;
-* "this work only addresses static code ciphering and consequently authors
-  are not confronted to smaller-than-block-size memory operations" — the
-  write-side blind spot measured on a write-bearing workload;
-* ablation: predictor depth.
+Thin wrapper: the measurement body, tables and claim checks live in
+:mod:`repro.runner.experiments.e09` (shared with ``python -m repro.cli
+bench``).
 """
 
-import pytest
-
-from benchmarks.common import CACHE, KEY24, N_ACCESSES, print_table
-from repro.analysis import ascii_plot, format_percent, format_table, measure_overhead
-from repro.core import GilmontEngine
-from repro.crypto import DRBG
-from repro.sim import CacheConfig, MemoryConfig, WritePolicy
-from repro.traces import branchy_code, make_workload
+from benchmarks.common import run_experiment_benchmark
 
 
-def sweep_branchiness(p_takens=(0.0, 0.05, 0.15, 0.3, 0.5)):
-    rows = []
-    for p in p_takens:
-        trace = branchy_code(N_ACCESSES, DRBG(100), p_taken=p,
-                             code_size=1 << 18)
-        result = measure_overhead(
-            lambda: GilmontEngine(KEY24, functional=False),
-            trace, cache_config=CACHE,
-        )
-        rows.append({"p_taken": p, "overhead": result.overhead})
-    return rows
-
-
-def sweep_depth(depths=(0, 1, 2, 4)):
-    trace = branchy_code(N_ACCESSES, DRBG(101), p_taken=0.1,
-                         code_size=1 << 18)
-    rows = []
-    for depth in depths:
-        result = measure_overhead(
-            lambda: GilmontEngine(KEY24, prediction_depth=depth,
-                                  functional=False),
-            trace, cache_config=CACHE,
-        )
-        rows.append({"depth": depth, "overhead": result.overhead})
-    return rows
-
-
-def write_blind_spot():
-    """Data writes through the engine: the paper never measured these."""
-    trace = make_workload("write-heavy", n=N_ACCESSES)
-    wt_cache = CacheConfig(
-        size=4096, line_size=32, associativity=2,
-        write_policy=WritePolicy.WRITE_THROUGH, write_allocate=False,
-    )
-    return measure_overhead(
-        lambda: GilmontEngine(KEY24, functional=False),
-        trace, cache_config=wt_cache,
-        mem_config=MemoryConfig(size=1 << 21, latency=40),
-        write_buffer=False,
-    )
-
-
-def test_e09_fetch_prediction(benchmark):
-    rows = benchmark.pedantic(sweep_branchiness, rounds=1, iterations=1)
-    print_table(format_table(
-        ["taken-branch probability", "overhead"],
-        [[f"{r['p_taken']:.2f}", format_percent(r["overhead"])]
-         for r in rows],
-        title="E09: Gilmont fetch prediction vs branchiness (survey §3)",
-    ))
-    print(ascii_plot(
-        {"gilmont-3des": [(r["p_taken"], 100 * r["overhead"]) for r in rows]},
-        title="E09 figure: overhead (%) vs taken-branch probability",
-        x_label="p(taken)", y_label="%",
-    ))
-    by_p = {r["p_taken"]: r["overhead"] for r in rows}
-    # The published claim, within its scope: sequential code < 2.5%.
-    assert by_p[0.0] < 0.025
-    # Branchy code defeats the predictor: monotone degradation.
-    overheads = [r["overhead"] for r in rows]
-    assert overheads == sorted(overheads)
-    assert by_p[0.5] > 0.05
-
-
-def test_e09_depth_ablation(benchmark):
-    rows = benchmark.pedantic(sweep_depth, rounds=1, iterations=1)
-    print_table(format_table(
-        ["prediction depth", "overhead"],
-        [[r["depth"], format_percent(r["overhead"])] for r in rows],
-        title="E09 ablation: predictor depth on lightly branchy code",
-    ))
-    assert rows[-1]["overhead"] < rows[0]["overhead"]
-
-
-def test_e09_write_blind_spot(benchmark):
-    result = benchmark.pedantic(write_blind_spot, rounds=1, iterations=1)
-    print_table(format_table(
-        ["metric", "value"],
-        [["write-heavy overhead", format_percent(result.overhead)],
-         ["read-modify-writes", result.secured.rmw_operations]],
-        title="E09b: the write-side blind spot (survey §3)",
-    ))
-    # Far outside the paper's 2.5% envelope once writes appear.
-    assert result.overhead > 0.10
-    assert result.secured.rmw_operations > 0
-
-
-if __name__ == "__main__":
-    print(sweep_branchiness())
+def test_e09(benchmark):
+    run_experiment_benchmark(benchmark, "e09")

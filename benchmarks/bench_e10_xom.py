@@ -1,122 +1,12 @@
-"""E10 — §3 (XOM [13]): the pipelined AES and the latency-vs-system-cost
-caveat.
+"""E10 — §3 (XOM): the pipelined AES and the latency-vs-system-cost caveat.
 
-Paper claims reproduced:
-* "a pipelined AES block cipher as cipher unit which features a low latency
-  of 14 latency cycles, while a throughput of one encrypted/decrypted data
-  per clock cycle is claimed" — the microbenchmark rows;
-* "taking into account only the latency doesn't inform about the overall
-  system cost" — the same unit produces wildly different overheads across
-  the workload suite, tracking miss rate rather than the constant 14.
+Thin wrapper: the measurement body, tables and claim checks live in
+:mod:`repro.runner.experiments.e10` (shared with ``python -m repro.cli
+bench``).
 """
 
-import pytest
-
-from benchmarks.common import CACHE, KEY16, MEM, N_ACCESSES, print_table
-from repro.analysis import format_percent, format_table, measure_overhead
-from repro.core import XomAesEngine
-from repro.sim import XOM_AES_PIPE, PipelinedUnit
-from repro.traces import WORKLOAD_NAMES, make_workload
+from benchmarks.common import run_experiment_benchmark
 
 
-def microbench_rows():
-    rows = []
-    for nblocks in (1, 2, 8, 32, 128):
-        rows.append({
-            "blocks": nblocks,
-            "cycles": XOM_AES_PIPE.time_for(nblocks),
-            "per_block": XOM_AES_PIPE.time_for(nblocks) / nblocks,
-        })
-    return rows
-
-
-def system_rows():
-    from repro.traces import sequential_code
-
-    workloads = {
-        # Cache-resident loop: the engine is nearly invisible.
-        "loop-resident": sequential_code(2 * N_ACCESSES, code_size=2048),
-        # Working set slightly over the cache: moderate miss traffic.
-        "loop-spill": sequential_code(2 * N_ACCESSES, code_size=8192),
-    }
-    workloads.update(
-        (name, make_workload(name, n=N_ACCESSES)) for name in WORKLOAD_NAMES
-    )
-    rows = []
-    for name, trace in workloads.items():
-        result = measure_overhead(
-            lambda: XomAesEngine(KEY16, functional=False),
-            trace, workload=name, cache_config=CACHE, mem_config=MEM,
-        )
-        rows.append({
-            "workload": name,
-            "overhead": result.overhead,
-            "miss_rate": result.baseline.miss_rate,
-        })
-    return rows
-
-
-def test_e10_unit_microbench(benchmark):
-    rows = benchmark.pedantic(microbench_rows, rounds=1, iterations=1)
-    print_table(format_table(
-        ["blocks", "cycles", "cycles/block"],
-        [[r["blocks"], r["cycles"], f"{r['per_block']:.2f}"] for r in rows],
-        title="E10a: XOM pipelined AES unit (14-cycle latency, II=1)",
-    ))
-    assert rows[0]["cycles"] == 14                       # published latency
-    assert rows[-1]["per_block"] < 1.2                   # ~1 block/cycle
-
-
-def test_e10_latency_does_not_predict_system_cost(benchmark):
-    rows = benchmark.pedantic(system_rows, rounds=1, iterations=1)
-    print_table(format_table(
-        ["workload", "baseline miss rate", "overhead (same 14-cycle unit)"],
-        [[r["workload"], f"{r['miss_rate']:.1%}",
-          format_percent(r["overhead"])] for r in rows],
-        title="E10b: one latency, many system costs (survey §3)",
-    ))
-    overheads = [r["overhead"] for r in rows]
-    assert max(overheads) > 4 * max(min(overheads), 1e-4)
-    # Overhead tracks the miss rate, not the unit latency: the rank
-    # correlation between the two columns must be strongly positive.
-    miss = [r["miss_rate"] for r in rows]
-    rank = lambda xs: {i: sorted(xs).index(x) for i, x in enumerate(xs)}
-    rm, ro = rank(miss), rank(overheads)
-    agreements = sum(
-        1
-        for i in range(len(rows))
-        for j in range(i + 1, len(rows))
-        if (rm[i] - rm[j]) * (ro[i] - ro[j]) > 0
-    )
-    pairs = len(rows) * (len(rows) - 1) // 2
-    assert agreements / pairs > 0.7
-
-
-def test_e10_iterative_vs_pipelined(benchmark):
-    """Ablation: the same AES algorithm without pipelining."""
-    def run():
-        trace = make_workload("branchy", n=N_ACCESSES)
-        iterative = PipelinedUnit("aes-iter", latency=11,
-                                  initiation_interval=11)
-        pipe = measure_overhead(
-            lambda: XomAesEngine(KEY16, functional=False),
-            trace, cache_config=CACHE, mem_config=MEM,
-        ).overhead
-        iter_ = measure_overhead(
-            lambda: XomAesEngine(KEY16, unit=iterative, functional=False),
-            trace, cache_config=CACHE, mem_config=MEM,
-        ).overhead
-        return pipe, iter_
-
-    pipe, iter_ = benchmark.pedantic(run, rounds=1, iterations=1)
-    print_table(format_table(
-        ["unit", "overhead"],
-        [["pipelined (II=1)", format_percent(pipe)],
-         ["iterative (II=11)", format_percent(iter_)]],
-        title="E10c ablation: pipelining the AES core",
-    ))
-    assert iter_ > pipe
-
-
-if __name__ == "__main__":
-    print(system_rows())
+def test_e10(benchmark):
+    run_experiment_benchmark(benchmark, "e10")

@@ -1,154 +1,12 @@
-"""E11 — §3 (AEGIS [14]): per-cache-line AES-CBC, the 25% overhead and
-the birthday-proof IVs.
+"""E11 — §3 (AEGIS): per-cache-line AES-CBC, the 25% overhead, birthday-proof IVs.
 
-Paper claims reproduced:
-* "the ciphering block chain corresponds to a cache block, thus allowing
-  random access to external memory" — AEGIS's random-access overhead stays
-  bounded where whole-region chaining (E08) explodes;
-* "they estimate the performance overhead induced by the encryption engine
-  to 25%" — the mixed-workload overhead lands in that neighbourhood;
-* "a pipelined AES (300,000 gates)" — the area estimate;
-* IV "composed by the block address and by a random vector; to thwart the
-  birthday attack it is possible to replace the random vector by a
-  counter" — collision statistics for both modes.
+Thin wrapper: the measurement body, tables and claim checks live in
+:mod:`repro.runner.experiments.e11` (shared with ``python -m repro.cli
+bench``).
 """
 
-import pytest
-
-from benchmarks.common import KEY16, N_ACCESSES, print_table
-from repro.analysis import (
-    format_gates,
-    format_percent,
-    format_table,
-    measure_overhead,
-)
-from repro.attacks import (
-    collision_probability,
-    count_collisions,
-    expected_writes_to_collision,
-)
-from repro.core import AegisEngine, GeneralInstrumentEngine
-from repro.crypto import DRBG
-from repro.sim import CacheConfig, MemoryConfig
-from repro.traces import WORKLOAD_NAMES, make_workload
-
-CACHE = CacheConfig(size=4096, line_size=32, associativity=2)
-MEM = MemoryConfig(size=1 << 21, latency=40)
+from benchmarks.common import run_experiment_benchmark
 
 
-def overhead_rows():
-    from repro.traces import sequential_code
-
-    workloads = {
-        # Mostly cache-resident loop: realistic low miss rate.
-        "loop-resident": sequential_code(2 * N_ACCESSES, code_size=2048),
-        "loop-spill": sequential_code(2 * N_ACCESSES, code_size=8192),
-    }
-    workloads.update(
-        (name, make_workload(name, n=N_ACCESSES)) for name in WORKLOAD_NAMES
-    )
-    rows = []
-    for name, trace in workloads.items():
-        result = measure_overhead(
-            lambda: AegisEngine(KEY16, functional=False),
-            trace, workload=name, cache_config=CACHE, mem_config=MEM,
-        )
-        rows.append({"workload": name, "overhead": result.overhead})
-    return rows
-
-
-def random_access_contrast():
-    trace = [
-        type(a)(a.kind, a.addr % (32 * 1024), a.size)
-        for a in make_workload("data-random", n=N_ACCESSES)
-    ]
-    aegis = measure_overhead(
-        lambda: AegisEngine(KEY16, functional=False),
-        trace, cache_config=CACHE, mem_config=MEM,
-    ).overhead
-    chained = measure_overhead(
-        lambda: GeneralInstrumentEngine(
-            b"0123456789abcdef01234567", region_size=4096,
-            authenticate=False, functional=False,
-        ),
-        trace, image=bytes(32 * 1024), cache_config=CACHE, mem_config=MEM,
-    ).overhead
-    return aegis, chained
-
-
-def iv_rows(n_writes=600, vector_bits=16):
-    rows = []
-    for mode in ("random", "counter"):
-        engine = AegisEngine(KEY16, iv_mode=mode, vector_bits=vector_bits,
-                             rng=DRBG(31))
-        line = bytes(32)
-        for i in range(n_writes):
-            engine.encrypt_line((i % 64) * 32, line)
-        rows.append({
-            "iv_mode": mode,
-            "collisions": count_collisions(engine.issued_vectors),
-            # A counter cannot repeat before wrapping at 2^bits writes.
-            "predicted_p": (
-                collision_probability(n_writes, vector_bits)
-                if mode == "random" else 0.0
-            ),
-        })
-    return rows
-
-
-def test_e11_overhead_near_25_percent(benchmark):
-    rows = benchmark.pedantic(overhead_rows, rounds=1, iterations=1)
-    print_table(format_table(
-        ["workload", "AEGIS overhead"],
-        [[r["workload"], format_percent(r["overhead"])] for r in rows],
-        title="E11a: AEGIS per-line AES-CBC overhead (survey: ~25%)",
-    ))
-    values = [r["overhead"] for r in rows]
-    # The suite brackets the published 25% figure.
-    assert min(values) < 0.25 < max(values) * 1.5
-    assert sum(values) / len(values) < 1.0
-
-
-def test_e11_random_access_preserved(benchmark):
-    aegis, chained = benchmark.pedantic(random_access_contrast, rounds=1,
-                                        iterations=1)
-    print_table(format_table(
-        ["engine", "random-access overhead"],
-        [["AEGIS (chain = cache line)", format_percent(aegis)],
-         ["GI (chain = 4 KiB region)", format_percent(chained)]],
-        title="E11b: per-line chaining preserves random access (survey §3)",
-    ))
-    assert chained > 10 * aegis
-
-
-def test_e11_iv_birthday(benchmark):
-    rows = benchmark.pedantic(iv_rows, rounds=1, iterations=1)
-    print_table(format_table(
-        ["IV mode", "observed collisions", "predicted P(collision)"],
-        [[r["iv_mode"], r["collisions"], f"{r['predicted_p']:.2f}"]
-         for r in rows],
-        title="E11c: random vs counter vector, 16-bit, 600 writes "
-              "(survey §3)",
-    ))
-    by_mode = {r["iv_mode"]: r for r in rows}
-    # Random vectors collide at the birthday scale; counters never do.
-    assert by_mode["random"]["collisions"] > 0
-    assert by_mode["counter"]["collisions"] == 0
-    assert expected_writes_to_collision(16) < 600
-
-
-def test_e11_area(benchmark):
-    area = benchmark.pedantic(
-        lambda: AegisEngine(KEY16).area(), rounds=1, iterations=1
-    )
-    print_table(format_table(
-        ["component", "gates"],
-        [[label, format_gates(g)] for label, g in
-         sorted(area.items.items(), key=lambda kv: -kv[1])],
-        title="E11d: AEGIS area (survey: 300k-gate pipelined AES)",
-    ))
-    assert area.items["aes_pipelined"] == 300_000
-
-
-if __name__ == "__main__":
-    print(overhead_rows())
+def test_e11(benchmark):
+    run_experiment_benchmark(benchmark, "e11")

@@ -1,89 +1,12 @@
 """E12 — Figure 7 / §4: EDU placement, CPU-cache vs cache-memory.
 
-Paper claims reproduced:
-* 7b stored-keystream variant needs "an on-chip memory equivalent to the
-  cache memory in term of size" — §5 calls the doubling unaffordable;
-* 7b generate-on-demand "implies important performance loss" (the
-  generator latency lands on every cache access);
-* "this scheme seems to provide no benefit in term of performance when
-  compared to a stream cipher located between cache memory and memory
-  controller."
+Thin wrapper: the measurement body, tables and claim checks live in
+:mod:`repro.runner.experiments.e12` (shared with ``python -m repro.cli
+bench``).
 """
 
-import pytest
-
-from benchmarks.common import KEY16, N_ACCESSES, print_table
-from repro.analysis import format_gates, format_percent, format_table
-from repro.core import compare_placements
-from repro.sim import CacheConfig, MemoryConfig, sram_gates
-from repro.traces import make_workload
-
-CACHE = CacheConfig(size=8192, line_size=32, associativity=2)
-MEM = MemoryConfig(size=1 << 21, latency=40)
+from benchmarks.common import run_experiment_benchmark
 
 
-def run_comparison(workload="mixed"):
-    trace = make_workload(workload, n=N_ACCESSES)
-    return compare_placements(trace, key=KEY16, cache_config=CACHE,
-                              mem_config=MEM)
-
-
-def test_e12_placement(benchmark):
-    comparison = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
-    overheads = comparison.overheads()
-    print_table(format_table(
-        ["design point", "overhead", "engine area"],
-        [[name, format_percent(overheads[name]),
-          format_gates(comparison.areas[name])] for name in overheads],
-        title="E12: EDU placement (survey Fig. 7 / §4)",
-    ))
-    # No performance benefit from the CPU-cache placement...
-    assert overheads["cpu-cache stored pad (7b)"] >= \
-        overheads["cache-memory (7a)"] - 1e-9
-    # ...and the on-demand variant is far worse.
-    assert overheads["cpu-cache generated pad (7b)"] > \
-        5 * max(overheads["cache-memory (7a)"], 0.001)
-    # The stored variant pays an SRAM bill equal to the whole cache.
-    premium = (comparison.areas["cpu-cache stored pad (7b)"]
-               - comparison.areas["cpu-cache generated pad (7b)"])
-    assert premium == sram_gates(CACHE.size)
-
-
-def test_e12_cache_sensitivity(benchmark):
-    """The per-access tax of 7b scales with hit volume: the more the cache
-    does its job, the worse 7b compares."""
-    def run():
-        rows = []
-        for size in (1024, 4096, 16384):
-            trace = make_workload("data-local", n=N_ACCESSES)
-            comparison = compare_placements(
-                trace, key=KEY16,
-                cache_config=CacheConfig(size=size, line_size=32,
-                                         associativity=2),
-                mem_config=MEM,
-            )
-            o = comparison.overheads()
-            rows.append({
-                "cache": size,
-                "edu_7a": o["cache-memory (7a)"],
-                "edu_7b": o["cpu-cache stored pad (7b)"],
-            })
-        return rows
-
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    print_table(format_table(
-        ["cache size", "7a overhead", "7b (stored) overhead"],
-        [[r["cache"], format_percent(r["edu_7a"]),
-          format_percent(r["edu_7b"])] for r in rows],
-        title="E12b: placement vs cache size",
-    ))
-    # The 7b/7a *relative* gap widens as hits dominate.
-    ratios = [
-        (r["edu_7b"] + 1e-9) / (r["edu_7a"] + 1e-9) for r in rows
-    ]
-    assert ratios[-1] > ratios[0]
-
-
-if __name__ == "__main__":
-    c = run_comparison()
-    print(c.overheads())
+def test_e12(benchmark):
+    run_experiment_benchmark(benchmark, "e12")

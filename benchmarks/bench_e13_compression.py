@@ -1,120 +1,12 @@
 """E13 — Figure 8 / §4: compression before encryption.
 
-Paper claims reproduced:
-* CodePack-class code compression: "an increase of memory density of 35%"
-  — measured from the packed image;
-* "The performance impact is claimed to be about +/- 10% (depends on the
-  type of memory used)" — the sign flips across the memory-latency sweep;
-* "The compression has to be done before ciphering, if not, compression
-  will have a very poor ratio due to the strong stochastic properties of
-  encrypted data" — compress-then-encrypt vs encrypt-then-compress ratios;
-* "compression increases the message entropy" — entropy columns.
+Thin wrapper: the measurement body, tables and claim checks live in
+:mod:`repro.runner.experiments.e13` (shared with ``python -m repro.cli
+bench``).
 """
 
-import pytest
-
-from benchmarks.common import KEY16, N_ACCESSES, print_table
-from repro.analysis import format_percent, format_table, measure_overhead
-from repro.compression import (
-    CodePack,
-    lz77_compress,
-    shannon_entropy,
-)
-from repro.core import CompressedEncryptionEngine
-from repro.crypto import AES, CTR
-from repro.sim import CacheConfig, MemoryConfig
-from repro.traces import sequential_code, synthetic_code_image
-
-CACHE = CacheConfig(size=1024, line_size=32, associativity=2)
-IMAGE_SIZE = 32 * 1024
+from benchmarks.common import run_experiment_benchmark
 
 
-def density_and_ordering():
-    image = synthetic_code_image(size=IMAGE_SIZE)
-    compressed = CodePack(block_size=32).compress_image(image)
-    ciphertext = CTR(AES(KEY16), nonce=bytes(12)).encrypt(image)
-
-    compress_then_encrypt = len(lz77_compress(image))  # then encrypt: same size
-    encrypt_then_compress = len(lz77_compress(ciphertext))
-    return {
-        "codepack_ratio": compressed.ratio,
-        "density_gain": compressed.density_gain,
-        "plain_entropy": shannon_entropy(image),
-        "compressed_entropy": shannon_entropy(b"".join(compressed.blocks)),
-        "cipher_entropy": shannon_entropy(ciphertext),
-        "cte_ratio": compress_then_encrypt / len(image),
-        "etc_ratio": encrypt_then_compress / len(ciphertext),
-    }
-
-
-#: "Depends on the type of memory used": (label, latency, bus bytes/beat,
-#: cycles/beat) from fast wide SDR down to slow narrow ROM-class memory.
-MEMORY_TYPES = (
-    ("fast wide (8B/beat)", 10, 8, 1),
-    ("moderate (4B/beat)", 40, 4, 1),
-    ("slow narrow (2B, 2cyc)", 40, 2, 2),
-    ("serial ROM (1B, 4cyc)", 60, 1, 4),
-)
-
-
-def memory_type_sweep(memory_types=MEMORY_TYPES):
-    image = synthetic_code_image(size=IMAGE_SIZE)
-    trace = sequential_code(N_ACCESSES, code_size=IMAGE_SIZE)
-    rows = []
-    for label, latency, width, cpb in memory_types:
-        mem = MemoryConfig(size=1 << 20, latency=latency, bus_width=width,
-                           cycles_per_beat=cpb)
-        result = measure_overhead(
-            lambda: CompressedEncryptionEngine(KEY16, line_size=32,
-                                               functional=False),
-            trace, image=image, cache_config=CACHE, mem_config=mem,
-        )
-        rows.append({"memory": label, "overhead": result.overhead})
-    return rows
-
-
-def test_e13_density_and_ordering(benchmark):
-    stats = benchmark.pedantic(density_and_ordering, rounds=1, iterations=1)
-    print_table(format_table(
-        ["metric", "value"],
-        [
-            ["CodePack compression ratio", f"{stats['codepack_ratio']:.2f}"],
-            ["memory density gain", format_percent(stats["density_gain"])],
-            ["plain image entropy (bits/B)", f"{stats['plain_entropy']:.2f}"],
-            ["compressed entropy", f"{stats['compressed_entropy']:.2f}"],
-            ["ciphertext entropy", f"{stats['cipher_entropy']:.2f}"],
-            ["compress-then-encrypt size ratio", f"{stats['cte_ratio']:.2f}"],
-            ["encrypt-then-compress size ratio", f"{stats['etc_ratio']:.2f}"],
-        ],
-        title="E13a: density, entropy and the ordering rule (survey Fig. 8)",
-    ))
-    # The survey's 35% density figure: our code-like image lands nearby.
-    assert stats["density_gain"] > 0.20
-    # Compression raises entropy toward the cipher's.
-    assert stats["compressed_entropy"] > stats["plain_entropy"]
-    # Ordering: compressing ciphertext achieves (essentially) nothing.
-    assert stats["etc_ratio"] > 0.95
-    assert stats["cte_ratio"] < 0.7
-
-
-def test_e13_plus_minus_ten_percent(benchmark):
-    rows = benchmark.pedantic(memory_type_sweep, rounds=1, iterations=1)
-    print_table(format_table(
-        ["memory type", "compress+encrypt overhead"],
-        [[r["memory"], format_percent(r["overhead"])] for r in rows],
-        title="E13b: the '+/- 10%' — sign depends on the type of memory "
-              "(survey §4)",
-    ))
-    overheads = [r["overhead"] for r in rows]
-    # The sweep crosses zero: a loss on a fast wide bus (the decoder can't
-    # hide behind the few saved beats), a win on transfer-bound memory.
-    assert overheads[0] > 0.0       # fast wide: compression costs
-    assert overheads[-1] < 0.0      # slow narrow: compression pays
-    # Monotone: the narrower/slower the transfer, the better compression
-    # looks.
-    assert overheads == sorted(overheads, reverse=True)
-
-
-if __name__ == "__main__":
-    print(density_and_ordering())
-    print(memory_type_sweep())
+def test_e13(benchmark):
+    run_experiment_benchmark(benchmark, "e13")

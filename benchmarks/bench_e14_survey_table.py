@@ -1,159 +1,12 @@
 """E14 — §3/§5 synthesis: the survey's comparison, made quantitative.
 
-One row per surveyed engine: performance overhead on the workload suite,
-silicon area, random-access support, sub-block-write behaviour, and the
-highest IBM adversary class the engine's confidentiality withstands.  This
-is the table the survey never printed but constantly argues about — the
-trade between "intended security (robustness) and affordable performance
-loss" (§2.2).
+Thin wrapper: the measurement body, tables and claim checks live in
+:mod:`repro.runner.experiments.e14` (shared with ``python -m repro.cli
+bench``).
 """
 
-import pytest
-
-from benchmarks.common import KEY16, KEY24, N_ACCESSES, print_table
-from repro.analysis import (
-    format_gates,
-    format_percent,
-    format_table,
-    measure_overhead,
-)
-from repro.attacks import rate_engine
-from repro.core import (
-    AegisEngine,
-    BestEngine,
-    CompressedEncryptionEngine,
-    DS5002FPEngine,
-    DS5240Engine,
-    GeneralInstrumentEngine,
-    GilmontEngine,
-    StreamCipherEngine,
-    VlsiDmaEngine,
-    XomAesEngine,
-)
-from repro.sim import CacheConfig, MemoryConfig
-from repro.traces import make_workload, sequential_code
-
-CACHE = CacheConfig(size=4096, line_size=32, associativity=2)
-MEM = MemoryConfig(size=1 << 21, latency=40)
-IMAGE_SIZE = 32 * 1024
-
-ENGINES = {
-    "best-1979": lambda: BestEngine(KEY16),
-    "ds5002fp": lambda: DS5002FPEngine(KEY16),
-    "ds5240": lambda: DS5240Engine(KEY16),
-    "vlsi-secure-dma": lambda: VlsiDmaEngine(KEY24, page_size=1024,
-                                             buffer_pages=8),
-    "general-instrument-3des-cbc": lambda: GeneralInstrumentEngine(
-        KEY24, region_size=1024, authenticate=False),
-    "gilmont-3des": lambda: GilmontEngine(KEY24),
-    "xom-aes": lambda: XomAesEngine(KEY16),
-    "aegis-aes-cbc": lambda: AegisEngine(KEY16),
-    "stream-ctr": lambda: StreamCipherEngine(KEY16, line_size=32),
-}
-
-#: Smallest independently decryptable unit per engine.
-RANDOM_ACCESS_GRANULARITY = {
-    "best-1979": "block",
-    "ds5002fp": "byte",
-    "ds5240": "block",
-    "vlsi-secure-dma": "page",
-    "general-instrument-3des-cbc": "region",
-    "gilmont-3des": "block",
-    "xom-aes": "block",
-    "aegis-aes-cbc": "line",
-    "stream-ctr": "byte",
-}
-#: Granularities that keep per-line random access cheap.
-RANDOM_ACCESS_OK = {"byte", "block", "line"}
+from benchmarks.common import run_experiment_benchmark
 
 
-def _timing_only(factory):
-    def make():
-        engine = factory()
-        engine.functional = False
-        return engine
-    return make
-
-
-def build_table():
-    workloads = {
-        "code": sequential_code(N_ACCESSES, code_size=IMAGE_SIZE),
-        "mixed": [
-            type(a)(a.kind, a.addr % IMAGE_SIZE, a.size)
-            for a in make_workload("mixed", n=N_ACCESSES)
-        ],
-    }
-    rows = []
-    for name, factory in ENGINES.items():
-        overheads = {}
-        for wname, trace in workloads.items():
-            overheads[wname] = measure_overhead(
-                _timing_only(factory), trace,
-                image=bytes(IMAGE_SIZE),
-                cache_config=CACHE, mem_config=MEM,
-            ).overhead
-        engine = factory()
-        rating = rate_engine(engine.name)
-        granularity = RANDOM_ACCESS_GRANULARITY[name]
-        rows.append({
-            "engine": name,
-            "code": overheads["code"],
-            "mixed": overheads["mixed"],
-            "area": engine.area().total,
-            "granularity": granularity,
-            "random_access": granularity in RANDOM_ACCESS_OK,
-            "class": rating.highest_class_withstood,
-        })
-    return rows
-
-
-def test_e14_survey_table(benchmark):
-    rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
-    print_table(format_table(
-        ["engine", "code overhead", "mixed overhead", "area",
-         "access granularity", "withstands class"],
-        [[r["engine"], format_percent(r["code"]),
-          format_percent(r["mixed"]), format_gates(r["area"]),
-          r["granularity"],
-          r["class"] or "none"] for r in rows],
-        title="E14: the survey's comparison, quantified (survey §3/§5)",
-    ))
-    by_name = {r["engine"]: r for r in rows}
-
-    # §5's conclusion in data form.
-    # 1. The broken/weak engines are the cheap fast ones.
-    assert by_name["best-1979"]["class"] == 0
-    assert by_name["ds5002fp"]["class"] == 1
-    assert by_name["best-1979"]["area"] < 50_000
-    # 2. The NIST-grade engines withstand the consumer-market threat
-    #    (class II) but pay for it in area or cycles.
-    for strong in ("xom-aes", "aegis-aes-cbc", "stream-ctr"):
-        assert by_name[strong]["class"] >= 2
-        assert by_name[strong]["area"] > 100_000
-    # 3. Whole-region chaining forfeits random access and pays the most on
-    #    mixed workloads among the 3DES designs.
-    assert not by_name["general-instrument-3des-cbc"]["random_access"]
-    assert by_name["general-instrument-3des-cbc"]["mixed"] > \
-        by_name["aegis-aes-cbc"]["mixed"]
-    # 4. The stream engine is the overall performance winner among
-    #    class-II-resistant designs.
-    strong_named = ["xom-aes", "aegis-aes-cbc", "stream-ctr",
-                    "gilmont-3des"]
-    best_mixed = min(by_name[n]["mixed"] for n in strong_named)
-    assert by_name["stream-ctr"]["mixed"] == best_mixed
-
-
-def test_e14_security_vs_speed_frontier(benchmark):
-    """No engine is simultaneously the fastest and the most secure — the
-    survey's 'challenge' stated as a Pareto fact."""
-    rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
-    fastest = min(rows, key=lambda r: r["mixed"])
-    most_secure = [r for r in rows if r["class"] == max(x["class"] for x in rows)]
-    cheapest = min(rows, key=lambda r: r["area"])
-    # The cheapest engine is not among the most secure.
-    assert cheapest["engine"] not in {r["engine"] for r in most_secure}
-
-
-if __name__ == "__main__":
-    for row in build_table():
-        print(row)
+def test_e14(benchmark):
+    run_experiment_benchmark(benchmark, "e14")

@@ -1,234 +1,12 @@
-"""E15 (extension) — §5 future work: integrity against instruction
-modification.
+"""E15 — §5 future work: integrity against instruction modification.
 
-"In future exploration, it might also be relevant to take into account the
-problem of integrity, to thwart attacks based on the modification of the
-fetched instructions."
-
-The survey stops there; this bench builds the obvious next engine and
-measures what the sentence costs:
-
-* per-line MAC tags detect modified/spoofed/relocated instructions;
-* anti-replay needs on-chip version state — the versioned/unversioned
-  ablation shows the replay hole and its price (SRAM + nothing on the
-  miss path);
-* performance and memory overhead of the shield on top of a
-  confidentiality engine.
-
-Also includes the keystream-quality experiment §4 implies: the Geffe
-correlation attack recovering a cheap combiner's full state from observed
-keystream.
+Thin wrapper: the measurement body, tables and claim checks live in
+:mod:`repro.runner.experiments.e15` (shared with ``python -m repro.cli
+bench``).
 """
 
-import pytest
-
-from benchmarks.common import CACHE, KEY16, MEM, N_ACCESSES, print_table
-from repro.analysis import (
-    format_gates,
-    format_percent,
-    format_table,
-    measure_overhead,
-)
-from repro.attacks import geffe_correlation_attack
-from repro.core import (
-    IntegrityShieldEngine,
-    StreamCipherEngine,
-    TamperDetected,
-    XomAesEngine,
-)
-from repro.core.engine import MemoryPort
-from repro.crypto.lfsr import GeffeGenerator
-from repro.sim import Bus, MainMemory, MemoryConfig
-from repro.traces import make_workload
-
-MAC_KEY = b"integrity-mac-key"
-TAG_BASE = 1 << 20
+from benchmarks.common import run_experiment_benchmark
 
 
-def shield_factory(versioned=True, functional=False):
-    def make():
-        inner = XomAesEngine(KEY16, functional=functional)
-        engine = IntegrityShieldEngine(
-            inner, mac_key=MAC_KEY, tag_region_base=TAG_BASE,
-            versioned=versioned,
-        )
-        engine.functional = functional
-        return engine
-    return make
-
-
-def overhead_rows():
-    rows = []
-    for name in ("sequential", "mixed", "write-heavy"):
-        trace = make_workload(name, n=N_ACCESSES)
-        bare = measure_overhead(
-            lambda: XomAesEngine(KEY16, functional=False),
-            trace, cache_config=CACHE, mem_config=MEM,
-        ).overhead
-        shielded = measure_overhead(
-            shield_factory(), trace, cache_config=CACHE, mem_config=MEM,
-        ).overhead
-        rows.append({"workload": name, "bare": bare, "shielded": shielded})
-    return rows
-
-
-def tamper_and_replay():
-    def run_case(versioned):
-        engine = IntegrityShieldEngine(
-            StreamCipherEngine(KEY16, line_size=32),
-            mac_key=MAC_KEY, tag_region_base=TAG_BASE, versioned=versioned,
-        )
-        port = MemoryPort(MainMemory(MemoryConfig(size=1 << 21)), Bus())
-        engine.install_image(port.memory, 0, bytes(64))
-        engine.write_line(port, 0, b"v1-data-" * 4)
-        stale_line = port.memory.dump(0, 32)
-        stale_tag = port.memory.dump(engine._tag_addr(0, 32), 8)
-        engine.write_line(port, 0, b"v2-data-" * 4)
-        port.memory.load_image(0, stale_line)
-        port.memory.load_image(engine._tag_addr(0, 32), stale_tag)
-        engine._tag_cache.clear()
-        try:
-            engine.fill_line(port, 0, 32)
-            return False
-        except TamperDetected:
-            return True
-
-    return {
-        "versioned": run_case(True),
-        "unversioned": run_case(False),
-    }
-
-
-def test_e15_integrity_overhead(benchmark):
-    rows = benchmark.pedantic(overhead_rows, rounds=1, iterations=1)
-    shield = shield_factory()()
-    print_table(format_table(
-        ["workload", "XOM alone", "XOM + integrity shield"],
-        [[r["workload"], format_percent(r["bare"]),
-          format_percent(r["shielded"])] for r in rows],
-        title="E15a: the cost of §5's integrity sentence",
-    ))
-    print_table(format_table(
-        ["cost", "value"],
-        [["external memory for tags",
-          format_percent(shield.tag_overhead_fraction(32), signed=False)],
-         ["engine area", format_gates(shield.area().total)]],
-        title="E15b: integrity space costs",
-    ))
-    for r in rows:
-        assert r["shielded"] > r["bare"]
-    assert shield.tag_overhead_fraction(32) == 0.25
-
-
-def test_e15_replay_ablation(benchmark):
-    outcome = benchmark.pedantic(tamper_and_replay, rounds=1, iterations=1)
-    versioned_area = shield_factory(versioned=True)().area().total
-    bare_area = shield_factory(versioned=False)().area().total
-    print_table(format_table(
-        ["design", "replay detected?", "area"],
-        [["versioned tags (on-chip counters)", outcome["versioned"],
-          format_gates(versioned_area)],
-         ["unversioned tags", outcome["unversioned"],
-          format_gates(bare_area)]],
-        title="E15c: anti-replay needs on-chip freshness state",
-    ))
-    assert outcome["versioned"] is True
-    assert outcome["unversioned"] is False
-
-
-def merkle_vs_versions():
-    """Same security goal, two state budgets: per-line on-chip counters vs
-    a 16-byte root + hash tree."""
-    from repro.core import MerkleTreeEngine
-    from repro.sim import CacheConfig, SecureSystem
-    from repro.traces import sequential_code
-
-    region = 32 * 1024
-    trace = sequential_code(N_ACCESSES, code_size=region)
-    cache = CacheConfig(size=2048, line_size=32, associativity=2)
-    rows = []
-
-    def run(make_engine, label, onchip_bytes, mem_overhead):
-        engine = make_engine()
-        engine.functional = False
-        engine.inner.functional = False
-        system = SecureSystem(engine=engine, cache_config=cache,
-                              mem_config=MEM)
-        system.install_image(0, bytes(region))
-        report = system.run(list(trace))
-        baseline = SecureSystem(cache_config=cache, mem_config=MEM)
-        baseline.install_image(0, bytes(region))
-        base_report = baseline.run(list(trace))
-        rows.append({
-            "design": label,
-            "overhead": report.overhead_vs(base_report),
-            "onchip_bytes": onchip_bytes,
-            "mem_overhead": mem_overhead,
-        })
-
-    n_lines = region // 32
-    run(
-        lambda: IntegrityShieldEngine(
-            StreamCipherEngine(KEY16, line_size=32), mac_key=MAC_KEY,
-            tag_region_base=TAG_BASE, versioned=True, tracked_lines=n_lines,
-        ),
-        "MAC tags + on-chip version table",
-        onchip_bytes=4 * n_lines,
-        mem_overhead=8 / 32,
-    )
-    run(
-        lambda: MerkleTreeEngine(
-            StreamCipherEngine(KEY16, line_size=32), mac_key=MAC_KEY,
-            region_base=0, region_size=region, tree_base=TAG_BASE,
-            node_cache_size=64,
-        ),
-        "Merkle tree (root on chip)",
-        onchip_bytes=16 + 64 * 16,
-        mem_overhead=1.0,
-    )
-    return rows
-
-
-def test_e15_merkle_vs_version_table(benchmark):
-    rows = benchmark.pedantic(merkle_vs_versions, rounds=1, iterations=1)
-    print_table(format_table(
-        ["anti-replay design", "overhead", "on-chip state (B)",
-         "ext. memory overhead"],
-        [[r["design"], format_percent(r["overhead"]), r["onchip_bytes"],
-          format_percent(r["mem_overhead"], signed=False)] for r in rows],
-        title="E15e: two roads past §5 — counters vs a hash tree",
-    ))
-    versions, merkle = rows
-    # The tree trades on-chip state (KBs -> a root + small cache) for
-    # longer verification paths and a bigger external footprint.
-    assert merkle["onchip_bytes"] < versions["onchip_bytes"] / 3
-    assert merkle["overhead"] > versions["overhead"]
-    assert merkle["mem_overhead"] > versions["mem_overhead"]
-
-
-def test_e15_keystream_quality(benchmark):
-    """§4's 'sufficiently random to be secure', enforced: a cheap Geffe
-    combiner's full state falls to correlation analysis."""
-    def attack():
-        taps = ((9, 5), (10, 7), (11, 9))
-        gen = GeffeGenerator(0x101, 0x202, 0x303, taps_a=taps[0],
-                             taps_b=taps[1], taps_c=taps[2])
-        ks = [gen.step() for _ in range(300)]
-        return geffe_correlation_attack(ks, *taps)
-
-    result = benchmark.pedantic(attack, rounds=1, iterations=1)
-    print_table(format_table(
-        ["metric", "value"],
-        [["seeds recovered", result.succeeded],
-         ["candidates tested", result.candidates_tested],
-         ["naive keyspace", f"{result.naive_keyspace:,}"],
-         ["divide-and-conquer speedup", f"{result.speedup:,.0f}x"]],
-        title="E15d: correlation attack on a cheap keystream generator",
-    ))
-    assert result.succeeded
-    assert result.speedup > 10_000
-
-
-if __name__ == "__main__":
-    print(overhead_rows())
-    print(tamper_and_replay())
+def test_e15(benchmark):
+    run_experiment_benchmark(benchmark, "e15")

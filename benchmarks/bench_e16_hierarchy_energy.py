@@ -1,136 +1,12 @@
-"""E16 (extension) — the placement question with an L2, plus energy.
+"""E16 — extension: the placement question with an L2, plus energy.
 
-Generalizes Figure 7 to a two-level hierarchy: the EDU can guard the
-L2-memory boundary (both caches plaintext, crypto on off-chip traffic only)
-or the L1-L2 boundary (ciphertext L2 — tolerates on-chip probing of the
-big array, §4's class-III concern — at crypto-per-L1-miss cost).  Also
-prices the engines in energy, the survey constraint ("power consumption")
-E14 leaves unquantified, and shows compression saving bus energy.
+Thin wrapper: the measurement body, tables and claim checks live in
+:mod:`repro.runner.experiments.e16` (shared with ``python -m repro.cli
+bench``).
 """
 
-import pytest
-
-from benchmarks.common import KEY16, KEY24, N_ACCESSES, print_table
-from repro.analysis import format_percent, format_table, measure_overhead
-from repro.core import (
-    BestEngine,
-    CompressedEncryptionEngine,
-    DS5240Engine,
-    StreamCipherEngine,
-    XomAesEngine,
-)
-from repro.sim import (
-    EDU_L1_L2,
-    EDU_L2_MEMORY,
-    CacheConfig,
-    MemoryConfig,
-    SecureSystem,
-    TwoLevelSystem,
-    estimate_run,
-)
-from repro.traces import make_workload, sequential_code, synthetic_code_image
-
-L1 = CacheConfig(size=2048, line_size=32, associativity=2, hit_latency=1)
-L2 = CacheConfig(size=16 * 1024, line_size=32, associativity=4, hit_latency=8)
-MEM = MemoryConfig(size=1 << 21, latency=60)
-IMAGE_SIZE = 32 * 1024
+from benchmarks.common import run_experiment_benchmark
 
 
-def hierarchy_rows():
-    trace = [
-        type(a)(a.kind, a.addr % IMAGE_SIZE, a.size)
-        for a in make_workload("mixed", n=N_ACCESSES)
-    ]
-    rows = []
-    baseline = TwoLevelSystem(l1_config=L1, l2_config=L2, mem_config=MEM)
-    baseline.install_image(0, bytes(IMAGE_SIZE))
-    base_report = baseline.run(list(trace))
-
-    for level in (EDU_L2_MEMORY, EDU_L1_L2):
-        engine = XomAesEngine(KEY16, functional=False)
-        system = TwoLevelSystem(
-            engine=engine, l1_config=L1, l2_config=L2, mem_config=MEM,
-            edu_level=level,
-        )
-        system.install_image(0, bytes(IMAGE_SIZE))
-        report = system.run(list(trace))
-        rows.append({
-            "level": level,
-            "overhead": report.overhead_vs(base_report),
-            "crypto_ops": engine.stats.lines_decrypted
-            + engine.stats.lines_encrypted,
-        })
-    return rows
-
-
-def energy_rows():
-    trace = sequential_code(N_ACCESSES, code_size=IMAGE_SIZE)
-    image = synthetic_code_image(size=IMAGE_SIZE)
-    cache = CacheConfig(size=1024, line_size=32, associativity=2)
-    narrow = MemoryConfig(size=1 << 21, latency=40, bus_width=2,
-                          cycles_per_beat=2)
-    rows = []
-    engines = [
-        ("baseline", None),
-        ("best-1979", BestEngine(KEY16, functional=False)),
-        ("ds5240", DS5240Engine(KEY16, functional=False)),
-        ("xom-aes", XomAesEngine(KEY16, functional=False)),
-        ("stream-ctr", StreamCipherEngine(KEY16, functional=False)),
-        ("compress+encrypt",
-         CompressedEncryptionEngine(KEY16, line_size=32, functional=False)),
-    ]
-    for label, engine in engines:
-        system = SecureSystem(engine=engine, cache_config=cache,
-                              mem_config=narrow)
-        system.install_image(0, image)
-        report = system.run(list(trace))
-        energy = estimate_run(report, engine)
-        rows.append({
-            "engine": label,
-            "cycles": report.cycles,
-            "bus_bytes": report.bus_bytes,
-            "energy_uj": energy.total_uj,
-        })
-    return rows
-
-
-def test_e16_l2_placement(benchmark):
-    rows = benchmark.pedantic(hierarchy_rows, rounds=1, iterations=1)
-    print_table(format_table(
-        ["EDU boundary", "overhead vs 2-level baseline", "crypto line-ops"],
-        [[r["level"], format_percent(r["overhead"]), r["crypto_ops"]]
-         for r in rows],
-        title="E16a: Figure 7, generalized to an L1/L2 hierarchy",
-    ))
-    by_level = {r["level"]: r for r in rows}
-    # Guarding the inner boundary costs more crypto work and more cycles.
-    assert by_level[EDU_L1_L2]["crypto_ops"] > \
-        by_level[EDU_L2_MEMORY]["crypto_ops"]
-    assert by_level[EDU_L1_L2]["overhead"] >= \
-        by_level[EDU_L2_MEMORY]["overhead"]
-
-
-def test_e16_energy(benchmark):
-    rows = benchmark.pedantic(energy_rows, rounds=1, iterations=1)
-    print_table(format_table(
-        ["engine", "cycles", "bus bytes", "energy (uJ)"],
-        [[r["engine"], r["cycles"], r["bus_bytes"],
-          f"{r['energy_uj']:.1f}"] for r in rows],
-        title="E16b: the survey's unquantified constraint — energy "
-              "(narrow-bus memory)",
-    ))
-    by_name = {r["engine"]: r for r in rows}
-    # Every engine costs energy over the baseline...
-    for name in ("best-1979", "ds5240", "xom-aes", "stream-ctr"):
-        assert by_name[name]["energy_uj"] > by_name["baseline"]["energy_uj"]
-    # ...except compression, which can pay for its own crypto by moving
-    # fewer bytes across the expensive external bus.
-    assert by_name["compress+encrypt"]["bus_bytes"] < \
-        by_name["baseline"]["bus_bytes"]
-    assert by_name["compress+encrypt"]["energy_uj"] < \
-        by_name["xom-aes"]["energy_uj"]
-
-
-if __name__ == "__main__":
-    print(hierarchy_rows())
-    print(energy_rows())
+def test_e16(benchmark):
+    run_experiment_benchmark(benchmark, "e16")

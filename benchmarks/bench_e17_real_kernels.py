@@ -1,101 +1,12 @@
-"""E17 (extension) — the engine suite on *real* program traces.
+"""E17 — extension: the engine suite on real program traces.
 
-The synthetic workload generators control miss rate and write mix
-parametrically; these traces come from actually executing kernels (sort,
-memcpy, memset, search, checksum) on the MCU model.  The experiment checks
-that the survey-table orderings measured on synthetic workloads survive
-contact with real instruction streams, and certifies every keystream
-generator against the survey-era FIPS 140-1 battery.
+Thin wrapper: the measurement body, tables and claim checks live in
+:mod:`repro.runner.experiments.e17` (shared with ``python -m repro.cli
+bench``).
 """
 
-import pytest
-
-from benchmarks.common import KEY16, print_table
-from repro.analysis import (
-    fips_140_1,
-    format_percent,
-    format_table,
-    measure_overhead,
-)
-from repro.core import AegisEngine, DS5240Engine, StreamCipherEngine, XomAesEngine
-from repro.crypto import AES, CTR, DRBG, RC4
-from repro.crypto.lfsr import AlternatingStepGenerator, GeffeGenerator
-from repro.sim import CacheConfig, MemoryConfig
-from repro.traces import MCU_KERNELS, mcu_workload
-
-CACHE = CacheConfig(size=512, line_size=32, associativity=2)
-MEM = MemoryConfig(size=1 << 16, latency=40)
-
-ENGINES = {
-    "stream-ctr": lambda: StreamCipherEngine(KEY16, functional=False),
-    "xom-aes": lambda: XomAesEngine(KEY16, functional=False),
-    "aegis-aes-cbc": lambda: AegisEngine(KEY16, functional=False),
-    "ds5240": lambda: DS5240Engine(KEY16, functional=False),
-}
+from benchmarks.common import run_experiment_benchmark
 
 
-def kernel_grid():
-    rows = []
-    for kernel in MCU_KERNELS:
-        trace = mcu_workload(kernel, repeat=3)
-        row = {"kernel": kernel}
-        for name, factory in ENGINES.items():
-            row[name] = measure_overhead(
-                factory, trace, workload=kernel,
-                cache_config=CACHE, mem_config=MEM,
-            ).overhead
-        rows.append(row)
-    return rows
-
-
-def keystream_certification():
-    sample = 2500
-    taps = ((9, 5), (10, 7), (11, 9))
-    streams = {
-        "AES-CTR": CTR(AES(KEY16), nonce=bytes(12)).keystream(sample),
-        "RC4": RC4(b"cert-key").keystream(sample),
-        "Geffe combiner": GeffeGenerator(
-            0x1F3, 0x2A5, 0x3B7, taps_a=taps[0], taps_b=taps[1],
-            taps_c=taps[2],
-        ).keystream(sample),
-        "Alternating step": AlternatingStepGenerator(7, 77, 777)
-        .keystream(sample),
-        "repro DRBG": DRBG(2005).random_bytes(sample),
-    }
-    return {label: fips_140_1(stream) for label, stream in streams.items()}
-
-
-def test_e17_engines_on_real_kernels(benchmark):
-    rows = benchmark.pedantic(kernel_grid, rounds=1, iterations=1)
-    print_table(format_table(
-        ["kernel"] + list(ENGINES),
-        [[r["kernel"]] + [format_percent(r[name]) for name in ENGINES]
-         for r in rows],
-        title="E17a: engine overhead on real MCU kernel traces",
-    ))
-    # The synthetic-suite ordering holds on real programs, per kernel:
-    # stream <= xom <= aegis, and the iterative-DES engine trails them.
-    for r in rows:
-        assert r["stream-ctr"] <= r["xom-aes"] + 1e-9, r["kernel"]
-        assert r["xom-aes"] <= r["aegis-aes-cbc"] + 1e-9, r["kernel"]
-        assert r["ds5240"] >= r["xom-aes"], r["kernel"]
-
-
-def test_e17_fips_certification(benchmark):
-    results = benchmark.pedantic(keystream_certification, rounds=1,
-                                 iterations=1)
-    print_table(format_table(
-        ["generator", "FIPS 140-1", "monobit ones", "poker", "longest run"],
-        [[label, "PASS" if r.passed else "FAIL", r.monobit_ones,
-          f"{r.poker_statistic:.1f}", r.longest_run]
-         for label, r in results.items()],
-        title="E17b: survey-era certification battery on the keystream "
-              "generators",
-    ))
-    assert all(r.passed for r in results.values())
-    # The battery is necessary, not sufficient: the Geffe combiner passes
-    # here and falls to the correlation attack in E15d.
-
-
-if __name__ == "__main__":
-    print(kernel_grid())
+def test_e17(benchmark):
+    run_experiment_benchmark(benchmark, "e17")

@@ -1,114 +1,12 @@
-"""E18 (extension) — address confidentiality: what it costs, what it buys.
+"""E18 — extension: address confidentiality — what it costs, what it buys.
 
-The survey's engines encrypt the data bus; Best's patents and the DS5002FP
-also obscured the *address* bus, and General Instrument's patent title
-promises "block reordering".  This bench measures both mechanisms against
-the access-pattern side channel:
-
-* line-address scrambling (`AddressScrambledEngine`) hides sequentiality
-  from a probe at ~zero performance cost — but not the working-set size or
-  revisit structure;
-* GI block reordering hides the chain order inside a region, at the price
-  of the sequential chain shortcut (every fill becomes a region burst).
+Thin wrapper: the measurement body, tables and claim checks live in
+:mod:`repro.runner.experiments.e18` (shared with ``python -m repro.cli
+bench``).
 """
 
-import pytest
-
-from benchmarks.common import KEY16, KEY24, N_ACCESSES, print_table
-from repro.analysis import format_percent, format_table, measure_overhead
-from repro.attacks import BusProbe, classify_pattern, profile_probe
-from repro.core import (
-    AddressScrambledEngine,
-    GeneralInstrumentEngine,
-    StreamCipherEngine,
-)
-from repro.sim import CacheConfig, MemoryConfig, SecureSystem
-from repro.traces import sequential_code
-
-CACHE = CacheConfig(size=1024, line_size=32, associativity=2)
-MEM = MemoryConfig(size=1 << 21, latency=40)
-IMAGE_SIZE = 16 * 1024
+from benchmarks.common import run_experiment_benchmark
 
 
-def probe_rows():
-    trace = sequential_code(N_ACCESSES, code_size=IMAGE_SIZE)
-    rows = []
-    for label, engine in (
-        ("stream (addresses in clear)",
-         StreamCipherEngine(KEY16, line_size=32)),
-        ("stream + address scrambling",
-         AddressScrambledEngine(
-             StreamCipherEngine(KEY16, line_size=32),
-             addr_key=b"addr-key", region_lines=IMAGE_SIZE // 32,
-         )),
-    ):
-        system = SecureSystem(engine=engine, cache_config=CACHE,
-                              mem_config=MEM)
-        probe = BusProbe()
-        system.bus.attach_probe(probe)
-        system.install_image(0, bytes(IMAGE_SIZE))
-        for access in trace:
-            system.step(access)
-        prof = profile_probe(probe)
-        baseline = SecureSystem(cache_config=CACHE, mem_config=MEM)
-        baseline.install_image(0, bytes(IMAGE_SIZE))
-        base_report = baseline.run(list(trace))
-        rows.append({
-            "design": label,
-            "verdict": classify_pattern(probe),
-            "seq_fraction": prof.sequential_fraction,
-            "working_set": prof.distinct_addresses,
-            "overhead": system.report("x").overhead_vs(base_report),
-        })
-    return rows
-
-
-def reorder_rows():
-    trace = sequential_code(N_ACCESSES, code_size=IMAGE_SIZE)
-    rows = []
-    for label, reorder in (("chained layout", False),
-                           ("chained + reordered", True)):
-        result = measure_overhead(
-            lambda r=reorder: GeneralInstrumentEngine(
-                KEY24, region_size=512, authenticate=False, reorder=r,
-                functional=False,
-            ),
-            trace, image=bytes(IMAGE_SIZE), cache_config=CACHE,
-            mem_config=MEM,
-        )
-        rows.append({"design": label, "overhead": result.overhead})
-    return rows
-
-
-def test_e18_address_scrambling(benchmark):
-    rows = benchmark.pedantic(probe_rows, rounds=1, iterations=1)
-    print_table(format_table(
-        ["design", "probe verdict", "sequential transitions",
-         "working set (lines)", "overhead"],
-        [[r["design"], r["verdict"], f"{r['seq_fraction']:.0%}",
-          r["working_set"], format_percent(r["overhead"])] for r in rows],
-        title="E18a: line-address scrambling vs the pattern probe",
-    ))
-    clear, hidden = rows
-    assert clear["verdict"] == "sequential"
-    assert hidden["verdict"] == "random"
-    # Cheap: a cycle per transfer, no crypto added.
-    assert hidden["overhead"] - clear["overhead"] < 0.05
-    # And honest: the working set stays fully visible.
-    assert hidden["working_set"] >= clear["working_set"] - 8
-
-
-def test_e18_gi_reordering(benchmark):
-    rows = benchmark.pedantic(reorder_rows, rounds=1, iterations=1)
-    print_table(format_table(
-        ["design", "sequential-code overhead"],
-        [[r["design"], format_percent(r["overhead"])] for r in rows],
-        title="E18b: GI block reordering forfeits the chain shortcut",
-    ))
-    chained, reordered = rows
-    assert reordered["overhead"] > chained["overhead"]
-
-
-if __name__ == "__main__":
-    print(probe_rows())
-    print(reorder_rows())
+def test_e18(benchmark):
+    run_experiment_benchmark(benchmark, "e18")

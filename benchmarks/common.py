@@ -1,30 +1,42 @@
-"""Shared configuration for the experiment benches.
+"""Shared harness for the experiment benches.
 
 Every bench regenerates one survey figure/claim (see DESIGN.md §4 and
-EXPERIMENTS.md).  Benches print their tables so that
+EXPERIMENTS.md).  The measurement bodies live in the experiment registry
+(:mod:`repro.runner.experiments`) — shared with ``python -m repro.cli
+bench`` — so each bench file is a thin wrapper:
 
     pytest benchmarks/ --benchmark-only -s
 
-reproduces the full experiment log; each bench also asserts the *shape* of
-the paper's claim so regressions fail loudly.
+reproduces the full experiment log; each experiment's ``check`` asserts
+the *shape* of the paper's claim so regressions fail loudly.
 """
 
 from __future__ import annotations
-
-from repro.sim import CacheConfig, MemoryConfig
-
-KEY16 = b"0123456789abcdef"
-KEY24 = b"0123456789abcdef01234567"
-
-#: The standard simulated SoC for overhead measurements.
-CACHE = CacheConfig(size=4096, line_size=32, associativity=2)
-MEM = MemoryConfig(size=1 << 21, latency=40)
-
-#: Small trace length keeping each bench comfortably under a minute.
-N_ACCESSES = 4000
 
 
 def print_table(table: str) -> None:
     print()
     print(table)
     print()
+
+
+def run_experiment_benchmark(benchmark, experiment_id: str):
+    """Run one registry experiment under pytest-benchmark and check it.
+
+    Runs all of the experiment's tasks (full scale, serial) as a single
+    timed round, prints the experiment's human-readable tables, and
+    re-raises its claim checks as test assertions.
+    """
+    from repro.runner.base import TaskContext
+    from repro.runner.experiments import get_experiment
+
+    experiment = get_experiment(experiment_id)
+    results = benchmark.pedantic(
+        lambda: experiment.run(TaskContext(quick=False)),
+        rounds=1, iterations=1,
+    )
+    if experiment.render is not None:
+        print_table(experiment.render(results))
+    if experiment.check is not None:
+        experiment.check(results)
+    return results

@@ -9,8 +9,8 @@ Run:  python examples/compression_pipeline.py
 """
 
 from repro.analysis import format_percent, format_table, measure_overhead
+from repro.api import make_engine
 from repro.compression import CodePack, lz77_compress, shannon_entropy
-from repro.core import CompressedEncryptionEngine
 from repro.crypto import AES, CTR
 from repro.sim import CacheConfig, MemoryConfig
 from repro.traces import sequential_code, synthetic_code_image
@@ -61,8 +61,7 @@ def main() -> None:
         ("slow narrow bus", 40, 2, 2),
     ):
         result = measure_overhead(
-            lambda: CompressedEncryptionEngine(KEY, line_size=32,
-                                               functional=False),
+            lambda: make_engine("compress", key=KEY, functional=False),
             trace, image=image, cache_config=cache,
             mem_config=MemoryConfig(size=1 << 20, latency=latency,
                                     bus_width=width, cycles_per_beat=cpb),

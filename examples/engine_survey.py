@@ -1,8 +1,11 @@
 """The survey in one run: every engine on one workload, compared.
 
 Prints the quantified version of the paper's §3 walkthrough — performance
-overhead, silicon area, random-access granularity and the IBM adversary
-class each engine's confidentiality withstands.
+overhead, silicon area, energy, random-access granularity and the IBM
+adversary class each engine's confidentiality withstands.
+
+Every engine is built through the registry (``repro.api.make_engine``),
+so this table stays in sync with ``python -m repro.cli list``.
 
 Run:  python examples/engine_survey.py
 """
@@ -13,40 +16,25 @@ from repro.analysis import (
     format_table,
     measure_overhead,
 )
+from repro.api import engine_names, get_spec, make_engine
 from repro.attacks import rate_engine
-from repro.core import (
-    AegisEngine,
-    BestEngine,
-    DS5002FPEngine,
-    DS5240Engine,
-    GeneralInstrumentEngine,
-    GilmontEngine,
-    StreamCipherEngine,
-    VlsiDmaEngine,
-    XomAesEngine,
-)
-from repro.sim import CacheConfig, MemoryConfig
+from repro.sim import CacheConfig, MemoryConfig, estimate_run
 from repro.traces import make_workload
 
-KEY16 = b"0123456789abcdef"
-KEY24 = b"0123456789abcdef01234567"
 IMAGE_SIZE = 32 * 1024
 
-ENGINES = [
-    ("Best 1979 (Fig. 3)", lambda: BestEngine(KEY16), "block"),
-    ("Dallas DS5002FP (Fig. 6)", lambda: DS5002FPEngine(KEY16), "byte"),
-    ("Dallas DS5240 (Fig. 6)", lambda: DS5240Engine(KEY16), "block"),
-    ("VLSI secure DMA (Fig. 4)",
-     lambda: VlsiDmaEngine(KEY24, page_size=1024, buffer_pages=8), "page"),
-    ("General Instrument (Fig. 5)",
-     lambda: GeneralInstrumentEngine(KEY24, region_size=1024,
-                                     authenticate=False), "region"),
-    ("Gilmont 3DES + predictor", lambda: GilmontEngine(KEY24), "block"),
-    ("XOM pipelined AES", lambda: XomAesEngine(KEY16), "block"),
-    ("AEGIS AES-CBC per line", lambda: AegisEngine(KEY16), "line"),
-    ("Stream CTR pad-ahead (Fig. 2a)",
-     lambda: StreamCipherEngine(KEY16, line_size=32), "byte"),
-]
+#: Smallest independently decryptable unit per engine (survey §3).
+GRANULARITY = {
+    "best": "block",
+    "ds5002fp": "byte",
+    "ds5240": "block",
+    "vlsi": "page",
+    "gi": "region",
+    "gilmont": "block",
+    "xom": "block",
+    "aegis": "line",
+    "stream": "byte",
+}
 
 
 def main() -> None:
@@ -57,26 +45,23 @@ def main() -> None:
     cache = CacheConfig(size=4096, line_size=32, associativity=2)
     mem = MemoryConfig(size=1 << 21, latency=40)
 
-    from repro.sim import estimate_run
-
     rows = []
-    for label, factory, granularity in ENGINES:
-        timing_engine = factory()
-        timing_engine.functional = False
+    for name in engine_names(survey_only=True):
+        timing_engine = make_engine(name, functional=False)
 
         result = measure_overhead(
             lambda e=timing_engine: e, trace, image=bytes(IMAGE_SIZE),
             cache_config=cache, mem_config=mem,
         )
         energy = estimate_run(result.secured, timing_engine)
-        engine = factory()
+        engine = make_engine(name)
         rating = rate_engine(engine.name)
         rows.append([
-            label,
+            f"{name} ({get_spec(name).section})",
             format_percent(result.overhead),
             format_gates(engine.area().total),
             f"{energy.total_uj:.1f} uJ",
-            granularity,
+            GRANULARITY[name],
             rating.highest_class_withstood or "none",
             rating.notes[:40],
         ])

@@ -12,13 +12,8 @@ Run:  python examples/integrity_demo.py
 """
 
 from repro.analysis import format_table
-from repro.core import (
-    IntegrityShieldEngine,
-    MerkleTamperDetected,
-    MerkleTreeEngine,
-    StreamCipherEngine,
-    TamperDetected,
-)
+from repro.api import make_engine
+from repro.core import MerkleTamperDetected, TamperDetected
 from repro.core.engine import MemoryPort
 from repro.sim import Bus, MainMemory, MemoryConfig
 
@@ -67,7 +62,7 @@ def attack_outcomes(engine, p, tag_addr=None):
 def main() -> None:
     rows = []
 
-    plain = StreamCipherEngine(KEY, line_size=32)
+    plain = make_engine("stream", key=KEY)
     p = port()
     plain.install_image(p.memory, 0, bytes(REGION))
     flipped = p.memory.dump(64, 1)[0] ^ 0x80
@@ -75,8 +70,8 @@ def main() -> None:
     line, _ = plain.fill_line(p, 64, 32)   # garbage, silently accepted
     rows.append(["confidentiality only", False, False, "0"])
 
-    shield_v = IntegrityShieldEngine(
-        StreamCipherEngine(KEY, line_size=32), mac_key=MAC,
+    shield_v = make_engine(
+        "integrity-stream", key=KEY, mac_key=MAC,
         tag_region_base=0x8000, versioned=True, tracked_lines=REGION // 32,
     )
     p = port()
@@ -84,16 +79,16 @@ def main() -> None:
     rows.append(["MAC tags + on-chip versions", mod, rep,
                  f"{4 * REGION // 32}"])
 
-    shield_u = IntegrityShieldEngine(
-        StreamCipherEngine(KEY, line_size=32), mac_key=MAC,
+    shield_u = make_engine(
+        "integrity-stream", key=KEY, mac_key=MAC,
         tag_region_base=0x8000, versioned=False,
     )
     p = port()
     mod, rep = attack_outcomes(shield_u, p, tag_addr=shield_u._tag_addr(0, 32))
     rows.append(["MAC tags, no freshness", mod, rep, "0"])
 
-    merkle = MerkleTreeEngine(
-        StreamCipherEngine(KEY, line_size=32), mac_key=MAC,
+    merkle = make_engine(
+        "merkle-stream", key=KEY, mac_key=MAC,
         region_base=0, region_size=REGION, tree_base=0x8000,
     )
     p = port()

@@ -4,12 +4,15 @@ Builds a simulated SoC (CPU + cache + bus + external RAM) with an
 AEGIS-style per-cache-line AES-CBC engine, installs a program, runs a
 workload, and shows what an attacker probing the bus actually sees.
 
+Engines come from the registry facade (``repro.api.make_engine``); see
+``python -m repro.cli list`` for the available names.
+
 Run:  python examples/quickstart.py
 """
 
 from repro.analysis import format_percent, format_table
+from repro.api import make_engine
 from repro.attacks import BusProbe, analyze_ciphertext
-from repro.core import AegisEngine
 from repro.sim import CacheConfig, MemoryConfig, SecureSystem, run_trace
 from repro.traces import make_workload, synthetic_code_image
 
@@ -21,7 +24,7 @@ def main() -> None:
 
     # A system with the engine, and the plaintext baseline to compare.
     system = SecureSystem(
-        engine=AegisEngine(key),
+        engine=make_engine("aegis", key=key),
         cache_config=CacheConfig(size=4096, line_size=32, associativity=2),
         mem_config=MemoryConfig(size=1 << 21, latency=40),
     )

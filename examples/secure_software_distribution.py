@@ -17,8 +17,8 @@ Run:  python examples/secure_software_distribution.py
 """
 
 from repro.analysis import format_table
-from repro.core import DS5240Engine, run_distribution
-from repro.crypto import SmallBlockCipher
+from repro.api import make_engine
+from repro.core import run_distribution
 from repro.isa import MCU, assemble, fibonacci_program
 from repro.sim import MainMemory, MemoryConfig
 
@@ -29,7 +29,7 @@ def main() -> None:
 
     # -- steps 1-6 over the insecure network ---------------------------
     memory = MainMemory(MemoryConfig(size=1 << 16))
-    bus_engine = DS5240Engine(b"chip-bus-key-16b")
+    bus_engine = make_engine("ds5240", key=b"chip-bus-key-16b")
     processor, eve, session_key = run_distribution(
         firmware, seed=42, key_bits=512, engine=bus_engine, memory=memory,
     )

@@ -12,8 +12,8 @@ Run:  python examples/side_channel_demo.py
 """
 
 from repro.analysis import format_table
+from repro.api import make_engine
 from repro.attacks import BusProbe, classify_pattern, page_sequence, profile_probe
-from repro.core import AegisEngine, VlsiDmaEngine
 from repro.crypto import DRBG
 from repro.sim import CacheConfig, MemoryConfig, SecureSystem
 from repro.traces import Access, AccessKind, random_data, sequential_code
@@ -45,7 +45,7 @@ def main() -> None:
     }
     rows = []
     for label, trace in victims.items():
-        probe = observe(trace, AegisEngine(KEY))
+        probe = observe(trace, make_engine("aegis", key=KEY))
         prof = profile_probe(probe)
         rows.append([
             label,
@@ -62,7 +62,7 @@ def main() -> None:
     ))
 
     # -- the page-DMA engine broadcasts page order --------------------------
-    engine = VlsiDmaEngine(KEY24, page_size=1024, buffer_pages=2)
+    engine = make_engine("vlsi", key=KEY24, page_size=1024, buffer_pages=2)
     system = SecureSystem(
         engine=engine,
         cache_config=CacheConfig(size=512, line_size=32, associativity=2),

@@ -16,15 +16,17 @@ The package builds every system the survey describes:
 * :mod:`repro.compression` — CodePack-style code compression and friends;
 * :mod:`repro.traces` / :mod:`repro.analysis` — workloads and reporting.
 
-Quick start::
+Quick start (the stable facade is :mod:`repro.api`)::
 
-    from repro.core import AegisEngine
+    from repro.api import make_engine, run_overhead
     from repro.sim import SecureSystem
     from repro.traces import make_workload
 
-    system = SecureSystem(engine=AegisEngine(key=b"0123456789abcdef"))
+    system = SecureSystem(engine=make_engine("aegis"))
     report = system.run(make_workload("mixed"))
     print(report.cycles, report.miss_rate)
+
+    print(run_overhead("stream", "mixed"))    # vs plaintext baseline
 """
 
 __version__ = "1.0.0"

@@ -1,0 +1,116 @@
+"""Stable top-level facade for the repro package.
+
+Most programmatic uses of the reproduction need four verbs, re-exported
+here so callers don't have to know the package layout::
+
+    import repro.api as repro
+
+    repro.list_engines()                        # what can I build?
+    engine = repro.make_engine("aegis")         # build it
+    result = repro.run_overhead("stream", "mixed")   # measure it
+    attack = repro.run_attack(memory=512)       # break the weak one
+
+This module is the supported integration surface: deeper imports
+(``repro.core``, ``repro.sim``, …) remain available but may be
+reorganized; ``repro.api`` will keep these signatures stable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .analysis import OverheadResult, measure_overhead
+from .core.registry import (
+    ENGINE_SPECS,
+    EngineSpec,
+    engine_names,
+    get_spec,
+    make_engine,
+)
+from .sim import CacheConfig, MemoryConfig
+from .traces import make_workload, mcu_workload
+
+__all__ = [
+    "make_engine", "get_spec", "EngineSpec", "ENGINE_SPECS",
+    "list_engines", "run_overhead", "run_attack",
+]
+
+
+def list_engines(survey_only: bool = False) -> List[Dict[str, Any]]:
+    """Describe every registered engine (name, key size, section, summary)."""
+    return [
+        {
+            "name": name,
+            "key_bytes": spec.key_bytes,
+            "section": spec.section,
+            "summary": spec.summary,
+            "defaults": dict(spec.defaults),
+        }
+        for name, spec in sorted(ENGINE_SPECS.items())
+        if spec.survey or not survey_only
+    ]
+
+
+def run_overhead(
+    engine: str,
+    workload: str = "mixed",
+    accesses: int = 4000,
+    cache_size: int = 4096,
+    mem_latency: int = 40,
+    image_size: int = 32 * 1024,
+    functional: bool = False,
+    **engine_overrides: Any,
+) -> OverheadResult:
+    """Measure one engine's performance overhead on one named workload.
+
+    ``workload`` accepts the synthetic suite names plus ``mcu-<kernel>``
+    for real MCU traces.  ``functional=False`` (default) runs timing-only,
+    which is what the survey's overhead numbers mean.
+    """
+    if workload.startswith("mcu-"):
+        trace = mcu_workload(workload[4:], repeat=5)
+    else:
+        trace = [
+            type(a)(a.kind, a.addr % image_size, a.size)
+            for a in make_workload(workload, n=accesses)
+        ]
+    return measure_overhead(
+        lambda: make_engine(engine, functional=functional,
+                            **engine_overrides),
+        trace,
+        workload=workload,
+        image=bytes(image_size),
+        cache_config=CacheConfig(size=cache_size, line_size=32,
+                                 associativity=2),
+        mem_config=MemoryConfig(size=1 << 21, latency=mem_latency),
+    )
+
+
+def run_attack(memory: int = 512, seed: int = 2005,
+               verbose: bool = False) -> Dict[str, Any]:
+    """Run Kuhn's Cipher Instruction Search against a DS5002FP-class board.
+
+    Returns a JSON-serializable summary (recovered bytes, probe runs,
+    ambiguous cells, full recovery flag).
+    """
+    from .attacks import DallasBoard, KuhnAttack
+    from .crypto import DRBG, SmallBlockCipher
+    from .isa import assemble, secret_table_program
+
+    firmware = assemble(
+        secret_table_program(seed=seed, table_len=64), size=memory
+    )
+    board = DallasBoard(
+        SmallBlockCipher(DRBG(seed).random_bytes(16)),
+        firmware, memory_size=memory,
+    )
+    report = KuhnAttack(board, verbose=verbose).run()
+    recovered = sum(a == b for a, b in zip(report.plaintext, firmware))
+    return {
+        "memory_bytes": memory,
+        "bytes_recovered": recovered,
+        "fully_recovered": recovered == memory,
+        "probe_runs": report.probe_runs,
+        "steps_executed": report.steps_executed,
+        "ambiguous_cells": len(report.ambiguous_cells),
+    }

@@ -8,73 +8,64 @@ Usage::
     python -m repro.cli attack --memory 512    # Kuhn attack demo
     python -m repro.cli protocol               # Figure-1 walkthrough
     python -m repro.cli area                   # gate counts for all engines
+    python -m repro.cli bench --quick          # the full E01-E18 suite
+
+Engine construction goes through the registry (:mod:`repro.core.registry`);
+``bench`` drives the parallel experiment runner (:mod:`repro.runner`) and
+writes machine-readable metrics JSON.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, Optional
+import warnings
+from pathlib import Path
+from typing import Optional
 
-from .analysis import (
-    format_gates,
-    format_percent,
-    format_table,
-    measure_overhead,
-)
-from .attacks import DallasBoard, KuhnAttack, rate_engine
-from .core import (
-    AegisEngine,
-    BestEngine,
-    DS5002FPEngine,
-    DS5240Engine,
-    GeneralInstrumentEngine,
-    GilmontEngine,
-    StreamCipherEngine,
-    VlsiDmaEngine,
-    XomAesEngine,
-    run_distribution,
-)
-from .crypto import DRBG, SmallBlockCipher
-from .isa import assemble, secret_table_program
-from .sim import CacheConfig, MemoryConfig
-from .traces import MCU_KERNELS, WORKLOAD_NAMES, make_workload, mcu_workload
-
-KEY16 = b"0123456789abcdef"
-KEY24 = b"0123456789abcdef01234567"
-
-ENGINE_FACTORIES: Dict[str, Callable] = {
-    "best": lambda: BestEngine(KEY16),
-    "ds5002fp": lambda: DS5002FPEngine(KEY16),
-    "ds5240": lambda: DS5240Engine(KEY16),
-    "vlsi": lambda: VlsiDmaEngine(KEY24, page_size=1024, buffer_pages=8),
-    "gi": lambda: GeneralInstrumentEngine(KEY24, region_size=1024,
-                                          authenticate=False),
-    "gilmont": lambda: GilmontEngine(KEY24),
-    "xom": lambda: XomAesEngine(KEY16),
-    "aegis": lambda: AegisEngine(KEY16),
-    "stream": lambda: StreamCipherEngine(KEY16, line_size=32),
-}
+from .analysis import format_gates, format_percent, format_table
+from .api import run_attack, run_overhead
+from .attacks import rate_engine
+from .core import run_distribution
+from .core.registry import engine_names, list_engines, make_engine
+from .crypto import DRBG
+from .traces import MCU_KERNELS, WORKLOAD_NAMES
 
 
-def _timing_factory(name: str) -> Callable:
-    def make():
-        engine = ENGINE_FACTORIES[name]()
-        engine.functional = False
-        return engine
-    return make
+def __getattr__(name: str):
+    # Pre-registry import surface, kept one release for external callers.
+    if name == "ENGINE_FACTORIES":
+        warnings.warn(
+            "repro.cli.ENGINE_FACTORIES is deprecated; use "
+            "repro.core.registry.make_engine / engine_names instead",
+            DeprecationWarning, stacklevel=2,
+        )
+        return {
+            engine_name: (lambda n=engine_name: make_engine(n))
+            for engine_name in engine_names(survey_only=True)
+        }
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def cmd_list(args: argparse.Namespace) -> int:
+    rows = []
+    for name, spec in list_engines(survey_only=not args.all):
+        engine = make_engine(name)
+        # Wrapper engines (integrity/Merkle/scrambling) are rated by their
+        # inner confidentiality engine.
+        rated = getattr(engine, "inner", engine)
+        try:
+            withstands = rate_engine(rated.name).highest_class_withstood
+        except KeyError:
+            withstands = None
+        rows.append([
+            name, spec.section,
+            withstands or "none",
+            spec.summary,
+        ])
     print(format_table(
-        ["engine", "class withstood", "notes"],
-        [
-            [name, rate_engine(ENGINE_FACTORIES[name]().name)
-             .highest_class_withstood or "none",
-             rate_engine(ENGINE_FACTORIES[name]().name).notes]
-            for name in sorted(ENGINE_FACTORIES)
-        ],
-        title="Engines",
+        ["engine", "survey section", "class withstood", "summary"],
+        rows, title="Engines",
     ))
     print()
     print("Workloads:", ", ".join(WORKLOAD_NAMES))
@@ -83,22 +74,12 @@ def cmd_list(args: argparse.Namespace) -> int:
 
 
 def cmd_overhead(args: argparse.Namespace) -> int:
-    if args.engine not in ENGINE_FACTORIES:
+    if args.engine not in engine_names():
         print(f"unknown engine {args.engine!r}; see `list`", file=sys.stderr)
         return 2
-    if args.workload.startswith("mcu-"):
-        trace = mcu_workload(args.workload[4:], repeat=5)
-    else:
-        trace = [
-            type(a)(a.kind, a.addr % (32 * 1024), a.size)
-            for a in make_workload(args.workload, n=args.accesses)
-        ]
-    result = measure_overhead(
-        _timing_factory(args.engine), trace, workload=args.workload,
-        image=bytes(32 * 1024),
-        cache_config=CacheConfig(size=args.cache, line_size=32,
-                                 associativity=2),
-        mem_config=MemoryConfig(size=1 << 21, latency=args.latency),
+    result = run_overhead(
+        args.engine, args.workload, accesses=args.accesses,
+        cache_size=args.cache, mem_latency=args.latency,
     )
     print(format_table(
         ["metric", "value"],
@@ -109,6 +90,8 @@ def cmd_overhead(args: argparse.Namespace) -> int:
             ["baseline miss rate", f"{result.baseline.miss_rate:.1%}"],
             ["baseline cycles", result.baseline.cycles],
             ["secured cycles", result.secured.cycles],
+            ["bus transactions", result.secured.bus_transactions],
+            ["bytes enciphered", result.secured.bytes_enciphered],
             ["overhead", format_percent(result.overhead)],
         ],
         title="Overhead measurement",
@@ -117,18 +100,10 @@ def cmd_overhead(args: argparse.Namespace) -> int:
 
 
 def cmd_survey(args: argparse.Namespace) -> int:
-    trace = [
-        type(a)(a.kind, a.addr % (32 * 1024), a.size)
-        for a in make_workload("mixed", n=args.accesses)
-    ]
     rows = []
-    for name in sorted(ENGINE_FACTORIES):
-        result = measure_overhead(
-            _timing_factory(name), trace, image=bytes(32 * 1024),
-            cache_config=CacheConfig(size=4096, line_size=32, associativity=2),
-            mem_config=MemoryConfig(size=1 << 21, latency=40),
-        )
-        engine = ENGINE_FACTORIES[name]()
+    for name in engine_names(survey_only=True):
+        result = run_overhead(name, "mixed", accesses=args.accesses)
+        engine = make_engine(name)
         rating = rate_engine(engine.name)
         rows.append([
             name, format_percent(result.overhead),
@@ -143,26 +118,19 @@ def cmd_survey(args: argparse.Namespace) -> int:
 
 
 def cmd_attack(args: argparse.Namespace) -> int:
-    firmware = assemble(
-        secret_table_program(seed=args.seed, table_len=64), size=args.memory
-    )
-    board = DallasBoard(
-        SmallBlockCipher(DRBG(args.seed).random_bytes(16)),
-        firmware, memory_size=args.memory,
-    )
-    attack = KuhnAttack(board, verbose=not args.quiet)
-    report = attack.run()
-    recovered = sum(a == b for a, b in zip(report.plaintext, firmware))
+    summary = run_attack(memory=args.memory, seed=args.seed,
+                         verbose=not args.quiet)
     print(format_table(
         ["result", "value"],
         [
-            ["bytes recovered", f"{recovered}/{args.memory}"],
-            ["probe runs", report.probe_runs],
-            ["ambiguous cells", len(report.ambiguous_cells)],
+            ["bytes recovered",
+             f"{summary['bytes_recovered']}/{summary['memory_bytes']}"],
+            ["probe runs", summary["probe_runs"]],
+            ["ambiguous cells", summary["ambiguous_cells"]],
         ],
         title="Cipher Instruction Search",
     ))
-    return 0 if recovered == args.memory else 1
+    return 0 if summary["fully_recovered"] else 1
 
 
 def cmd_protocol(args: argparse.Namespace) -> int:
@@ -186,9 +154,65 @@ def cmd_protocol(args: argparse.Namespace) -> int:
 
 
 def cmd_area(args: argparse.Namespace) -> int:
-    for name in sorted(ENGINE_FACTORIES):
-        print(ENGINE_FACTORIES[name]().area())
+    for name in engine_names(survey_only=True):
+        print(make_engine(name).area())
         print()
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .runner import ExperimentRunner, to_canonical_json
+    from .runner.experiments import EXPERIMENTS
+
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    experiments = args.experiments or sorted(EXPERIMENTS)
+    unknown = [e for e in experiments if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}; "
+              f"known: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
+        return 2
+
+    progress = (lambda line: print(f"  {line}", flush=True)) \
+        if args.verbose else None
+    runner = ExperimentRunner(
+        experiments=experiments,
+        workers=args.workers,
+        quick=args.quick,
+        cache_dir=None if args.no_cache else Path(args.cache_dir),
+        render=args.tables,
+        progress=progress,
+    )
+    result = runner.run()
+
+    if args.tables:
+        for exp_id in experiments:
+            if exp_id in result.renders:
+                print()
+                print(result.renders[exp_id])
+
+    out = Path(args.out)
+    out.write_text(result.metrics_json(), encoding="utf-8")
+    profile_path = out.with_name(out.stem + "_profile.json")
+    profile_path.write_text(to_canonical_json(result.profile),
+                            encoding="utf-8")
+
+    checks = {
+        exp_id: doc["checks"]
+        for exp_id, doc in result.metrics["experiments"].items()
+    }
+    failed = sorted(e for e, c in checks.items() if c["passed"] is False)
+    print(f"bench: {len(checks)} experiments, "
+          f"{sum(1 for c in checks.values() if c['passed'])} checks passed"
+          f", wall {result.profile['wall_seconds']}s"
+          f" (cache hits {result.profile['cache']['hits']})")
+    print(f"bench: metrics -> {out}, profile -> {profile_path}")
+    if failed:
+        for exp_id in failed:
+            print(f"bench: CHECK FAILED {exp_id}: {checks[exp_id]['error']}",
+                  file=sys.stderr)
+        return 1
     return 0
 
 
@@ -199,7 +223,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list engines and workloads")
+    p = sub.add_parser("list", help="list engines and workloads")
+    p.add_argument("--all", action="store_true",
+                   help="include extension/wrapper engines")
 
     p = sub.add_parser("overhead", help="measure one engine on one workload")
     p.add_argument("engine", help="engine name (see `list`)")
@@ -225,6 +251,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--key-bits", type=int, default=512)
 
     sub.add_parser("area", help="gate-count estimates for all engines")
+
+    p = sub.add_parser(
+        "bench",
+        help="run the E01-E18 experiment suite, write metrics JSON",
+    )
+    p.add_argument("--experiments", nargs="*", metavar="EXP",
+                   help="experiment ids (default: all)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (metrics are identical for any "
+                        "count)")
+    p.add_argument("--quick", action="store_true",
+                   help="scaled-down traces, sub-minute full suite")
+    p.add_argument("--out", default="BENCH_metrics.json",
+                   help="metrics JSON path (profile JSON lands next to it)")
+    p.add_argument("--cache-dir", default=".bench_cache",
+                   help="on-disk result cache directory")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the result cache")
+    p.add_argument("--tables", action="store_true",
+                   help="also print each experiment's human-readable tables")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="print per-task progress lines")
     return parser
 
 
@@ -237,6 +285,7 @@ def main(argv: Optional[list] = None) -> int:
         "attack": cmd_attack,
         "protocol": cmd_protocol,
         "area": cmd_area,
+        "bench": cmd_bench,
     }
     return handlers[args.command](args)
 

@@ -41,6 +41,14 @@ from .protocol import (
 from .stream_engine import StreamCipherEngine
 from .vlsi_dma import VlsiDmaEngine
 from .xom import XomAesEngine
+from .registry import (
+    ENGINE_SPECS,
+    EngineSpec,
+    engine_names,
+    get_spec,
+    list_engines,
+    make_engine,
+)
 
 __all__ = [
     "AddressScrambledEngine",
@@ -56,4 +64,6 @@ __all__ = [
     "ChipManufacturer", "Eavesdropper", "InsecureChannel", "Message",
     "SecureProcessor", "SoftwareEditor", "run_distribution",
     "StreamCipherEngine", "VlsiDmaEngine", "XomAesEngine",
+    "ENGINE_SPECS", "EngineSpec", "engine_names", "get_spec",
+    "list_engines", "make_engine",
 ]

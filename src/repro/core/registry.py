@@ -1,0 +1,242 @@
+"""The engine registry: one declarative spec per surveyed engine.
+
+Every caller — the CLI, the experiment runner, the benches, the examples —
+used to construct engines through its own ad-hoc factory dict with
+mutually inconsistent signatures.  This module is now the **single
+construction path**: an :class:`EngineSpec` records what the survey says
+about each design (name, key size, paper section, default parameters) and
+:func:`make_engine` builds a fresh instance with optional overrides::
+
+    from repro.core.registry import make_engine
+
+    engine = make_engine("aegis")                       # paper defaults
+    timing = make_engine("xom", functional=False)       # timing-only run
+    tuned  = make_engine("vlsi", page_size=2048, buffer_pages=4)
+
+Direct engine-class constructor calls outside ``repro/core`` are a lint
+error (see the ``check`` Makefile target); go through the registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from .addr_scramble import AddressScrambledEngine
+from .aegis import AegisEngine
+from .best import BestEngine
+from .compress_engine import CompressedEncryptionEngine
+from .dallas import DS5002FPEngine, DS5240Engine
+from .engine import BusEncryptionEngine
+from .general_instrument import GeneralInstrumentEngine
+from .gilmont import GilmontEngine
+from .integrity import IntegrityShieldEngine
+from .merkle import MerkleTreeEngine
+from .stream_engine import StreamCipherEngine
+from .vlsi_dma import VlsiDmaEngine
+from .xom import XomAesEngine
+
+__all__ = [
+    "EngineSpec", "ENGINE_SPECS", "DEFAULT_KEYS",
+    "make_engine", "get_spec", "list_engines", "engine_names",
+]
+
+#: Deterministic demo keys by key size; every spec picks one of these when
+#: the caller does not supply ``key=``.  (Real parts fuse per-chip keys.)
+DEFAULT_KEYS: Dict[int, bytes] = {
+    16: b"0123456789abcdef",
+    24: b"0123456789abcdef01234567",
+}
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Everything needed to construct (and describe) one surveyed engine."""
+
+    name: str                       # registry key, e.g. "aegis"
+    builder: Callable[..., BusEncryptionEngine]
+    key_bytes: int                  # demo key size the builder expects
+    section: str                    # where the survey discusses it
+    summary: str                    # one-line description
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+    #: Included in the survey/area comparison commands (the nine primary
+    #: engines); wrapper/extension engines set this False.
+    survey: bool = True
+    #: Whether ``encrypt_line``/``decrypt_line`` round-trip statelessly
+    #: (integrity/Merkle wrappers need a memory port instead).
+    line_roundtrip: bool = True
+
+    def build(self, key: Optional[bytes] = None,
+              functional: Optional[bool] = None,
+              **overrides: Any) -> BusEncryptionEngine:
+        params = dict(self.defaults)
+        params.update(overrides)
+        if functional is not None:
+            params["functional"] = functional
+        engine = self.builder(key or DEFAULT_KEYS[self.key_bytes], **params)
+        if functional is not None:
+            # Wrapper builders construct inner engines; make sure the flag
+            # sticks on the outer object as well.
+            engine.functional = functional
+        return engine
+
+
+def _wrapped(wrapper: Callable[..., BusEncryptionEngine],
+             inner_name: str) -> Callable[..., BusEncryptionEngine]:
+    """Builder for engines that wrap an inner confidentiality engine.
+
+    ``functional`` is forwarded to the inner engine (the wrappers inherit
+    the flag from it); remaining params go to the wrapper constructor.
+    """
+
+    def build(key: bytes, functional: bool = True,
+              **params: Any) -> BusEncryptionEngine:
+        inner = make_engine(inner_name, key=key, functional=functional)
+        return wrapper(inner, **params)
+
+    return build
+
+
+ENGINE_SPECS: Dict[str, EngineSpec] = {}
+
+
+def _register(spec: EngineSpec) -> None:
+    ENGINE_SPECS[spec.name] = spec
+
+
+_register(EngineSpec(
+    name="best", builder=BestEngine, key_bytes=16,
+    section="§3 / Fig. 3 (Best 1979)",
+    summary="substitution/transposition crypto-microprocessor",
+))
+_register(EngineSpec(
+    name="ds5002fp", builder=DS5002FPEngine, key_bytes=16,
+    section="§2.3, §3 / Fig. 6",
+    summary="byte-granular bus cipher (Kuhn's victim)",
+))
+_register(EngineSpec(
+    name="ds5240", builder=DS5240Engine, key_bytes=16,
+    section="§3 / Fig. 6",
+    summary="64-bit-block successor to the DS5002FP",
+))
+_register(EngineSpec(
+    name="vlsi", builder=VlsiDmaEngine, key_bytes=24,
+    section="§3 / Fig. 4",
+    summary="page-wise secure DMA over 3DES-CBC",
+    defaults={"page_size": 1024, "buffer_pages": 8},
+    line_roundtrip=False,   # page-granular: needs install_image/fill_line
+))
+_register(EngineSpec(
+    name="gi", builder=GeneralInstrumentEngine, key_bytes=24,
+    section="§3 / Fig. 5",
+    summary="region-chained 3DES-CBC with keyed-hash authentication",
+    defaults={"region_size": 1024, "authenticate": False},
+    line_roundtrip=False,   # region-chained: needs install_image/fill_line
+))
+_register(EngineSpec(
+    name="gilmont", builder=GilmontEngine, key_bytes=24,
+    section="§3 (Gilmont et al.)",
+    summary="fetch-prediction pipelined 3DES",
+))
+_register(EngineSpec(
+    name="xom", builder=XomAesEngine, key_bytes=16,
+    section="§3 (XOM)",
+    summary="pipelined AES, 14-cycle latency",
+))
+_register(EngineSpec(
+    name="aegis", builder=AegisEngine, key_bytes=16,
+    section="§3 (AEGIS)",
+    summary="per-cache-line AES-CBC with address-derived IVs",
+))
+_register(EngineSpec(
+    name="stream", builder=StreamCipherEngine, key_bytes=16,
+    section="§2.2 / Fig. 2a",
+    summary="CTR keystream engine with pad-ahead",
+    defaults={"line_size": 32},
+))
+_register(EngineSpec(
+    name="compress", builder=CompressedEncryptionEngine, key_bytes=16,
+    section="§4 / Fig. 8",
+    summary="CodePack compression before stream encryption",
+    defaults={"line_size": 32},
+    survey=False,
+))
+_register(EngineSpec(
+    name="integrity-stream",
+    builder=_wrapped(IntegrityShieldEngine, "stream"), key_bytes=16,
+    section="§5 (future work, built)",
+    summary="stream engine + per-line MAC tags + anti-replay versions",
+    defaults={"mac_key": b"integrity-mac-key", "tag_region_base": 1 << 20},
+    survey=False, line_roundtrip=False,
+))
+_register(EngineSpec(
+    name="integrity-xom",
+    builder=_wrapped(IntegrityShieldEngine, "xom"), key_bytes=16,
+    section="§5 (future work, built)",
+    summary="XOM AES + per-line MAC tags + anti-replay versions",
+    defaults={"mac_key": b"integrity-mac-key", "tag_region_base": 1 << 20},
+    survey=False, line_roundtrip=False,
+))
+_register(EngineSpec(
+    name="merkle-stream",
+    builder=_wrapped(MerkleTreeEngine, "stream"), key_bytes=16,
+    section="§5 (future work, built)",
+    summary="stream engine under a Merkle tree (root on chip)",
+    defaults={
+        "mac_key": b"integrity-mac-key", "region_base": 0,
+        "region_size": 32 * 1024, "tree_base": 1 << 20,
+    },
+    survey=False, line_roundtrip=False,
+))
+_register(EngineSpec(
+    name="addr-scramble-stream",
+    builder=_wrapped(AddressScrambledEngine, "stream"), key_bytes=16,
+    section="§3 (Best's patents / DS5002FP address bus)",
+    summary="stream engine + line-address scrambling",
+    defaults={"addr_key": b"addr-key", "region_lines": 512},
+    survey=False, line_roundtrip=False,
+))
+
+
+def get_spec(name: str) -> EngineSpec:
+    """Look up a spec; raises ``KeyError`` with the known names."""
+    try:
+        return ENGINE_SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown engine {name!r}; known: {', '.join(sorted(ENGINE_SPECS))}"
+        ) from None
+
+
+def make_engine(name: str, *, key: Optional[bytes] = None,
+                functional: Optional[bool] = None,
+                **overrides: Any) -> BusEncryptionEngine:
+    """Build a fresh engine instance from its registry spec.
+
+    Parameters
+    ----------
+    name:
+        Registry key (see :func:`list_engines`).
+    key:
+        Overrides the deterministic demo key.
+    functional:
+        ``False`` for timing-only runs (skips the byte transforms).
+    overrides:
+        Engine-specific constructor parameters, merged over the spec's
+        defaults (e.g. ``page_size=2048`` for ``vlsi``).
+    """
+    return get_spec(name).build(key=key, functional=functional, **overrides)
+
+
+def engine_names(survey_only: bool = False) -> List[str]:
+    """Sorted registry names; ``survey_only`` keeps the nine primary engines."""
+    return sorted(
+        name for name, spec in ENGINE_SPECS.items()
+        if spec.survey or not survey_only
+    )
+
+
+def list_engines(survey_only: bool = False) -> List[Tuple[str, EngineSpec]]:
+    """Sorted (name, spec) pairs for display."""
+    return [(name, ENGINE_SPECS[name])
+            for name in engine_names(survey_only=survey_only)]

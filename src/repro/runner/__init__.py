@@ -1,0 +1,23 @@
+"""Parallel experiment runner with structured metrics.
+
+The package turns the repo's 18 survey experiments into a declarative
+registry (:mod:`repro.runner.experiments`) executed by
+:class:`ExperimentRunner`: a multiprocessing worker pool with
+deterministic per-task seeding, an on-disk JSON result cache, and
+machine-readable metrics output (see ``python -m repro.cli bench``).
+"""
+
+from .base import Experiment, TaskContext, task_seed
+from .cache import ResultCache
+from .runner import METRICS_SCHEMA, ExperimentRunner, RunResult, to_canonical_json
+
+__all__ = [
+    "Experiment",
+    "ExperimentRunner",
+    "METRICS_SCHEMA",
+    "ResultCache",
+    "RunResult",
+    "TaskContext",
+    "task_seed",
+    "to_canonical_json",
+]

@@ -1,0 +1,89 @@
+"""Declarative experiment model for the runner.
+
+An :class:`Experiment` is a registry entry describing one of the survey's
+experiments (E01–E18): metadata, a set of independent **tasks** (the unit
+of parallelism and caching), a renderer producing the human tables the
+benches used to print, and a checker asserting the shape of the paper's
+claim.
+
+Task functions are module-level callables ``fn(ctx: TaskContext) -> dict``
+returning JSON-serializable metrics only — that is what makes them
+executable in worker processes, memoizable on disk, and byte-for-byte
+deterministic across worker counts.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional
+
+__all__ = ["TaskContext", "Experiment", "task_seed"]
+
+
+def task_seed(experiment_id: str, task_name: str) -> int:
+    """Deterministic per-task seed, stable across processes and sessions."""
+    return zlib.crc32(f"{experiment_id}:{task_name}".encode()) & 0x7FFFFFFF
+
+
+@dataclass(frozen=True)
+class TaskContext:
+    """Execution parameters handed to every task function.
+
+    ``seed`` is the task's deterministic seed (derived from its identity,
+    never from wall clock or PID).  ``quick`` selects the scaled-down
+    variant used by ``make bench-quick`` and the test suite.
+    """
+
+    quick: bool = False
+    seed: int = 0
+
+    def n(self, full: int, quick: Optional[int] = None) -> int:
+        """Scale a trace length: ``full`` normally, ``quick`` (or full/5)
+        in quick mode."""
+        if not self.quick:
+            return full
+        return quick if quick is not None else max(200, full // 5)
+
+    def key(self) -> Dict[str, object]:
+        """The context's contribution to the memoization key."""
+        return {"quick": self.quick, "seed": self.seed}
+
+
+#: A task computes one JSON-serializable metrics dict.
+TaskFn = Callable[[TaskContext], dict]
+#: Results of a whole experiment: task name -> metrics dict.
+Results = Dict[str, dict]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One survey experiment: metadata + tasks + presentation + checks."""
+
+    id: str                             # "e01" … "e18"
+    title: str
+    section: str                        # survey section / figure
+    tasks: Mapping[str, TaskFn] = field(default_factory=dict)
+    #: Produce the human-readable tables from the task results.
+    render: Optional[Callable[[Results], str]] = None
+    #: Assert the shape of the paper's claim; raises AssertionError.
+    check: Optional[Callable[[Results], None]] = None
+
+    def run(self, ctx_base: TaskContext = TaskContext()) -> Results:
+        """Run every task serially (in-process reference path)."""
+        results: Results = {}
+        for name in sorted(self.tasks):
+            ctx = TaskContext(quick=ctx_base.quick,
+                              seed=task_seed(self.id, name))
+            results[name] = self.tasks[name](ctx)
+        return results
+
+    def checks_passed(self, results: Results) -> Dict[str, object]:
+        """Run :attr:`check` and report the outcome as metrics."""
+        if self.check is None:
+            return {"passed": None, "error": None}
+        try:
+            self.check(results)
+            return {"passed": True, "error": None}
+        except AssertionError as exc:
+            return {"passed": False, "error": str(exc) or "assertion failed"}

@@ -1,0 +1,77 @@
+"""On-disk memoization of completed experiment tasks.
+
+Task results are pure functions of ``(experiment, task, context,
+code-version)``, so re-running a bench suite only pays for what changed.
+Each completed task is one small JSON file under the cache directory,
+keyed by a SHA-256 of the identifying tuple; the package version is part
+of the key so upgrading the code invalidates stale results wholesale.
+
+The cache is safe under concurrent writers (atomic rename) and safe to
+delete at any time (``make clean`` removes it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from .. import __version__
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """A directory of memoized task results."""
+
+    def __init__(self, root: Path):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def task_key(experiment_id: str, task_name: str, ctx_key: dict) -> str:
+        """Stable digest identifying one task execution."""
+        ident = json.dumps(
+            {
+                "experiment": experiment_id,
+                "task": task_name,
+                "ctx": ctx_key,
+                "version": __version__,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(ident.encode()).hexdigest()[:24]
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload["metrics"]
+
+    def put(self, key: str, metrics: dict) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {"key": key, "metrics": metrics}
+        # Atomic publish: never expose a half-written JSON file.
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

@@ -1,0 +1,38 @@
+"""The declarative experiment registry: one module per survey experiment.
+
+Each module defines task functions, a renderer, a checker, and an
+``EXPERIMENT`` object; this package collects them into :data:`EXPERIMENTS`
+for the runner, the CLI and the benches to discover.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..base import Experiment
+from . import (
+    e01, e02, e03, e04, e05, e06, e07, e08, e09,
+    e10, e11, e12, e13, e14, e15, e16, e17, e18,
+)
+
+__all__ = ["EXPERIMENTS", "get_experiment"]
+
+#: id -> Experiment, in survey order.
+EXPERIMENTS: Dict[str, Experiment] = {
+    module.EXPERIMENT.id: module.EXPERIMENT
+    for module in (
+        e01, e02, e03, e04, e05, e06, e07, e08, e09,
+        e10, e11, e12, e13, e14, e15, e16, e17, e18,
+    )
+}
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up an experiment by id ("e01" … "e18")."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None

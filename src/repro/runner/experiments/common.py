@@ -1,0 +1,67 @@
+"""Shared configuration and helpers for the experiment registry.
+
+The standard simulated SoC every overhead experiment uses (4 KiB 2-way
+cache, 32-byte lines, 40-cycle external memory), plus the small utilities
+the ported benches shared by copy-paste before the registry existed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List
+
+from ...analysis import OverheadResult, measure_overhead
+from ...core.registry import DEFAULT_KEYS, make_engine
+from ...sim import CacheConfig, MemoryConfig
+from ...traces.trace import Access
+
+__all__ = [
+    "KEY16", "KEY24", "CACHE", "MEM", "N_ACCESSES",
+    "clamp", "engine_factory", "measure", "overhead_metrics",
+]
+
+KEY16 = DEFAULT_KEYS[16]
+KEY24 = DEFAULT_KEYS[24]
+
+#: The standard simulated SoC for overhead measurements.
+CACHE = CacheConfig(size=4096, line_size=32, associativity=2)
+MEM = MemoryConfig(size=1 << 21, latency=40)
+
+#: Standard trace length (tasks scale it via ``ctx.n(N_ACCESSES)``).
+N_ACCESSES = 4000
+
+
+def clamp(trace: Iterable[Access], size: int) -> List[Access]:
+    """Clamp trace addresses into a ``size``-byte image."""
+    return [type(a)(a.kind, a.addr % size, a.size) for a in trace]
+
+
+def engine_factory(name: str, **params: Any) -> Callable[[], Any]:
+    """A fresh-engine factory for ``measure_overhead`` (timing-only)."""
+    return lambda: make_engine(name, functional=False, **params)
+
+
+def measure(name: str, trace, *, engine_params: dict = None,
+            **kwargs: Any) -> OverheadResult:
+    """``measure_overhead`` against the registry, with standard configs."""
+    kwargs.setdefault("cache_config", CACHE)
+    kwargs.setdefault("mem_config", MEM)
+    return measure_overhead(
+        engine_factory(name, **(engine_params or {})), trace, **kwargs
+    )
+
+
+def overhead_metrics(result: OverheadResult) -> dict:
+    """The standard structured block for one overhead measurement."""
+    secured = result.secured
+    return {
+        "overhead": round(result.overhead, 6),
+        "cycles": secured.cycles,
+        "baseline_cycles": result.baseline.cycles,
+        "accesses": secured.accesses,
+        "cache_hit_rate": round(1.0 - secured.miss_rate, 6),
+        "baseline_miss_rate": round(result.baseline.miss_rate, 6),
+        "bus_transactions": secured.bus_transactions,
+        "bus_bytes": secured.bus_bytes,
+        "bytes_enciphered": secured.bytes_enciphered,
+        "rmw_operations": secured.rmw_operations,
+    }

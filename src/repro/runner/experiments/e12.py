@@ -1,0 +1,105 @@
+"""E12 — Figure 7 / §4: EDU placement, CPU-cache vs cache-memory.
+
+Paper claims reproduced:
+* 7b stored-keystream variant needs "an on-chip memory equivalent to the
+  cache memory in term of size" — §5 calls the doubling unaffordable;
+* 7b generate-on-demand "implies important performance loss" (the
+  generator latency lands on every cache access);
+* "this scheme seems to provide no benefit in term of performance when
+  compared to a stream cipher located between cache memory and memory
+  controller."
+"""
+
+from __future__ import annotations
+
+from ...analysis import format_gates, format_percent, format_table
+from ...core import compare_placements
+from ...sim import CacheConfig, MemoryConfig, sram_gates
+from ...traces import make_workload
+from ..base import Experiment, TaskContext
+from .common import KEY16, N_ACCESSES
+
+CACHE = CacheConfig(size=8192, line_size=32, associativity=2)
+MEM = MemoryConfig(size=1 << 21, latency=40)
+
+
+def task_placement(ctx: TaskContext) -> dict:
+    trace = make_workload("mixed", n=ctx.n(N_ACCESSES))
+    comparison = compare_placements(trace, key=KEY16, cache_config=CACHE,
+                                    mem_config=MEM)
+    overheads = comparison.overheads()
+    return {
+        "cache_size": CACHE.size,
+        "overheads": {k: round(v, 6) for k, v in overheads.items()},
+        "areas": dict(comparison.areas),
+        "sram_premium_expected": sram_gates(CACHE.size),
+    }
+
+
+def task_cache_sensitivity(ctx: TaskContext) -> dict:
+    """The per-access tax of 7b scales with hit volume: the more the cache
+    does its job, the worse 7b compares."""
+    rows = []
+    for size in (1024, 4096, 16384):
+        trace = make_workload("data-local", n=ctx.n(N_ACCESSES))
+        comparison = compare_placements(
+            trace, key=KEY16,
+            cache_config=CacheConfig(size=size, line_size=32,
+                                     associativity=2),
+            mem_config=MEM,
+        )
+        o = comparison.overheads()
+        rows.append({
+            "cache": size,
+            "edu_7a": round(o["cache-memory (7a)"], 6),
+            "edu_7b": round(o["cpu-cache stored pad (7b)"], 6),
+        })
+    return {"rows": rows}
+
+
+def render(results: dict) -> str:
+    p = results["placement"]
+    placement = format_table(
+        ["design point", "overhead", "engine area"],
+        [[name, format_percent(p["overheads"][name]),
+          format_gates(p["areas"][name])] for name in p["overheads"]],
+        title="E12: EDU placement (survey Fig. 7 / §4)",
+    )
+    rows = results["cache-sensitivity"]["rows"]
+    sensitivity = format_table(
+        ["cache size", "7a overhead", "7b (stored) overhead"],
+        [[r["cache"], format_percent(r["edu_7a"]),
+          format_percent(r["edu_7b"])] for r in rows],
+        title="E12b: placement vs cache size",
+    )
+    return placement + "\n\n" + sensitivity
+
+
+def check(results: dict) -> None:
+    p = results["placement"]
+    overheads = p["overheads"]
+    # No performance benefit from the CPU-cache placement...
+    assert overheads["cpu-cache stored pad (7b)"] >= \
+        overheads["cache-memory (7a)"] - 1e-9
+    # ...and the on-demand variant is far worse.
+    assert overheads["cpu-cache generated pad (7b)"] > \
+        5 * max(overheads["cache-memory (7a)"], 0.001)
+    # The stored variant pays an SRAM bill equal to the whole cache.
+    premium = (p["areas"]["cpu-cache stored pad (7b)"]
+               - p["areas"]["cpu-cache generated pad (7b)"])
+    assert premium == p["sram_premium_expected"]
+    rows = results["cache-sensitivity"]["rows"]
+    # The 7b/7a *relative* gap widens as hits dominate.
+    ratios = [(r["edu_7b"] + 1e-9) / (r["edu_7a"] + 1e-9) for r in rows]
+    assert ratios[-1] > ratios[0]
+
+
+EXPERIMENT = Experiment(
+    id="e12",
+    title="EDU placement: CPU-cache vs cache-memory",
+    section="§4 / Fig. 7",
+    tasks={"placement": task_placement,
+           "cache-sensitivity": task_cache_sensitivity},
+    render=render,
+    check=check,
+)

@@ -1,0 +1,217 @@
+"""Parallel experiment execution with memoization and structured metrics.
+
+:class:`ExperimentRunner` discovers experiments in the declarative
+registry (:mod:`repro.runner.experiments`), fans their tasks out over a
+``multiprocessing`` pool, memoizes completed tasks on disk, and assembles
+two documents:
+
+* **metrics** — deterministic, machine-readable: per-task simulated
+  metrics (cycles, bus transactions, cache hit rates, bytes enciphered,
+  …) plus the per-experiment claim checks.  Byte-identical regardless of
+  worker count or cache state, so it can be committed as a regression
+  baseline (``BENCH_metrics.json``).
+* **profile** — non-deterministic observability: wall time per task,
+  worker count, cache hit/miss counts.
+
+Determinism comes from the task model: each task's seed is derived from
+its identity (:func:`repro.runner.base.task_seed`), tasks share no state,
+and results are assembled in sorted task order no matter which worker
+finished first.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .base import Experiment, TaskContext, task_seed
+from .cache import ResultCache
+
+__all__ = ["ExperimentRunner", "RunResult", "to_canonical_json"]
+
+METRICS_SCHEMA = "repro-bench-metrics/1"
+
+#: (experiment_id, task_name, quick) — everything a worker needs.
+_TaskSpec = Tuple[str, str, bool]
+
+
+def _execute_task(spec: _TaskSpec) -> Tuple[str, str, dict, float]:
+    """Worker entry point: run one task, return its metrics and wall time.
+
+    Module-level so it pickles by reference; the experiment registry is
+    re-resolved inside the worker process.
+    """
+    exp_id, task_name, quick = spec
+    from .experiments import get_experiment
+
+    experiment = get_experiment(exp_id)
+    ctx = TaskContext(quick=quick, seed=task_seed(exp_id, task_name))
+    start = time.perf_counter()
+    metrics = experiment.tasks[task_name](ctx)
+    wall = time.perf_counter() - start
+    # Round-trip through JSON here so cached and fresh results are the
+    # exact same object shape (tuples -> lists, int keys -> str keys).
+    return exp_id, task_name, json.loads(json.dumps(metrics)), wall
+
+
+def to_canonical_json(document: dict) -> str:
+    """Stable serialized form: sorted keys, fixed indent, one trailing \\n."""
+    return json.dumps(document, sort_keys=True, indent=2) + "\n"
+
+
+@dataclass
+class RunResult:
+    """Everything one runner invocation produced."""
+
+    metrics: dict                      # deterministic document
+    profile: dict                      # wall times, cache stats
+    renders: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def all_checks_passed(self) -> bool:
+        return all(
+            exp["checks"]["passed"] in (True, None)
+            for exp in self.metrics["experiments"].values()
+        )
+
+    def metrics_json(self) -> str:
+        return to_canonical_json(self.metrics)
+
+
+class ExperimentRunner:
+    """Run a set of registry experiments, possibly in parallel.
+
+    Parameters
+    ----------
+    experiments:
+        Experiment ids to run (default: every registered experiment).
+    workers:
+        Process count; 1 runs everything in-process (the reference path —
+        any other worker count must produce byte-identical metrics).
+    quick:
+        Scaled-down traces for sub-minute full-suite runs.
+    cache_dir:
+        Directory for the on-disk result cache; ``None`` disables caching.
+    render:
+        Also produce each experiment's human-readable tables.
+    progress:
+        Optional callable receiving one line per completed task.
+    """
+
+    def __init__(
+        self,
+        experiments: Optional[Sequence[str]] = None,
+        workers: int = 1,
+        quick: bool = False,
+        cache_dir: Optional[Path] = Path(".bench_cache"),
+        render: bool = False,
+        progress: Optional[Callable[[str], None]] = None,
+    ):
+        from .experiments import EXPERIMENTS, get_experiment
+
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        ids = sorted(experiments) if experiments else sorted(EXPERIMENTS)
+        self.experiments: List[Experiment] = [get_experiment(i) for i in ids]
+        self.workers = workers
+        self.quick = quick
+        self.cache = ResultCache(Path(cache_dir)) if cache_dir else None
+        self.render = render
+        self._progress = progress or (lambda line: None)
+
+    # -- execution ---------------------------------------------------------
+
+    def _task_specs(self) -> List[_TaskSpec]:
+        return [
+            (exp.id, task_name, self.quick)
+            for exp in self.experiments
+            for task_name in sorted(exp.tasks)
+        ]
+
+    def _cache_key(self, exp_id: str, task_name: str) -> str:
+        ctx = TaskContext(quick=self.quick, seed=task_seed(exp_id, task_name))
+        return ResultCache.task_key(exp_id, task_name, ctx.key())
+
+    def run(self) -> RunResult:
+        suite_start = time.perf_counter()
+        results: Dict[str, Dict[str, dict]] = {
+            exp.id: {} for exp in self.experiments
+        }
+        walls: Dict[str, float] = {}
+
+        pending: List[_TaskSpec] = []
+        for spec in self._task_specs():
+            exp_id, task_name, _ = spec
+            cached = None
+            if self.cache is not None:
+                cached = self.cache.get(self._cache_key(exp_id, task_name))
+            if cached is not None:
+                results[exp_id][task_name] = cached
+                walls[f"{exp_id}:{task_name}"] = 0.0
+                self._progress(f"{exp_id}:{task_name}  [cached]")
+            else:
+                pending.append(spec)
+
+        for exp_id, task_name, metrics, wall in self._execute(pending):
+            results[exp_id][task_name] = metrics
+            walls[f"{exp_id}:{task_name}"] = round(wall, 3)
+            if self.cache is not None:
+                self.cache.put(self._cache_key(exp_id, task_name), metrics)
+            self._progress(f"{exp_id}:{task_name}  [{wall:.2f}s]")
+
+        return self._assemble(results, walls,
+                              time.perf_counter() - suite_start)
+
+    def _execute(self, pending: List[_TaskSpec]):
+        """Yield completed (exp_id, task, metrics, wall) for pending tasks."""
+        if not pending:
+            return
+        if self.workers == 1:
+            for spec in pending:
+                yield _execute_task(spec)
+            return
+        # Fork keeps sys.path (and the already-imported registry) intact
+        # in the children; chunksize 1 keeps long tasks load-balanced.
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=self.workers) as pool:
+            for item in pool.imap_unordered(_execute_task, pending,
+                                            chunksize=1):
+                yield item
+
+    # -- assembly ----------------------------------------------------------
+
+    def _assemble(self, results, walls, total_wall) -> RunResult:
+        experiments_doc = {}
+        renders: Dict[str, str] = {}
+        for exp in self.experiments:
+            exp_results = results[exp.id]
+            experiments_doc[exp.id] = {
+                "title": exp.title,
+                "section": exp.section,
+                "checks": exp.checks_passed(exp_results),
+                "tasks": {name: exp_results[name]
+                          for name in sorted(exp_results)},
+            }
+            if self.render and exp.render is not None:
+                renders[exp.id] = exp.render(exp_results)
+
+        metrics = {
+            "schema": METRICS_SCHEMA,
+            "quick": self.quick,
+            "experiments": experiments_doc,
+        }
+        profile = {
+            "workers": self.workers,
+            "wall_seconds": round(total_wall, 3),
+            "cache": {
+                "hits": self.cache.hits if self.cache else 0,
+                "misses": self.cache.misses if self.cache else 0,
+                "dir": str(self.cache.root) if self.cache else None,
+            },
+            "task_wall_seconds": dict(sorted(walls.items())),
+        }
+        return RunResult(metrics=metrics, profile=profile, renders=renders)

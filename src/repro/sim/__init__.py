@@ -18,6 +18,7 @@ from .pipeline import (
     XOM_AES_PIPE,
     PipelinedUnit,
 )
+from .stats import CountingSink, RecordingSink, StatsSink, TraceEvent
 from .system import SecureSystem, SimReport, overhead, run_trace
 
 __all__ = [
@@ -30,5 +31,6 @@ __all__ = [
     "PipelinedUnit", "XOM_AES_PIPE", "AEGIS_AES_PIPE", "TDES_PIPE",
     "TDES_ITERATIVE", "DES_ITERATIVE", "AES_ITERATIVE", "KEYSTREAM_UNIT",
     "BYTE_SUBST_UNIT",
+    "CountingSink", "RecordingSink", "StatsSink", "TraceEvent",
     "SecureSystem", "SimReport", "overhead", "run_trace",
 ]

@@ -11,7 +11,9 @@ plaintext when not.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import Callable, List, Optional
+
+from .stats import StatsSink, TraceEvent
 
 __all__ = ["BusTransaction", "Bus"]
 
@@ -29,10 +31,11 @@ class BusTransaction:
 class Bus:
     """External bus: counts traffic and notifies probes of every transfer."""
 
-    def __init__(self) -> None:
+    def __init__(self, sink: Optional[StatsSink] = None) -> None:
         self._probes: List[Callable[[BusTransaction], None]] = []
         self.transactions = 0
         self.bytes_transferred = 0
+        self.sink = sink
 
     def attach_probe(self, probe: Callable[[BusTransaction], None]) -> None:
         """Attach a probe called with every :class:`BusTransaction`."""
@@ -47,6 +50,10 @@ class Bus:
             raise ValueError(f"unknown bus op {op!r}")
         self.transactions += 1
         self.bytes_transferred += len(data)
+        if self.sink is not None:
+            self.sink.emit(TraceEvent(
+                kind=f"bus-{op}", addr=addr, size=len(data), cycle=cycle,
+            ))
         if self._probes:
             txn = BusTransaction(op=op, addr=addr, data=data, cycle=cycle)
             for probe in self._probes:

@@ -12,7 +12,9 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 from enum import Enum
-from typing import List, Optional
+from typing import Callable, List, Optional
+
+from .stats import StatsSink, TraceEvent
 
 __all__ = ["WritePolicy", "CacheConfig", "CacheResult", "Cache"]
 
@@ -74,7 +76,8 @@ class Cache:
     external traffic the access causes; the caller performs that traffic.
     """
 
-    def __init__(self, config: CacheConfig):
+    def __init__(self, config: CacheConfig,
+                 sink: Optional[StatsSink] = None):
         self.config = config
         self._sets: List["OrderedDict[int, _Line]"] = [
             OrderedDict() for _ in range(config.num_sets)
@@ -83,6 +86,16 @@ class Cache:
         self.misses = 0
         self.evictions = 0
         self.writebacks = 0
+        self.sink = sink
+        #: Optional cycle source so emitted events carry timestamps.
+        self.clock: Optional[Callable[[], int]] = None
+
+    def _emit(self, kind: str, addr: int) -> None:
+        if self.sink is not None:
+            self.sink.emit(TraceEvent(
+                kind=kind, addr=addr, size=self.config.line_size,
+                cycle=self.clock() if self.clock else 0,
+            ))
 
     def _set_index(self, line_addr: int) -> int:
         return line_addr % self.config.num_sets
@@ -109,6 +122,7 @@ class Cache:
         if line in cache_set:
             cache_set.move_to_end(line)
             self.hits += 1
+            self._emit("hit", addr)
             entry = cache_set[line]
             through = False
             if is_write:
@@ -119,6 +133,7 @@ class Cache:
             return CacheResult(hit=True, line_addr=line, through_write=through)
 
         self.misses += 1
+        self._emit("miss", addr)
 
         if is_write and not cfg.write_allocate:
             # Store miss bypasses the cache entirely.
@@ -132,9 +147,11 @@ class Cache:
             victim_line, victim = cache_set.popitem(last=False)
             self.evictions += 1
             evicted_line = victim_line
+            self._emit("eviction", victim_line * cfg.line_size)
             if victim.dirty:
                 self.writebacks += 1
                 writeback_addr = victim_line * cfg.line_size
+                self._emit("writeback", writeback_addr)
 
         entry = _Line()
         through = False

@@ -1,0 +1,90 @@
+"""Observability hooks for the simulator: structured event sinks.
+
+The survey's experiments all reduce to counting — cycles, misses, bus
+beats, enciphered lines — but until now each count lived in a different
+object (`Cache.hits`, `Bus.transactions`, `EngineStats`) and anything not
+pre-counted required editing the simulator.  A :class:`StatsSink` attached
+to a :class:`repro.sim.system.SecureSystem` observes every simulator event
+as a :class:`TraceEvent` without code changes:
+
+* ``access``  — one CPU access entering the system (detail = kind);
+* ``hit`` / ``miss`` / ``eviction`` / ``writeback`` — cache outcomes;
+* ``fill`` — a line fetched through the engine;
+* ``bus-read`` / ``bus-write`` — bytes crossing the chip boundary.
+
+Sinks are pure observers: when none is attached the emit paths reduce to
+one ``is None`` test, so profiling is free to leave wired in.
+
+Usage::
+
+    from repro.sim import CountingSink, SecureSystem
+
+    sink = CountingSink()
+    system = SecureSystem(engine=engine, sink=sink)
+    system.run(trace)
+    print(sink.counts)          # {"access": 4000, "miss": 812, ...}
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["TraceEvent", "StatsSink", "CountingSink", "RecordingSink"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observable simulator event."""
+
+    kind: str           # "access", "hit", "miss", "fill", "bus-read", ...
+    addr: int = 0       # byte address the event concerns (0 if n/a)
+    size: int = 0       # bytes moved, where meaningful
+    cycle: int = 0      # CPU cycle at emission (0 when no clock is wired)
+    detail: str = ""    # free-form qualifier ("fetch", "store", ...)
+
+
+class StatsSink:
+    """Base sink: receives every :class:`TraceEvent`.
+
+    Subclass and override :meth:`emit`; the built-ins below cover the
+    common cases (pure counting, full recording).
+    """
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class CountingSink(StatsSink):
+    """Counts events by kind and sums the bytes they moved."""
+
+    def __init__(self) -> None:
+        self.counts: Counter = Counter()
+        self.bytes_by_kind: Counter = Counter()
+
+    def emit(self, event: TraceEvent) -> None:
+        self.counts[event.kind] += 1
+        if event.size:
+            self.bytes_by_kind[event.kind] += event.size
+
+    def summary(self) -> Dict[str, int]:
+        """Counts as a plain dict (stable, sorted by kind)."""
+        return {kind: self.counts[kind] for kind in sorted(self.counts)}
+
+
+class RecordingSink(CountingSink):
+    """Counts *and* keeps the full event list (bounded by ``max_events``)."""
+
+    def __init__(self, max_events: Optional[int] = None) -> None:
+        super().__init__()
+        self.events: List[TraceEvent] = []
+        self.max_events = max_events
+        self.dropped = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        super().emit(event)
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(event)

@@ -18,6 +18,7 @@ from ..traces.trace import Access, AccessKind, Trace
 from .bus import Bus
 from .cache import Cache, CacheConfig
 from .memory import MainMemory, MemoryConfig
+from .stats import StatsSink, TraceEvent
 
 __all__ = ["SimReport", "SecureSystem", "run_trace", "overhead"]
 
@@ -42,6 +43,9 @@ class SimReport:
     mem_writes: int
     engine_extra_read_cycles: int
     engine_extra_write_cycles: int
+    lines_encrypted: int = 0
+    lines_decrypted: int = 0
+    bytes_enciphered: int = 0   # bytes through the engine, both directions
 
     @property
     def miss_rate(self) -> float:
@@ -58,6 +62,26 @@ class SimReport:
         if baseline.cycles == 0:
             return 0.0
         return self.cycles / baseline.cycles - 1.0
+
+    def to_metrics(self) -> Dict[str, object]:
+        """The report as a flat, JSON-serializable metrics dict."""
+        return {
+            "label": self.label,
+            "cycles": self.cycles,
+            "accesses": self.accesses,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": round(1.0 - self.miss_rate, 6),
+            "writebacks": self.writebacks,
+            "rmw_operations": self.rmw_operations,
+            "bus_transactions": self.bus_transactions,
+            "bus_bytes": self.bus_bytes,
+            "mem_reads": self.mem_reads,
+            "mem_writes": self.mem_writes,
+            "lines_encrypted": self.lines_encrypted,
+            "lines_decrypted": self.lines_decrypted,
+            "bytes_enciphered": self.bytes_enciphered,
+        }
 
 
 class SecureSystem:
@@ -76,6 +100,10 @@ class SecureSystem:
         survey's five-step write discussion assumes).
     issue_cycles:
         Cycles charged per CPU access before the memory system responds.
+    sink:
+        Optional :class:`repro.sim.stats.StatsSink` receiving a
+        :class:`repro.sim.stats.TraceEvent` for every access, cache
+        outcome, fill and bus transfer (profiling without code changes).
     """
 
     def __init__(
@@ -85,11 +113,14 @@ class SecureSystem:
         mem_config: MemoryConfig = MemoryConfig(),
         write_buffer: bool = True,
         issue_cycles: int = 1,
+        sink: Optional[StatsSink] = None,
     ):
         self.engine = engine if engine is not None else NullEngine()
-        self.cache = Cache(cache_config)
+        self.sink = sink
+        self.cache = Cache(cache_config, sink=sink)
+        self.cache.clock = lambda: self.cycles
         self.memory = MainMemory(mem_config)
-        self.bus = Bus()
+        self.bus = Bus(sink=sink)
         self.cycles = 0
         self.write_buffer = write_buffer
         self.issue_cycles = issue_cycles
@@ -134,6 +165,11 @@ class SecureSystem:
         engine = self.engine
         self.cycles += self.issue_cycles
         self._counts[access.kind] += 1
+        if self.sink is not None:
+            self.sink.emit(TraceEvent(
+                kind="access", addr=access.addr, size=access.size,
+                cycle=self.cycles, detail=access.kind.name.lower(),
+            ))
         engine.notify_access(access.addr, access.kind is AccessKind.FETCH)
 
         if engine.placement is Placement.CPU_CACHE:
@@ -161,6 +197,11 @@ class SecureSystem:
             )
             self.cycles += fill_cycles
             self._line_data[result.line_addr] = bytearray(plaintext)
+            if self.sink is not None:
+                self.sink.emit(TraceEvent(
+                    kind="fill", addr=line_addr_bytes, size=line_size,
+                    cycle=self.cycles,
+                ))
 
         if access.is_write:
             payload = self._store_data(access, data)
@@ -195,6 +236,8 @@ class SecureSystem:
         self._line_data.clear()
 
     def report(self, label: str) -> SimReport:
+        stats = self.engine.stats
+        line_size = self.cache.config.line_size
         return SimReport(
             label=label,
             cycles=self.cycles,
@@ -210,8 +253,13 @@ class SecureSystem:
             bus_bytes=self.bus.bytes_transferred,
             mem_reads=self.memory.reads,
             mem_writes=self.memory.writes,
-            engine_extra_read_cycles=self.engine.stats.extra_read_cycles,
-            engine_extra_write_cycles=self.engine.stats.extra_write_cycles,
+            engine_extra_read_cycles=stats.extra_read_cycles,
+            engine_extra_write_cycles=stats.extra_write_cycles,
+            lines_encrypted=stats.lines_encrypted,
+            lines_decrypted=stats.lines_decrypted,
+            bytes_enciphered=line_size * (
+                stats.lines_encrypted + stats.lines_decrypted
+            ),
         )
 
 

@@ -1,8 +1,11 @@
 """CLI: every subcommand runs and produces the expected structure."""
 
+import json
+
 import pytest
 
-from repro.cli import ENGINE_FACTORIES, build_parser, main
+from repro.cli import build_parser, main
+from repro.core.registry import engine_names, make_engine
 
 
 class TestParser:
@@ -25,12 +28,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["overhead", "stream", "not-a-load"])
 
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.workers == 1
+        assert not args.quick
+        assert args.out == "BENCH_metrics.json"
+
 
 class TestCommands:
     def test_list(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "aegis" in out and "Workloads:" in out
+
+    def test_list_all_includes_wrappers(self, capsys):
+        assert main(["list", "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "merkle-stream" in out
 
     def test_overhead(self, capsys):
         rc = main(["overhead", "stream", "sequential", "--accesses", "500"])
@@ -57,6 +71,52 @@ class TestCommands:
     def test_area(self, capsys):
         assert main(["area"]) == 0
         out = capsys.readouterr().out
-        for name in ENGINE_FACTORIES:
-            engine_name = ENGINE_FACTORIES[name]().name
-            assert engine_name in out
+        for name in engine_names(survey_only=True):
+            assert make_engine(name).name in out
+
+
+class TestBench:
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["bench", "--experiments", "e99", "--no-cache"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_bench_smoke(self, tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        rc = main([
+            "bench", "--experiments", "e01", "--quick",
+            "--out", str(out), "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert "1 checks passed" in stdout
+
+        metrics = json.loads(out.read_text())
+        assert metrics["schema"] == "repro-bench-metrics/1"
+        assert metrics["quick"] is True
+        e01 = metrics["experiments"]["e01"]
+        assert e01["checks"]["passed"] is True
+        assert "cost-gap" in e01["tasks"]
+
+        profile = json.loads(
+            (tmp_path / "metrics_profile.json").read_text())
+        assert profile["wall_seconds"] >= 0
+        assert profile["cache"]["misses"] == 2
+
+        # Second run: served entirely from the on-disk cache, same bytes.
+        first = out.read_text()
+        rc = main([
+            "bench", "--experiments", "e01", "--quick",
+            "--out", str(out), "--cache-dir", str(tmp_path / "cache"),
+        ])
+        capsys.readouterr()
+        assert rc == 0
+        assert out.read_text() == first
+
+
+class TestDeprecatedFactories:
+    def test_engine_factories_shim_warns_and_builds(self):
+        import repro.cli as cli
+        with pytest.warns(DeprecationWarning):
+            factories = cli.ENGINE_FACTORIES
+        assert set(factories) == set(engine_names(survey_only=True))
+        assert factories["aegis"]().name == make_engine("aegis").name

@@ -1,0 +1,72 @@
+"""Engine registry: every spec constructs, round-trips, and overrides."""
+
+import pytest
+
+from repro.core.registry import (
+    DEFAULT_KEYS,
+    ENGINE_SPECS,
+    engine_names,
+    get_spec,
+    list_engines,
+    make_engine,
+)
+
+LINE = bytes(range(32))
+ADDR = 0x400
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("name", sorted(ENGINE_SPECS))
+    def test_every_spec_builds(self, name):
+        engine = make_engine(name)
+        assert engine.name
+        assert engine.area().total > 0
+
+    @pytest.mark.parametrize("name", sorted(ENGINE_SPECS))
+    def test_instances_are_fresh(self, name):
+        assert make_engine(name) is not make_engine(name)
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="aegis"):
+            make_engine("enigma")
+
+    def test_survey_subset(self):
+        survey = engine_names(survey_only=True)
+        assert len(survey) == 9
+        assert "merkle-stream" not in survey
+        assert "merkle-stream" in engine_names()
+        assert [n for n, _ in list_engines()] == engine_names()
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "name",
+        [n for n, s in sorted(ENGINE_SPECS.items()) if s.line_roundtrip],
+    )
+    def test_encrypt_decrypt_roundtrip(self, name):
+        engine = make_engine(name)
+        ciphertext = engine.encrypt_line(ADDR, LINE)
+        assert ciphertext != LINE
+        assert engine.decrypt_line(ADDR, ciphertext) == LINE
+
+
+class TestOverrides:
+    def test_key_override(self):
+        custom = make_engine("stream", key=b"another-16B-key!")
+        default = make_engine("stream")
+        assert custom.encrypt_line(ADDR, LINE) != \
+            default.encrypt_line(ADDR, LINE)
+
+    def test_defaults_applied_and_overridable(self):
+        assert get_spec("vlsi").defaults["page_size"] == 1024
+        assert make_engine("vlsi").page_size == 1024
+        assert make_engine("vlsi", page_size=2048).page_size == 2048
+
+    def test_functional_false_sticks_on_wrapper(self):
+        engine = make_engine("integrity-stream", functional=False)
+        assert engine.functional is False
+        assert engine.inner.functional is False
+
+    def test_default_keys_match_specs(self):
+        for name, spec in ENGINE_SPECS.items():
+            assert spec.key_bytes in DEFAULT_KEYS, name

@@ -1,0 +1,106 @@
+"""Experiment runner: determinism, caching, and the registry contract."""
+
+import json
+
+import pytest
+
+from repro.runner import (
+    ExperimentRunner,
+    ResultCache,
+    TaskContext,
+    task_seed,
+    to_canonical_json,
+)
+from repro.runner.experiments import EXPERIMENTS, get_experiment
+
+
+class TestTaskModel:
+    def test_task_seed_is_stable_and_distinct(self):
+        assert task_seed("e01", "cost-gap") == task_seed("e01", "cost-gap")
+        assert task_seed("e01", "cost-gap") != task_seed("e01", "protocol")
+        assert task_seed("e01", "cost-gap") != task_seed("e02", "cost-gap")
+
+    def test_context_scaling(self):
+        assert TaskContext(quick=False).n(4000) == 4000
+        assert TaskContext(quick=True).n(4000) == 800
+        assert TaskContext(quick=True).n(4000, quick=100) == 100
+        assert TaskContext(quick=True).n(600) == 200   # floor
+
+    def test_context_is_frozen(self):
+        with pytest.raises(AttributeError):
+            TaskContext().quick = True
+
+
+class TestRegistry:
+    def test_all_eighteen_registered(self):
+        assert sorted(EXPERIMENTS) == [f"e{i:02d}" for i in range(1, 19)]
+
+    def test_unknown_id_lists_known(self):
+        with pytest.raises(KeyError, match="e01"):
+            get_experiment("e99")
+
+    def test_experiments_are_well_formed(self):
+        for exp_id, exp in EXPERIMENTS.items():
+            assert exp.id == exp_id
+            assert exp.tasks, exp_id
+            assert exp.check is not None, exp_id
+            assert exp.render is not None, exp_id
+
+
+class TestCanonicalJson:
+    def test_sorted_and_newline_terminated(self):
+        doc = {"b": 1, "a": {"z": [3, 1], "y": None}}
+        text = to_canonical_json(doc)
+        assert text.endswith("\n")
+        assert text.index('"a"') < text.index('"b"')
+        assert json.loads(text) == doc
+
+
+class TestRunnerDeterminism:
+    EXPS = ["e01"]
+
+    def _metrics(self, workers, tmp_path, tag):
+        runner = ExperimentRunner(
+            experiments=self.EXPS, workers=workers, quick=True,
+            cache_dir=tmp_path / f"cache-{tag}",
+        )
+        return runner.run()
+
+    def test_serial_and_parallel_are_byte_identical(self, tmp_path):
+        serial = self._metrics(1, tmp_path, "serial")
+        parallel = self._metrics(2, tmp_path, "parallel")
+        assert serial.metrics_json() == parallel.metrics_json()
+        assert serial.all_checks_passed
+
+    def test_cache_round_trip_preserves_bytes(self, tmp_path):
+        first = self._metrics(1, tmp_path, "shared")
+        runner = ExperimentRunner(
+            experiments=self.EXPS, workers=1, quick=True,
+            cache_dir=tmp_path / "cache-shared",
+        )
+        second = runner.run()
+        assert runner.cache.hits == len(get_experiment("e01").tasks)
+        assert runner.cache.misses == 0
+        assert second.metrics_json() == first.metrics_json()
+
+    def test_quick_and_full_cache_separately(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        quick = ResultCache.task_key(
+            "e01", "cost-gap", TaskContext(quick=True).key())
+        full = ResultCache.task_key(
+            "e01", "cost-gap", TaskContext(quick=False).key())
+        assert quick != full
+        cache.put(quick, {"x": 1})
+        assert cache.get(quick) == {"x": 1}
+        assert cache.get(full) is None
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner(experiments=self.EXPS, workers=0)
+
+    def test_profile_reports_workers_and_walls(self, tmp_path):
+        result = self._metrics(1, tmp_path, "profile")
+        assert result.profile["workers"] == 1
+        assert set(result.profile["task_wall_seconds"]) == {
+            f"e01:{name}" for name in get_experiment("e01").tasks
+        }
