@@ -8,7 +8,12 @@ export PYTHONPATH
 # everyone else goes through the registry (repro.core.registry.make_engine).
 ENGINE_CTORS := (Best|DS5002FP|DS5240|VlsiDma|GeneralInstrument|Gilmont|XomAes|Aegis|StreamCipher|CompressedEncryption|IntegrityShield|MerkleTree|AddressScrambled)Engine\(
 
-.PHONY: install test check lint bench bench-quick bench-pytest examples attack survey clean
+# The data path reports through repro.obs events, never through print()
+# debugging or ad-hoc collections.Counter tallies left behind in the
+# simulator.
+OBS_BYPASS := (^|[^.[:alnum:]_])(print|Counter)\(
+
+.PHONY: install test check lint bench bench-quick bench-pytest trace-smoke examples attack survey clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -16,8 +21,8 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# Tier-1 gate: the test suite plus the registry lint.
-check: test lint
+# Tier-1 gate: the test suite plus the registry lint and a trace smoke run.
+check: test lint trace-smoke
 
 lint:
 	@matches=$$(grep -rnE '$(ENGINE_CTORS)' --include='*.py' \
@@ -28,6 +33,21 @@ lint:
 		exit 1; \
 	fi; \
 	echo "lint: ok (engine construction goes through the registry)"
+	@matches=$$(grep -rnE '$(OBS_BYPASS)' --include='*.py' \
+		src/repro/sim || true); \
+	if [ -n "$$matches" ]; then \
+		echo "lint: the simulator reports via repro.obs events, not" >&2; \
+		echo "      print()/Counter() (see repro/obs/__init__.py):" >&2; \
+		echo "$$matches" >&2; \
+		exit 1; \
+	fi; \
+	echo "lint: ok (sim reports through repro.obs events)"
+
+# Event-stream smoke: one traced quick experiment plus the disabled-path
+# overhead micro-benchmark (reduced trials; prints the per-access cost).
+trace-smoke:
+	$(PYTHON) -m repro.cli trace e02 --limit 0 > /dev/null
+	$(PYTHON) -m repro.obs.bench --accesses 20000 --repeats 3
 
 # The E01-E18 experiment suite via the parallel runner; metrics land in
 # BENCH_metrics.json (+ _profile.json).  Override: make bench WORKERS=4

@@ -14,11 +14,13 @@ The package builds every system the survey describes:
 * :mod:`repro.attacks` — bus probing, statistical distinguishers, Kuhn's
   cipher instruction search, birthday/IV analysis, the IBM taxonomy;
 * :mod:`repro.compression` — CodePack-style code compression and friends;
+* :mod:`repro.obs` — the typed event stream every simulator layer reports
+  through (sinks, scopes, counters, the trace CLI);
 * :mod:`repro.traces` / :mod:`repro.analysis` — workloads and reporting.
 
 Quick start (the stable facade is :mod:`repro.api`)::
 
-    from repro.api import make_engine, run_overhead
+    from repro.api import engine_overhead, make_engine, trace_experiment
     from repro.sim import SecureSystem
     from repro.traces import make_workload
 
@@ -26,7 +28,8 @@ Quick start (the stable facade is :mod:`repro.api`)::
     report = system.run(make_workload("mixed"))
     print(report.cycles, report.miss_rate)
 
-    print(run_overhead("stream", "mixed"))    # vs plaintext baseline
+    print(engine_overhead("stream", "mixed"))  # vs plaintext baseline
+    print(trace_experiment("e02").format())    # one experiment's events
 """
 
 __version__ = "1.0.0"

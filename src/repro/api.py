@@ -1,23 +1,35 @@
 """Stable top-level facade for the repro package.
 
-Most programmatic uses of the reproduction need four verbs, re-exported
-here so callers don't have to know the package layout::
+Most programmatic uses of the reproduction need a handful of verbs,
+re-exported here so callers don't have to know the package layout::
 
     import repro.api as repro
 
     repro.list_engines()                        # what can I build?
     engine = repro.make_engine("aegis")         # build it
-    result = repro.run_overhead("stream", "mixed")   # measure it
-    attack = repro.run_attack(memory=512)       # break the weak one
+    result = repro.run_experiment("e02")        # run a registry experiment
+    summary = repro.trace_experiment("e02")     # same, with the event trace
+    repro.engine_overhead("stream", "mixed")    # measure one engine
+    repro.attack_summary(memory=512)            # break the weak one
+
+:func:`run_experiment` and :func:`trace_experiment` return typed results
+(:class:`ExperimentResult`, :class:`TraceSummary`) whose ``observability``
+data comes from the same :mod:`repro.obs` event stream the experiment
+runner aggregates — one accounting, every surface.
 
 This module is the supported integration surface: deeper imports
 (``repro.core``, ``repro.sim``, …) remain available but may be
-reorganized; ``repro.api`` will keep these signatures stable.
+reorganized; ``repro.api`` will keep these signatures stable.  The
+pre-observability entry points ``run_overhead`` and ``run_attack`` are
+deprecated aliases of :func:`engine_overhead` and :func:`attack_summary`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+import json
+import warnings
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
 
 from .analysis import OverheadResult, measure_overhead
 from .core.registry import (
@@ -27,12 +39,27 @@ from .core.registry import (
     get_spec,
     make_engine,
 )
+from .obs import (
+    CounterSink,
+    EventSink,
+    RecordingSink,
+    TeeSink,
+    TraceEvent,
+    format_counter_table,
+    merge_observability,
+    observability_section,
+    scope,
+)
 from .sim import CacheConfig, MemoryConfig
 from .traces import make_workload, mcu_workload
 
 __all__ = [
     "make_engine", "get_spec", "EngineSpec", "ENGINE_SPECS",
-    "list_engines", "run_overhead", "run_attack",
+    "list_engines",
+    "ExperimentResult", "TraceSummary",
+    "run_experiment", "trace_experiment",
+    "engine_overhead", "attack_summary",
+    "run_overhead", "run_attack",
 ]
 
 
@@ -51,7 +78,137 @@ def list_engines(survey_only: bool = False) -> List[Dict[str, Any]]:
     ]
 
 
-def run_overhead(
+# -- experiments ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One registry experiment's complete outcome, typed.
+
+    ``tasks`` maps task name to that task's metrics dict (the same shape
+    the bench documents commit); ``observability`` carries the per-task
+    and aggregate event counters from the run's :class:`CounterSink`.
+    """
+
+    experiment: str
+    title: str
+    section: str
+    quick: bool
+    checks: Dict[str, Any]
+    tasks: Dict[str, Dict[str, Any]]
+    observability: Dict[str, Any]
+
+    @property
+    def passed(self) -> bool:
+        return self.checks.get("passed") in (True, None)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (mirrors one metrics-document entry)."""
+        return {
+            "title": self.title,
+            "section": self.section,
+            "checks": self.checks,
+            "tasks": self.tasks,
+            "observability": self.observability,
+        }
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """The recorded head of an experiment's event stream, plus counters."""
+
+    experiment: str
+    events: Tuple[TraceEvent, ...]
+    dropped: int
+    counters: Dict[str, int]
+    bytes_by_kind: Dict[str, int]
+    totals: Dict[str, int]
+    result: ExperimentResult
+
+    @property
+    def total_events(self) -> int:
+        return len(self.events) + self.dropped
+
+    def format(self) -> str:
+        """Human-readable event-kind table for this capture."""
+        sink = CounterSink()
+        sink.counts.update(self.counters)
+        sink.bytes_by_kind.update(self.bytes_by_kind)
+        return format_counter_table(sink, title=f"{self.experiment} events")
+
+
+def run_experiment(
+    experiment_id: str,
+    *,
+    quick: bool = False,
+    trace: Optional[EventSink] = None,
+) -> ExperimentResult:
+    """Run one registry experiment in-process; returns a typed result.
+
+    Tasks run serially with the same derived seeds the parallel runner
+    uses, so the metrics (and the counter-derived ``observability``) are
+    byte-identical to the bench documents.  ``trace`` optionally receives
+    every simulator event the tasks emit (any :class:`repro.obs.EventSink`
+    — a probe, a recorder, a JSONL file sink).
+    """
+    from .runner.base import TaskContext, task_seed
+    from .runner.experiments import get_experiment
+
+    experiment = get_experiment(experiment_id)
+    tasks: Dict[str, Dict[str, Any]] = {}
+    task_obs: Dict[str, Dict[str, Any]] = {}
+    for name in sorted(experiment.tasks):
+        ctx = TaskContext(quick=quick,
+                          seed=task_seed(experiment.id, name))
+        counter = CounterSink()
+        sink = counter if trace is None else TeeSink(counter, trace)
+        with scope(sink):
+            metrics = experiment.tasks[name](ctx)
+        tasks[name] = json.loads(json.dumps(metrics))
+        task_obs[name] = observability_section(counter)
+    return ExperimentResult(
+        experiment=experiment.id,
+        title=experiment.title,
+        section=experiment.section,
+        quick=quick,
+        checks=experiment.checks_passed(tasks),
+        tasks=tasks,
+        observability={
+            "tasks": task_obs,
+            "total": merge_observability(task_obs.values()),
+        },
+    )
+
+
+def trace_experiment(
+    experiment_id: str,
+    *,
+    quick: bool = True,
+    max_events: Optional[int] = 10000,
+) -> TraceSummary:
+    """Run one experiment recording its event stream (quick by default).
+
+    Keeps the first ``max_events`` events verbatim (the stream head shows
+    how a run starts; ``dropped`` counts the rest) alongside the complete
+    counter aggregation.
+    """
+    recording = RecordingSink(max_events=max_events)
+    result = run_experiment(experiment_id, quick=quick, trace=recording)
+    return TraceSummary(
+        experiment=result.experiment,
+        events=tuple(recording.events),
+        dropped=recording.dropped,
+        counters=recording.summary(),
+        bytes_by_kind=recording.bytes_summary(),
+        totals=observability_section(recording)["totals"],
+        result=result,
+    )
+
+
+# -- one-shot measurements ------------------------------------------------
+
+
+def engine_overhead(
     engine: str,
     workload: str = "mixed",
     accesses: int = 4000,
@@ -86,8 +243,8 @@ def run_overhead(
     )
 
 
-def run_attack(memory: int = 512, seed: int = 2005,
-               verbose: bool = False) -> Dict[str, Any]:
+def attack_summary(memory: int = 512, seed: int = 2005,
+                   verbose: bool = False) -> Dict[str, Any]:
     """Run Kuhn's Cipher Instruction Search against a DS5002FP-class board.
 
     Returns a JSON-serializable summary (recovered bytes, probe runs,
@@ -114,3 +271,24 @@ def run_attack(memory: int = 512, seed: int = 2005,
         "steps_executed": report.steps_executed,
         "ambiguous_cells": len(report.ambiguous_cells),
     }
+
+
+# -- deprecated aliases ---------------------------------------------------
+
+
+def run_overhead(*args: Any, **kwargs: Any) -> OverheadResult:
+    """Deprecated alias of :func:`engine_overhead`."""
+    warnings.warn(
+        "repro.api.run_overhead is deprecated; use engine_overhead",
+        DeprecationWarning, stacklevel=2,
+    )
+    return engine_overhead(*args, **kwargs)
+
+
+def run_attack(*args: Any, **kwargs: Any) -> Dict[str, Any]:
+    """Deprecated alias of :func:`attack_summary`."""
+    warnings.warn(
+        "repro.api.run_attack is deprecated; use attack_summary",
+        DeprecationWarning, stacklevel=2,
+    )
+    return attack_summary(*args, **kwargs)

@@ -18,12 +18,44 @@ the same probes used everywhere else in the package.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Iterable, List, Union
 
+from ..obs import TraceEvent
+from ..sim.bus import BusTransaction
 from .probe import BusProbe
 
-__all__ = ["AccessPatternProfile", "profile_probe", "classify_pattern",
-           "page_sequence"]
+__all__ = ["AccessPatternProfile", "bus_transactions", "profile_probe",
+           "classify_pattern", "page_sequence"]
+
+#: Anything a capture can arrive as: a probe, a recording sink, or a raw
+#: event/transaction sequence.
+CaptureSource = Union[BusProbe, Iterable[TraceEvent],
+                      Iterable[BusTransaction]]
+
+
+def bus_transactions(source: CaptureSource) -> List[BusTransaction]:
+    """Normalize any capture source to a list of bus transactions.
+
+    Accepts a :class:`BusProbe`, any object exposing ``transactions``
+    (legacy probes) or ``events`` (e.g. :class:`repro.obs.RecordingSink`),
+    or a plain iterable of :class:`TraceEvent` / :class:`BusTransaction`.
+    Non-bus events are discarded — the attacker only sees the chip
+    boundary.
+    """
+    items = getattr(source, "transactions", None)
+    if items is None:
+        items = getattr(source, "events", source)
+    out: List[BusTransaction] = []
+    for item in items:
+        if isinstance(item, BusTransaction):
+            out.append(item)
+        elif isinstance(item, TraceEvent):
+            if item.kind == "bus-read" or item.kind == "bus-write":
+                out.append(BusTransaction(
+                    op=item.kind[4:], addr=item.addr, data=item.data,
+                    cycle=item.cycle,
+                ))
+    return out
 
 
 @dataclass
@@ -46,11 +78,12 @@ class AccessPatternProfile:
         return self.sequential_fraction < 0.2
 
 
-def profile_probe(probe: BusProbe, line_size: int = 32
+def profile_probe(probe: CaptureSource, line_size: int = 32
                   ) -> AccessPatternProfile:
     """Fingerprint a capture (reads only for ordering; all ops for mix)."""
-    reads = [t for t in probe.transactions if t.op == "read"]
-    writes = [t for t in probe.transactions if t.op == "write"]
+    txns = bus_transactions(probe)
+    reads = [t for t in txns if t.op == "read"]
+    writes = [t for t in txns if t.op == "write"]
     total = len(reads) + len(writes)
     if not reads:
         return AccessPatternProfile(
@@ -83,7 +116,7 @@ def profile_probe(probe: BusProbe, line_size: int = 32
     )
 
 
-def classify_pattern(probe: BusProbe, line_size: int = 32) -> str:
+def classify_pattern(probe: CaptureSource, line_size: int = 32) -> str:
     """Label a capture 'sequential', 'random' or 'mixed' — code vs data
     behaviour recovered through the encryption."""
     prof = profile_probe(probe, line_size)
@@ -94,7 +127,7 @@ def classify_pattern(probe: BusProbe, line_size: int = 32) -> str:
     return "mixed"
 
 
-def page_sequence(probe: BusProbe, page_size: int,
+def page_sequence(probe: CaptureSource, page_size: int,
                   min_burst_bytes: int = 256) -> List[int]:
     """Recover the page-access order from a page-DMA engine's bus bursts.
 
@@ -103,7 +136,7 @@ def page_sequence(probe: BusProbe, page_size: int,
     page-level access trace, encryption notwithstanding.
     """
     pages = []
-    for t in probe.transactions:
+    for t in bus_transactions(probe):
         if t.op == "read" and len(t.data) >= min_burst_bytes \
                 and t.addr % page_size == 0:
             pages.append(t.addr // page_size)

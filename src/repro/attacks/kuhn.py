@@ -61,6 +61,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..crypto.feistel import SmallBlockCipher, TweakableFeistel
 from ..isa.mcu import INSTRUCTION_LENGTHS, MCU, Op, StepEvent
+from ..obs import EventSink, TraceEvent, current_sink
 
 __all__ = ["DallasBoard", "KuhnAttack", "AttackFailure", "AttackReport",
            "brute_force_tries", "block_diffusion_probe"]
@@ -79,9 +80,11 @@ class DallasBoard:
     """
 
     def __init__(self, cipher: SmallBlockCipher, firmware: bytes,
-                 memory_size: int = 4096):
+                 memory_size: int = 4096,
+                 sink: Optional[EventSink] = None):
         if len(firmware) > memory_size:
             raise ValueError("firmware larger than external memory")
+        self.sink = sink if sink is not None else current_sink()
         self.memory_size = memory_size
         self.memory = bytearray(
             cipher.encrypt(0, bytes(firmware).ljust(memory_size, b"\x00"))
@@ -109,11 +112,23 @@ class DallasBoard:
         self._mcu.reset()
         self._mcu.port_log.clear()
         self.runs += 1
+        if self.sink is not None:
+            self.sink.emit(TraceEvent(kind="probe-run", size=steps))
         events = []
+        pc = 0
+        # The sink test is hoisted out of the loop: the attack single-steps
+        # millions of instructions, and the disabled path must stay free.
+        sink = self.sink
         for _ in range(steps):
             event = self._mcu.step()
             events.append(event)
             self.steps_executed += 1
+            if sink is not None:
+                sink.emit(TraceEvent(
+                    kind="mcu-step", addr=pc,
+                    detail="halted" if event.halted else "",
+                ))
+            pc = event.next_pc
             if event.halted:
                 break
         return events
@@ -200,6 +215,10 @@ class KuhnAttack:
     def _log(self, message: str) -> None:
         if self.verbose:
             print(f"[kuhn] {message}")
+
+    def _phase(self, name: str) -> None:
+        if self.board.sink is not None:
+            self.board.sink.emit(TraceEvent(kind="attack-phase", detail=name))
 
     # -- phase 1: classify address 0 -----------------------------------------
 
@@ -395,9 +414,11 @@ class KuhnAttack:
         for addr in range(4):
             self._factory[addr] = snapshot[addr]
 
+        self._phase("classify-address0")
         self._classify_address0()
         self._log(f"E_0(MOV A,addr16) = {self.mov0:#04x}")
 
+        self._phase("tabulate-operands")
         fixed = {0: self.mov0}
         self.d1 = self._tabulate(
             1, {**fixed, 2: 0}, extract_high=False, step_index=0
@@ -407,6 +428,7 @@ class KuhnAttack:
         )
         self._log("D_1 and D_2 tabulated from bus addresses")
 
+        self._phase("find-out")
         e1, e2 = _invert(self.d1), _invert(self.d2)
         prefix = {
             0: self.mov0,
@@ -416,6 +438,7 @@ class KuhnAttack:
         self.out3 = self._find_out(3, prefix, step_index=1)
         self._log(f"E_3(OUT) = {self.out3:#04x}")
 
+        self._phase("tabulate-d3")
         self.d3 = self._tabulate_d3()
         self._log("D_3 tabulated via forged read at address 1")
 
@@ -423,6 +446,7 @@ class KuhnAttack:
         # before reading factory bytes back out.
         self.board.write_raw(0, snapshot)
 
+        self._phase("dump")
         recovered = bytearray(end - start)
         for target in range(start, end):
             if target == 0:

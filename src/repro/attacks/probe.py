@@ -1,9 +1,13 @@
 """Passive bus probe.
 
 "Observing both memory content and system execution can be done through
-simple board-level probing at almost no cost" — this is that probe.  Attach
-it to a :class:`repro.sim.bus.Bus` and it records every transaction crossing
-the chip boundary, exactly as a logic analyzer on the PCB traces would.
+simple board-level probing at almost no cost" — this is that probe.  The
+probe is an :class:`repro.obs.EventSink`: pass it as the ``sink=`` of a
+:class:`repro.sim.system.SecureSystem` (or install it ambiently with
+:func:`repro.obs.scope`) and it records every bus transfer crossing the
+chip boundary, exactly as a logic analyzer on the PCB traces would.  The
+legacy attachment point — ``bus.attach_probe(probe)`` calling the probe
+with each :class:`~repro.sim.bus.BusTransaction` — still works.
 """
 
 from __future__ import annotations
@@ -11,22 +15,39 @@ from __future__ import annotations
 from collections import Counter
 from typing import Dict, List, Optional
 
+from ..obs import EventSink, TraceEvent
 from ..sim.bus import BusTransaction
 
 __all__ = ["BusProbe"]
 
 
-class BusProbe:
-    """Records bus transactions for offline analysis."""
+class BusProbe(EventSink):
+    """Records bus transactions for offline analysis.
+
+    As an event sink the probe sees the full trace stream but keeps only
+    the chip-boundary transfers (``bus-read`` / ``bus-write`` events) —
+    a board-level attacker cannot see cache hits or cipher internals.
+    """
 
     def __init__(self, max_transactions: Optional[int] = None):
         self.transactions: List[BusTransaction] = []
         self.max_transactions = max_transactions
 
-    def __call__(self, txn: BusTransaction) -> None:
+    def _record(self, txn: BusTransaction) -> None:
         if self.max_transactions is None or \
                 len(self.transactions) < self.max_transactions:
             self.transactions.append(txn)
+
+    def emit(self, event: TraceEvent) -> None:
+        if event.kind == "bus-read" or event.kind == "bus-write":
+            self._record(BusTransaction(
+                op=event.kind[4:], addr=event.addr, data=event.data,
+                cycle=event.cycle,
+            ))
+
+    def __call__(self, txn: BusTransaction) -> None:
+        """Legacy ``bus.attach_probe`` entry point."""
+        self._record(txn)
 
     # -- reconstruction helpers ------------------------------------------
 

@@ -9,6 +9,7 @@ Usage::
     python -m repro.cli protocol               # Figure-1 walkthrough
     python -m repro.cli area                   # gate counts for all engines
     python -m repro.cli bench --quick          # the full E01-E18 suite
+    python -m repro.cli trace e02              # one experiment's event trace
 
 Engine construction goes through the registry (:mod:`repro.core.registry`);
 ``bench`` drives the parallel experiment runner (:mod:`repro.runner`) and
@@ -24,7 +25,7 @@ from pathlib import Path
 from typing import Optional
 
 from .analysis import format_gates, format_percent, format_table
-from .api import run_attack, run_overhead
+from .api import attack_summary, engine_overhead, trace_experiment
 from .attacks import rate_engine
 from .core import run_distribution
 from .core.registry import engine_names, list_engines, make_engine
@@ -77,7 +78,7 @@ def cmd_overhead(args: argparse.Namespace) -> int:
     if args.engine not in engine_names():
         print(f"unknown engine {args.engine!r}; see `list`", file=sys.stderr)
         return 2
-    result = run_overhead(
+    result = engine_overhead(
         args.engine, args.workload, accesses=args.accesses,
         cache_size=args.cache, mem_latency=args.latency,
     )
@@ -102,7 +103,7 @@ def cmd_overhead(args: argparse.Namespace) -> int:
 def cmd_survey(args: argparse.Namespace) -> int:
     rows = []
     for name in engine_names(survey_only=True):
-        result = run_overhead(name, "mixed", accesses=args.accesses)
+        result = engine_overhead(name, "mixed", accesses=args.accesses)
         engine = make_engine(name)
         rating = rate_engine(engine.name)
         rows.append([
@@ -118,8 +119,8 @@ def cmd_survey(args: argparse.Namespace) -> int:
 
 
 def cmd_attack(args: argparse.Namespace) -> int:
-    summary = run_attack(memory=args.memory, seed=args.seed,
-                         verbose=not args.quiet)
+    summary = attack_summary(memory=args.memory, seed=args.seed,
+                             verbose=not args.quiet)
     print(format_table(
         ["result", "value"],
         [
@@ -182,6 +183,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         quick=args.quick,
         cache_dir=None if args.no_cache else Path(args.cache_dir),
         render=args.tables,
+        observe=not args.no_obs,
         progress=progress,
     )
     result = runner.run()
@@ -214,6 +216,53 @@ def cmd_bench(args: argparse.Namespace) -> int:
                   file=sys.stderr)
         return 1
     return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .runner.experiments import EXPERIMENTS
+
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; "
+              f"known: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
+        return 2
+
+    summary = trace_experiment(
+        args.experiment, quick=not args.full, max_events=args.max_events,
+    )
+
+    if args.jsonl:
+        import json
+        with open(args.jsonl, "w", encoding="utf-8") as fh:
+            for event in summary.events:
+                fh.write(json.dumps(event.to_json_dict(), sort_keys=True))
+                fh.write("\n")
+        print(f"trace: {len(summary.events)} events -> {args.jsonl}")
+
+    shown = summary.events[: args.limit] if args.limit else summary.events
+    for event in shown:
+        parts = [f"{event.kind:16s}"]
+        if event.addr:
+            parts.append(f"addr={event.addr:#08x}")
+        if event.size:
+            parts.append(f"size={event.size}")
+        if event.cycle:
+            parts.append(f"cycle={event.cycle}")
+        if event.detail:
+            parts.append(f"({event.detail})")
+        print("  " + " ".join(parts))
+    hidden = len(summary.events) - len(shown)
+    if hidden or summary.dropped:
+        print(f"  ... {hidden + summary.dropped} more events not shown")
+
+    print()
+    print(summary.format())
+    print()
+    totals = summary.totals
+    print(f"trace: {summary.total_events} events, "
+          f"{totals['bus_transactions']} bus transactions, "
+          f"{totals['lines_enciphered']} cipher ops, "
+          f"checks {'passed' if summary.result.passed else 'FAILED'}")
+    return 0 if summary.result.passed else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -271,8 +320,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable the result cache")
     p.add_argument("--tables", action="store_true",
                    help="also print each experiment's human-readable tables")
+    p.add_argument("--no-obs", action="store_true",
+                   help="skip event-counter aggregation (omits the "
+                        "observability sections from the metrics JSON)")
     p.add_argument("-v", "--verbose", action="store_true",
                    help="print per-task progress lines")
+
+    p = sub.add_parser(
+        "trace",
+        help="run one experiment recording its event stream",
+    )
+    p.add_argument("experiment", help="experiment id (e.g. e02)")
+    p.add_argument("--full", action="store_true",
+                   help="full-size traces (default: quick)")
+    p.add_argument("--limit", type=int, default=40,
+                   help="events to print (0 = all recorded)")
+    p.add_argument("--max-events", type=int, default=10000,
+                   help="events to record verbatim before dropping")
+    p.add_argument("--jsonl", metavar="PATH",
+                   help="also dump recorded events as JSON lines")
     return parser
 
 
@@ -286,6 +352,7 @@ def main(argv: Optional[list] = None) -> int:
         "protocol": cmd_protocol,
         "area": cmd_area,
         "bench": cmd_bench,
+        "trace": cmd_trace,
     }
     return handlers[args.command](args)
 

@@ -150,6 +150,10 @@ class CompressedEncryptionEngine(BusEncryptionEngine):
         decode_extra = self._decoder_cycles(line_size)
         self.stats.lines_decrypted += 1
         self.stats.extra_read_cycles += crypto_extra + decode_extra
+        self._emit("decipher", packed_addr, length, "compressed")
+        if crypto_extra + decode_extra:
+            self._emit("stall", packed_addr, crypto_extra + decode_extra,
+                       "read")
 
         if self.functional:
             compressed = xor_bytes(

@@ -19,8 +19,9 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from enum import Enum
-from typing import Tuple
+from typing import Optional, Tuple
 
+from ..obs import EventSink, TraceEvent
 from ..sim.area import AreaEstimate
 from ..sim.pipeline import PipelinedUnit
 
@@ -98,11 +99,30 @@ class BusEncryptionEngine(ABC):
     placement: Placement = Placement.CACHE_MEMORY
     #: Smallest write the engine can absorb without a read-modify-write.
     min_write_bytes: int = 1
+    #: Engines that actually transform bytes emit encipher/decipher/stall
+    #: events; the plaintext baseline sets this False.
+    _cipher_events: bool = True
 
     def __init__(self, functional: bool = True):
         #: When False, the functional transform is skipped (timing-only runs).
         self.functional = functional
         self.stats = EngineStats()
+        #: Optional :class:`repro.obs.EventSink` receiving one event per
+        #: cipher operation (encipher/decipher/rmw/integrity-check/stall).
+        self.sink: Optional[EventSink] = None
+
+    def attach_sink(self, sink: Optional[EventSink]) -> None:
+        """Attach an event sink to this engine and any wrapped inner engine."""
+        self.sink = sink
+        inner = getattr(self, "inner", None) or getattr(self, "_inner", None)
+        if inner is not None:
+            inner.attach_sink(sink)
+
+    def _emit(self, kind: str, addr: int = 0, size: int = 0,
+              detail: str = "") -> None:
+        if self.sink is not None and self._cipher_events:
+            self.sink.emit(TraceEvent(kind=kind, addr=addr, size=size,
+                                      detail=detail))
 
     # -- functional transform --------------------------------------------
 
@@ -151,6 +171,12 @@ class BusEncryptionEngine(ABC):
         extra = self.read_extra_cycles(addr, line_size, mem_cycles)
         self.stats.lines_decrypted += 1
         self.stats.extra_read_cycles += extra
+        # Miss-path hot loop: guard inline so the disabled path costs one
+        # is-None test, not a method call per fill.
+        if self.sink is not None:
+            self._emit("decipher", addr, line_size)
+            if extra:
+                self._emit("stall", addr, extra, "read")
         plaintext = self.decrypt_line(addr, ciphertext) if self.functional \
             else ciphertext
         return plaintext, mem_cycles + extra
@@ -160,6 +186,10 @@ class BusEncryptionEngine(ABC):
         extra = self.write_extra_cycles(addr, len(plaintext))
         self.stats.lines_encrypted += 1
         self.stats.extra_write_cycles += extra
+        if self.sink is not None:
+            self._emit("encipher", addr, len(plaintext))
+            if extra:
+                self._emit("stall", addr, extra, "write")
         ciphertext = self.encrypt_line(addr, plaintext) if self.functional \
             else plaintext
         return extra + port.write(addr, ciphertext)
@@ -178,6 +208,10 @@ class BusEncryptionEngine(ABC):
             # Aligned to cipher granularity: direct encrypt-and-store.
             extra = self.write_extra_cycles(addr, len(data))
             self.stats.extra_write_cycles += extra
+            if self.sink is not None:
+                self._emit("encipher", addr, len(data))
+                if extra:
+                    self._emit("stall", addr, extra, "write")
             ciphertext = self.encrypt_line(addr, data) if self.functional else data
             return extra + port.write(addr, ciphertext)
 
@@ -186,6 +220,10 @@ class BusEncryptionEngine(ABC):
         start = (addr // gran) * gran
         end = -(-(addr + len(data)) // gran) * gran
         self.stats.rmw_operations += 1
+        if self.sink is not None:
+            self._emit("rmw", addr, end - start)
+            self._emit("decipher", start, end - start)
+            self._emit("encipher", start, end - start)
 
         ciphertext, read_cycles = port.read(start, end - start)
         dec_extra = self.read_extra_cycles(start, end - start, read_cycles)
@@ -197,6 +235,8 @@ class BusEncryptionEngine(ABC):
         enc_extra = self.write_extra_cycles(start, end - start)
         self.stats.extra_read_cycles += dec_extra
         self.stats.extra_write_cycles += enc_extra
+        if dec_extra + enc_extra:
+            self._emit("stall", addr, dec_extra + enc_extra, "rmw")
         new_ciphertext = self.encrypt_line(start, bytes(block)) \
             if self.functional else bytes(block)
         write_cycles = port.write(start, new_ciphertext)
@@ -220,6 +260,7 @@ class NullEngine(BusEncryptionEngine):
 
     name = "plaintext"
     min_write_bytes = 1
+    _cipher_events = False   # nothing is enciphered on the baseline
 
     def encrypt_line(self, addr: int, plaintext: bytes) -> bytes:
         return plaintext

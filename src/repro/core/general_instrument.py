@@ -211,6 +211,9 @@ class GeneralInstrumentEngine(BusEncryptionEngine):
         self.stats.lines_decrypted += 1
         self.stats.blocks_processed += line_size // 8
         self.stats.extra_read_cycles += extra
+        self._emit("decipher", addr, line_size, "reordered")
+        if extra:
+            self._emit("stall", addr, extra, "read")
 
         if self.authenticate and base not in self._verified:
             cycles += self.hash_latency
@@ -219,9 +222,12 @@ class GeneralInstrumentEngine(BusEncryptionEngine):
                 if tag is None or not verify_hmac(self._mac_key, bytes(stored),
                                                   tag):
                     self.tamper_detected += 1
+                    self._emit("integrity-check", base, self.region_size,
+                               "tamper")
                     raise AuthenticationError(
                         f"region at {base:#x} failed keyed-hash verification"
                     )
+            self._emit("integrity-check", base, self.region_size, "ok")
             self._verified.add(base)
 
         if self.functional:
@@ -272,6 +278,10 @@ class GeneralInstrumentEngine(BusEncryptionEngine):
         self.stats.lines_decrypted += 1
         self.stats.blocks_processed += line_size // 8
         self.stats.extra_read_cycles += extra
+        self._emit("decipher", addr, line_size,
+                   "chain" if prefix_ct is None else "jump")
+        if extra:
+            self._emit("stall", addr, extra, "read")
 
         if self.authenticate and base not in self._verified:
             # First touch of the region: fetch whatever of the region has
@@ -291,9 +301,12 @@ class GeneralInstrumentEngine(BusEncryptionEngine):
                 full = prefix_ct + rest
                 if tag is None or not verify_hmac(self._mac_key, full, tag):
                     self.tamper_detected += 1
+                    self._emit("integrity-check", base, self.region_size,
+                               "tamper")
                     raise AuthenticationError(
                         f"region at {base:#x} failed keyed-hash verification"
                     )
+            self._emit("integrity-check", base, self.region_size, "ok")
             self._verified.add(base)
 
         if self.functional:
@@ -340,6 +353,9 @@ class GeneralInstrumentEngine(BusEncryptionEngine):
         cycles += enc_cycles
         self.stats.lines_encrypted += 1
         self.stats.extra_write_cycles += enc_cycles
+        self._emit("encipher", addr, len(plaintext), "re-chain")
+        if enc_cycles:
+            self._emit("stall", addr, enc_cycles, "write")
         if self.reorder:
             # The re-enciphered tail scatters across the region: the whole
             # stored region crosses the bus again.
@@ -363,6 +379,7 @@ class GeneralInstrumentEngine(BusEncryptionEngine):
         # Any write re-chains the tail; delegate to write_line semantics on
         # the enclosing line for accounting simplicity.
         self.stats.rmw_operations += 1
+        self._emit("rmw", addr, line_size)
         line_base = addr - addr % line_size
         ciphertext_line, _ = self.fill_line(port, line_base, line_size)
         patched = bytearray(ciphertext_line)

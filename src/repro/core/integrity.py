@@ -185,13 +185,19 @@ class IntegrityShieldEngine(BusEncryptionEngine):
             expected = self._compute_tag(addr, ciphertext)
             if tag != expected:
                 self.tampers_detected += 1
+                self._emit("integrity-check", addr, line_size, "tamper")
                 raise TamperDetected(
                     f"line at {addr:#x} failed integrity verification"
                 )
+        self._emit("integrity-check", addr, line_size, "ok")
         extra = self.inner.read_extra_cycles(addr, line_size, mem_cycles)
         cycles += extra
         self.stats.lines_decrypted += 1
         self.stats.extra_read_cycles += extra + tag_cycles + hash_residual
+        self._emit("decipher", addr, line_size)
+        stall = extra + tag_cycles + hash_residual
+        if stall:
+            self._emit("stall", addr, stall, "read")
         plaintext = (
             self.inner.decrypt_line(addr, ciphertext)
             if self.functional else ciphertext
@@ -214,6 +220,8 @@ class IntegrityShieldEngine(BusEncryptionEngine):
         ) + self.hash_latency
         self.stats.lines_encrypted += 1
         self.stats.extra_write_cycles += extra + self.hash_latency
+        self._emit("encipher", addr, len(plaintext))
+        self._emit("stall", addr, extra + self.hash_latency, "write")
         return cycles
 
     def write_partial(self, port: MemoryPort, addr: int, data: bytes,
@@ -222,6 +230,7 @@ class IntegrityShieldEngine(BusEncryptionEngine):
         # covers the whole line.
         start = addr - addr % line_size
         self.stats.rmw_operations += 1
+        self._emit("rmw", addr, line_size)
         plaintext, read_cycles = self.fill_line(port, start, line_size)
         patched = bytearray(plaintext)
         patched[addr - start: addr - start + len(data)] = data

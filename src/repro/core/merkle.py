@@ -272,11 +272,19 @@ class MerkleTreeEngine(BusEncryptionEngine):
                   ) -> Tuple[bytes, int]:
         ciphertext, mem_cycles = port.read(addr, line_size)
         cycles = mem_cycles
-        cycles += self._verify_path(port, addr, bytes(ciphertext))
+        try:
+            cycles += self._verify_path(port, addr, bytes(ciphertext))
+        except Exception:
+            self._emit("integrity-check", addr, line_size, "tamper")
+            raise
+        self._emit("integrity-check", addr, line_size, "ok")
         extra = self.inner.read_extra_cycles(addr, line_size, mem_cycles)
         cycles += extra
         self.stats.lines_decrypted += 1
         self.stats.extra_read_cycles += cycles - mem_cycles
+        self._emit("decipher", addr, line_size)
+        if cycles - mem_cycles:
+            self._emit("stall", addr, cycles - mem_cycles, "read")
         plaintext = (
             self.inner.decrypt_line(addr, ciphertext)
             if self.functional else ciphertext
@@ -293,12 +301,16 @@ class MerkleTreeEngine(BusEncryptionEngine):
         cycles += self._update_path(port, addr, ciphertext)
         self.stats.lines_encrypted += 1
         self.stats.extra_write_cycles += extra
+        self._emit("encipher", addr, len(plaintext))
+        if extra:
+            self._emit("stall", addr, extra, "write")
         return cycles
 
     def write_partial(self, port: MemoryPort, addr: int, data: bytes,
                       line_size: int) -> int:
         start = addr - addr % line_size
         self.stats.rmw_operations += 1
+        self._emit("rmw", addr, line_size)
         plaintext, read_cycles = self.fill_line(port, start, line_size)
         patched = bytearray(plaintext)
         patched[addr - start: addr - start + len(data)] = data

@@ -153,6 +153,7 @@ class StreamCipherEngine(BusEncryptionEngine):
             # version bump, no read-modify-write).  Two writes to the same
             # bytes leak their XOR; kept only as a measurable design mistake.
             self.stats.blocks_processed += self._pad_blocks(len(data))
+            self._emit("encipher", addr, len(data), "pad-reuse")
             ciphertext = (
                 xor_bytes(data, self._pad(addr, len(data)))
                 if self.functional else data
@@ -168,6 +169,9 @@ class StreamCipherEngine(BusEncryptionEngine):
         start = addr - addr % line_size
         end = -(-(addr + len(data)) // line_size) * line_size
         self.stats.rmw_operations += 1
+        self._emit("rmw", addr, end - start)
+        self._emit("decipher", start, end - start)
+        self._emit("encipher", start, end - start)
         ciphertext, read_cycles = port.read(start, end - start)
         dec_extra = self.read_extra_cycles(start, end - start, read_cycles)
         block = bytearray(
@@ -178,6 +182,8 @@ class StreamCipherEngine(BusEncryptionEngine):
         enc_extra = self.write_extra_cycles(start, end - start)
         self.stats.extra_read_cycles += dec_extra
         self.stats.extra_write_cycles += enc_extra
+        if dec_extra + enc_extra:
+            self._emit("stall", addr, dec_extra + enc_extra, "rmw")
         new_ct = (
             self.encrypt_line(start, bytes(block)) if self.functional
             else bytes(block)

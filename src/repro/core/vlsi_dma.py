@@ -142,6 +142,9 @@ class VlsiDmaEngine(BusEncryptionEngine):
         self.stats.lines_encrypted += 1
         self.stats.blocks_processed += nblocks
         self.stats.extra_write_cycles += enc_cycles
+        self._emit("encipher", base, self.page_size, "page")
+        if enc_cycles:
+            self._emit("stall", base, enc_cycles, "write")
         return enc_cycles + port.write(base, ciphertext)
 
     def _fault_in(self, port: MemoryPort, base: int) -> int:
@@ -156,6 +159,9 @@ class VlsiDmaEngine(BusEncryptionEngine):
         self.stats.lines_decrypted += 1
         self.stats.blocks_processed += nblocks
         self.stats.extra_read_cycles += extra
+        self._emit("decipher", base, self.page_size, "page")
+        if extra:
+            self._emit("stall", base, extra, "read")
         cycles += mem_cycles + extra
         data = (
             bytearray(self._decrypt_page(base, ciphertext))

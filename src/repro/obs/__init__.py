@@ -1,0 +1,52 @@
+"""Structured observability for the simulator: events, sinks, scopes.
+
+The survey's claims are all claims about *observable* behaviour —
+miss-path latency, bus transactions an adversary can probe, cache hit
+rates — so the simulator announces every such fact as a typed
+:class:`TraceEvent` on its way past.  This package is the one place those
+events are defined (:mod:`repro.obs.events`), consumed
+(:mod:`repro.obs.sinks`), attached (:mod:`repro.obs.scope`) and reduced
+to metrics (:mod:`repro.obs.summary`):
+
+* the data path (``repro.sim``, the engine call sites in ``repro.core``)
+  emits events to an optional sink — one ``is None`` test when disabled
+  (``python -m repro.obs.bench`` verifies the cost);
+* attack modules (:class:`repro.attacks.probe.BusProbe`) are sinks over
+  the *same* stream, so "what the adversary sees" and "what we measure"
+  are one code path;
+* the experiment runner wraps every task in :func:`scope` with a
+  :class:`CounterSink` and merges the result into the
+  ``repro-bench-metrics/2`` document's ``observability`` section.
+"""
+
+from .events import (
+    BUS_KINDS,
+    CACHE_KINDS,
+    CIPHER_KINDS,
+    EVENT_KINDS,
+    TraceEvent,
+)
+from .scope import current_sink, scope
+from .sinks import (
+    CounterSink,
+    EventSink,
+    JsonlSink,
+    NullSink,
+    RecordingSink,
+    RingBufferSink,
+    TeeSink,
+    replay,
+)
+from .summary import (
+    format_counter_table,
+    merge_observability,
+    observability_section,
+)
+
+__all__ = [
+    "TraceEvent", "EVENT_KINDS", "BUS_KINDS", "CACHE_KINDS", "CIPHER_KINDS",
+    "EventSink", "NullSink", "CounterSink", "RingBufferSink",
+    "RecordingSink", "JsonlSink", "TeeSink", "replay",
+    "scope", "current_sink",
+    "observability_section", "merge_observability", "format_counter_table",
+]

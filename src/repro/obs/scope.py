@@ -1,0 +1,50 @@
+"""Ambient observation scope: attach a sink without threading it by hand.
+
+The simulator classes all take an explicit ``sink=`` parameter, but most
+instrumentation wants to observe code it does not construct — an
+experiment task three calls deep builds its own :class:`SecureSystem`.
+:func:`scope` installs a process-wide default sink for the duration of a
+``with`` block; any component built *inside* the block that was not given
+an explicit sink picks it up via :func:`current_sink`::
+
+    from repro import obs
+
+    with obs.scope(obs.CounterSink()) as sink:
+        repro.api.engine_overhead(...)   # systems built here are observed
+    print(sink.summary())
+
+Scopes nest (inner wins, outer restored on exit).  This is deliberately a
+plain module global, not a contextvar: the simulator is single-threaded
+per process, and the experiment runner's workers each wrap exactly one
+task in exactly one scope, so the cheapest possible lookup wins.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, TypeVar
+
+from .sinks import EventSink
+
+__all__ = ["scope", "current_sink"]
+
+_current: Optional[EventSink] = None
+
+SinkT = TypeVar("SinkT", bound=EventSink)
+
+
+def current_sink() -> Optional[EventSink]:
+    """The ambient sink installed by the innermost active :func:`scope`."""
+    return _current
+
+
+@contextmanager
+def scope(sink: SinkT) -> Iterator[SinkT]:
+    """Install ``sink`` as the ambient default for the enclosed block."""
+    global _current
+    previous = _current
+    _current = sink
+    try:
+        yield sink
+    finally:
+        _current = previous

@@ -1,0 +1,186 @@
+"""Pluggable consumers for the simulator's event stream.
+
+A sink is anything with an ``emit(event)`` method.  The data path holds an
+``Optional[EventSink]`` and guards every emission with one ``is None``
+test, so the disabled path costs a single attribute check (verified by
+``python -m repro.obs.bench``).  The built-ins cover the common shapes:
+
+* :class:`NullSink` — accepts and discards (enabled-path floor);
+* :class:`CounterSink` — aggregate counters, the runner's default;
+* :class:`RingBufferSink` — last-N events, for flight-recorder debugging;
+* :class:`RecordingSink` — first-N events plus counters, for traces;
+* :class:`JsonlSink` — one JSON object per event, for offline analysis;
+* :class:`TeeSink` — fan one stream out to several sinks.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter, deque
+from typing import IO, Deque, Dict, Iterable, List, Optional, Union
+
+from .events import TraceEvent
+
+__all__ = [
+    "EventSink", "NullSink", "CounterSink", "RingBufferSink",
+    "RecordingSink", "JsonlSink", "TeeSink", "replay",
+]
+
+
+class EventSink:
+    """Base sink: receives every :class:`TraceEvent`.
+
+    Subclass and override :meth:`emit`.  Sinks are pure observers — they
+    must never mutate simulator state, and the simulator never reads them.
+    """
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources (file sinks override)."""
+
+    def __enter__(self) -> "EventSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class NullSink(EventSink):
+    """Accepts every event and keeps nothing.
+
+    Exists so the micro-benchmark can separate the cost of *emitting*
+    (event construction + dispatch) from the cost of *aggregating*.
+    """
+
+    def emit(self, event: TraceEvent) -> None:
+        pass
+
+
+class CounterSink(EventSink):
+    """Counts events by kind and sums the bytes they moved.
+
+    This is the aggregation the experiment runner attaches to every task:
+    cheap enough to leave on, and its :meth:`summary` is deterministic for
+    a deterministic simulation, so it can live inside committed metrics.
+    """
+
+    def __init__(self) -> None:
+        self.counts: Counter = Counter()
+        self.bytes_by_kind: Counter = Counter()
+
+    def emit(self, event: TraceEvent) -> None:
+        self.counts[event.kind] += 1
+        if event.size:
+            self.bytes_by_kind[event.kind] += event.size
+
+    def get(self, kind: str) -> int:
+        """Count for one kind (0 if never seen)."""
+        return self.counts.get(kind, 0)
+
+    def bytes_for(self, kind: str) -> int:
+        """Bytes moved under one kind (0 if never seen)."""
+        return self.bytes_by_kind.get(kind, 0)
+
+    def summary(self) -> Dict[str, int]:
+        """Counts as a plain dict (stable, sorted by kind)."""
+        return {kind: self.counts[kind] for kind in sorted(self.counts)}
+
+    def bytes_summary(self) -> Dict[str, int]:
+        """Byte totals as a plain dict (stable, sorted by kind)."""
+        return {kind: self.bytes_by_kind[kind]
+                for kind in sorted(self.bytes_by_kind)}
+
+
+class RingBufferSink(CounterSink):
+    """Counts everything, keeps only the most recent ``capacity`` events.
+
+    The flight-recorder shape: bounded memory no matter how long the run,
+    with the tail of the stream available when something goes wrong.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        super().__init__()
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.events: Deque[TraceEvent] = deque(maxlen=capacity)
+
+    def emit(self, event: TraceEvent) -> None:
+        super().emit(event)
+        self.events.append(event)
+
+    @property
+    def dropped(self) -> int:
+        """Events that fell off the front of the ring."""
+        return sum(self.counts.values()) - len(self.events)
+
+
+class RecordingSink(CounterSink):
+    """Counts *and* keeps the full event list (bounded by ``max_events``).
+
+    Unlike the ring buffer this keeps the *head* of the stream — the shape
+    trace dumps want, where the interesting part is how a run starts.
+    """
+
+    def __init__(self, max_events: Optional[int] = None) -> None:
+        super().__init__()
+        self.events: List[TraceEvent] = []
+        self.max_events = max_events
+        self.dropped = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        super().emit(event)
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+
+class JsonlSink(EventSink):
+    """Streams every event as one JSON object per line.
+
+    Accepts a path (opened and owned, closed by :meth:`close`) or an
+    already-open text file object (borrowed, left open).
+    """
+
+    def __init__(self, target: Union[str, "IO[str]"]) -> None:
+        if isinstance(target, (str, bytes)):
+            self._fh = open(target, "w", encoding="utf-8")
+            self._owned = True
+        else:
+            self._fh = target
+            self._owned = False
+        self.events_written = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        self._fh.write(json.dumps(event.to_json_dict(), sort_keys=True))
+        self._fh.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._owned and not self._fh.closed:
+            self._fh.close()
+
+
+class TeeSink(EventSink):
+    """Fans one event stream out to several sinks."""
+
+    def __init__(self, *sinks: EventSink) -> None:
+        self.sinks: List[EventSink] = [s for s in sinks if s is not None]
+
+    def emit(self, event: TraceEvent) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+def replay(events: Iterable[TraceEvent], sink: EventSink) -> EventSink:
+    """Feed a recorded event sequence into a sink; returns the sink."""
+    for event in events:
+        sink.emit(event)
+    return sink

@@ -33,13 +33,21 @@ class ResultCache:
         self.misses = 0
 
     @staticmethod
-    def task_key(experiment_id: str, task_name: str, ctx_key: dict) -> str:
-        """Stable digest identifying one task execution."""
+    def task_key(experiment_id: str, task_name: str, ctx_key: dict,
+                 schema: str = "") -> str:
+        """Stable digest identifying one task execution.
+
+        ``schema`` is the metrics schema the caller will store under the
+        key: bumping the document schema must invalidate cached entries,
+        otherwise stale results of the old shape would be replayed into
+        new documents.
+        """
         ident = json.dumps(
             {
                 "experiment": experiment_id,
                 "task": task_name,
                 "ctx": ctx_key,
+                "schema": schema,
                 "version": __version__,
             },
             sort_keys=True,
@@ -57,12 +65,17 @@ class ResultCache:
         except (OSError, ValueError):
             self.misses += 1
             return None
+        # Entries written before the payload carried a "value" field are
+        # unreadable by construction: treat them as misses, not as data.
+        if "value" not in payload:
+            self.misses += 1
+            return None
         self.hits += 1
-        return payload["metrics"]
+        return payload["value"]
 
-    def put(self, key: str, metrics: dict) -> None:
+    def put(self, key: str, value: dict) -> None:
         self.root.mkdir(parents=True, exist_ok=True)
-        payload = {"key": key, "metrics": metrics}
+        payload = {"key": key, "value": value}
         # Atomic publish: never expose a half-written JSON file.
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:

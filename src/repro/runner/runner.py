@@ -28,34 +28,44 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs import CounterSink, observability_section, scope
 from .base import Experiment, TaskContext, task_seed
 from .cache import ResultCache
 
 __all__ = ["ExperimentRunner", "RunResult", "to_canonical_json"]
 
-METRICS_SCHEMA = "repro-bench-metrics/1"
+METRICS_SCHEMA = "repro-bench-metrics/2"
 
-#: (experiment_id, task_name, quick) — everything a worker needs.
-_TaskSpec = Tuple[str, str, bool]
+#: (experiment_id, task_name, quick, observe) — everything a worker needs.
+_TaskSpec = Tuple[str, str, bool, bool]
 
 
 def _execute_task(spec: _TaskSpec) -> Tuple[str, str, dict, float]:
-    """Worker entry point: run one task, return its metrics and wall time.
+    """Worker entry point: run one task, return its result and wall time.
 
     Module-level so it pickles by reference; the experiment registry is
-    re-resolved inside the worker process.
+    re-resolved inside the worker process.  With ``observe`` set, the task
+    runs under an ambient :class:`CounterSink` scope, so every simulator
+    event the task causes is aggregated into its ``observability`` block.
     """
-    exp_id, task_name, quick = spec
+    exp_id, task_name, quick, observe = spec
     from .experiments import get_experiment
 
     experiment = get_experiment(exp_id)
     ctx = TaskContext(quick=quick, seed=task_seed(exp_id, task_name))
     start = time.perf_counter()
-    metrics = experiment.tasks[task_name](ctx)
+    if observe:
+        with scope(CounterSink()) as sink:
+            metrics = experiment.tasks[task_name](ctx)
+        observability = observability_section(sink)
+    else:
+        metrics = experiment.tasks[task_name](ctx)
+        observability = None
     wall = time.perf_counter() - start
     # Round-trip through JSON here so cached and fresh results are the
     # exact same object shape (tuples -> lists, int keys -> str keys).
-    return exp_id, task_name, json.loads(json.dumps(metrics)), wall
+    value = {"metrics": metrics, "observability": observability}
+    return exp_id, task_name, json.loads(json.dumps(value)), wall
 
 
 def to_canonical_json(document: dict) -> str:
@@ -98,6 +108,11 @@ class ExperimentRunner:
         Directory for the on-disk result cache; ``None`` disables caching.
     render:
         Also produce each experiment's human-readable tables.
+    observe:
+        Attach a per-task :class:`repro.obs.CounterSink` and publish the
+        aggregated event counters as the metrics document's
+        ``observability`` sections (default on; the counters are
+        deterministic, so they belong in the committed document).
     progress:
         Optional callable receiving one line per completed task.
     """
@@ -109,6 +124,7 @@ class ExperimentRunner:
         quick: bool = False,
         cache_dir: Optional[Path] = Path(".bench_cache"),
         render: bool = False,
+        observe: bool = True,
         progress: Optional[Callable[[str], None]] = None,
     ):
         from .experiments import EXPERIMENTS, get_experiment
@@ -121,20 +137,27 @@ class ExperimentRunner:
         self.quick = quick
         self.cache = ResultCache(Path(cache_dir)) if cache_dir else None
         self.render = render
+        self.observe = observe
         self._progress = progress or (lambda line: None)
 
     # -- execution ---------------------------------------------------------
 
     def _task_specs(self) -> List[_TaskSpec]:
         return [
-            (exp.id, task_name, self.quick)
+            (exp.id, task_name, self.quick, self.observe)
             for exp in self.experiments
             for task_name in sorted(exp.tasks)
         ]
 
     def _cache_key(self, exp_id: str, task_name: str) -> str:
         ctx = TaskContext(quick=self.quick, seed=task_seed(exp_id, task_name))
-        return ResultCache.task_key(exp_id, task_name, ctx.key())
+        # The schema and the observe flag are part of the key: a document
+        # shape change or a counters-on/off change must not replay stale
+        # entries of the other shape.
+        return ResultCache.task_key(
+            exp_id, task_name, ctx.key(),
+            schema=f"{METRICS_SCHEMA};observe={self.observe}",
+        )
 
     def run(self) -> RunResult:
         suite_start = time.perf_counter()
@@ -145,22 +168,22 @@ class ExperimentRunner:
 
         pending: List[_TaskSpec] = []
         for spec in self._task_specs():
-            exp_id, task_name, _ = spec
+            exp_id, task_name = spec[0], spec[1]
             cached = None
             if self.cache is not None:
                 cached = self.cache.get(self._cache_key(exp_id, task_name))
-            if cached is not None:
+            if cached is not None and "metrics" in cached:
                 results[exp_id][task_name] = cached
                 walls[f"{exp_id}:{task_name}"] = 0.0
                 self._progress(f"{exp_id}:{task_name}  [cached]")
             else:
                 pending.append(spec)
 
-        for exp_id, task_name, metrics, wall in self._execute(pending):
-            results[exp_id][task_name] = metrics
+        for exp_id, task_name, value, wall in self._execute(pending):
+            results[exp_id][task_name] = value
             walls[f"{exp_id}:{task_name}"] = round(wall, 3)
             if self.cache is not None:
-                self.cache.put(self._cache_key(exp_id, task_name), metrics)
+                self.cache.put(self._cache_key(exp_id, task_name), value)
             self._progress(f"{exp_id}:{task_name}  [{wall:.2f}s]")
 
         return self._assemble(results, walls,
@@ -185,19 +208,34 @@ class ExperimentRunner:
     # -- assembly ----------------------------------------------------------
 
     def _assemble(self, results, walls, total_wall) -> RunResult:
+        from ..obs import merge_observability
+
         experiments_doc = {}
         renders: Dict[str, str] = {}
         for exp in self.experiments:
-            exp_results = results[exp.id]
-            experiments_doc[exp.id] = {
+            exp_values = results[exp.id]
+            exp_metrics = {name: value["metrics"]
+                           for name, value in exp_values.items()}
+            doc = {
                 "title": exp.title,
                 "section": exp.section,
-                "checks": exp.checks_passed(exp_results),
-                "tasks": {name: exp_results[name]
-                          for name in sorted(exp_results)},
+                "checks": exp.checks_passed(exp_metrics),
+                "tasks": {name: exp_metrics[name]
+                          for name in sorted(exp_metrics)},
             }
+            task_obs = {
+                name: exp_values[name]["observability"]
+                for name in sorted(exp_values)
+                if exp_values[name].get("observability") is not None
+            }
+            if task_obs:
+                doc["observability"] = {
+                    "tasks": task_obs,
+                    "total": merge_observability(task_obs.values()),
+                }
+            experiments_doc[exp.id] = doc
             if self.render and exp.render is not None:
-                renders[exp.id] = exp.render(exp_results)
+                renders[exp.id] = exp.render(exp_metrics)
 
         metrics = {
             "schema": METRICS_SCHEMA,

@@ -18,7 +18,15 @@ from .pipeline import (
     XOM_AES_PIPE,
     PipelinedUnit,
 )
-from .stats import CountingSink, RecordingSink, StatsSink, TraceEvent
+from .stats import (
+    CountingSink,
+    NullSink,
+    RecordingSink,
+    RingBufferSink,
+    SimStats,
+    StatsSink,
+    TraceEvent,
+)
 from .system import SecureSystem, SimReport, overhead, run_trace
 
 __all__ = [
@@ -31,6 +39,7 @@ __all__ = [
     "PipelinedUnit", "XOM_AES_PIPE", "AEGIS_AES_PIPE", "TDES_PIPE",
     "TDES_ITERATIVE", "DES_ITERATIVE", "AES_ITERATIVE", "KEYSTREAM_UNIT",
     "BYTE_SUBST_UNIT",
-    "CountingSink", "RecordingSink", "StatsSink", "TraceEvent",
+    "CountingSink", "NullSink", "RecordingSink", "RingBufferSink",
+    "SimStats", "StatsSink", "TraceEvent",
     "SecureSystem", "SimReport", "overhead", "run_trace",
 ]

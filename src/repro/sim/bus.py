@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
-from .stats import StatsSink, TraceEvent
+from ..obs import EventSink, TraceEvent
 
 __all__ = ["BusTransaction", "Bus"]
 
@@ -31,7 +31,7 @@ class BusTransaction:
 class Bus:
     """External bus: counts traffic and notifies probes of every transfer."""
 
-    def __init__(self, sink: Optional[StatsSink] = None) -> None:
+    def __init__(self, sink: Optional[EventSink] = None) -> None:
         self._probes: List[Callable[[BusTransaction], None]] = []
         self.transactions = 0
         self.bytes_transferred = 0
@@ -51,8 +51,12 @@ class Bus:
         self.transactions += 1
         self.bytes_transferred += len(data)
         if self.sink is not None:
+            # The event carries the payload itself (a reference, not a
+            # copy): sinks standing in for board-level probes see exactly
+            # the bytes that crossed the chip boundary.
             self.sink.emit(TraceEvent(
                 kind=f"bus-{op}", addr=addr, size=len(data), cycle=cycle,
+                data=data,
             ))
         if self._probes:
             txn = BusTransaction(op=op, addr=addr, data=data, cycle=cycle)

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Callable, List, Optional
 
-from .stats import StatsSink, TraceEvent
+from ..obs import EventSink, TraceEvent
 
 __all__ = ["WritePolicy", "CacheConfig", "CacheResult", "Cache"]
 
@@ -77,7 +77,7 @@ class Cache:
     """
 
     def __init__(self, config: CacheConfig,
-                 sink: Optional[StatsSink] = None):
+                 sink: Optional[EventSink] = None):
         self.config = config
         self._sets: List["OrderedDict[int, _Line]"] = [
             OrderedDict() for _ in range(config.num_sets)
@@ -122,7 +122,10 @@ class Cache:
         if line in cache_set:
             cache_set.move_to_end(line)
             self.hits += 1
-            self._emit("hit", addr)
+            # Guard inline: the hit path runs once per access, and the
+            # disabled-observability cost budget is one is-None test.
+            if self.sink is not None:
+                self._emit("hit", addr)
             entry = cache_set[line]
             through = False
             if is_write:
@@ -133,7 +136,8 @@ class Cache:
             return CacheResult(hit=True, line_addr=line, through_write=through)
 
         self.misses += 1
-        self._emit("miss", addr)
+        if self.sink is not None:
+            self._emit("miss", addr)
 
         if is_write and not cfg.write_allocate:
             # Store miss bypasses the cache entirely.

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..core.engine import BusEncryptionEngine, MemoryPort, NullEngine
+from ..obs import EventSink, TraceEvent, current_sink
 from ..traces.trace import Access, AccessKind, Trace
 from .bus import Bus
 from .cache import Cache, CacheConfig
@@ -44,16 +45,23 @@ class TwoLevelSystem:
         edu_level: str = EDU_L2_MEMORY,
         write_buffer: bool = True,
         issue_cycles: int = 1,
+        sink: Optional[EventSink] = None,
     ):
         if l1_config.line_size != l2_config.line_size:
             raise ValueError("L1 and L2 must share a line size in this model")
         if edu_level not in (EDU_L2_MEMORY, EDU_L1_L2):
             raise ValueError(f"unknown edu_level {edu_level!r}")
+        if sink is None:
+            sink = current_sink()
         self.engine = engine if engine is not None else NullEngine()
-        self.l1 = Cache(l1_config)
-        self.l2 = Cache(l2_config)
-        self.memory = MainMemory(mem_config)
-        self.bus = Bus()
+        self.engine.attach_sink(sink)
+        self.sink = sink
+        self.l1 = Cache(l1_config, sink=sink)
+        self.l1.clock = lambda: self.cycles
+        self.l2 = Cache(l2_config, sink=sink)
+        self.l2.clock = lambda: self.cycles
+        self.memory = MainMemory(mem_config, sink=sink)
+        self.bus = Bus(sink=sink)
         self.edu_level = edu_level
         self.write_buffer = write_buffer
         self.issue_cycles = issue_cycles
@@ -120,6 +128,7 @@ class TwoLevelSystem:
                 addr, self.line_size, 0
             )
             self.engine.stats.lines_decrypted += 1
+            self.engine._emit("decipher", addr, self.line_size)
             return (
                 self.engine.decrypt_line(addr, l2_content)
                 if self.engine.functional else l2_content
@@ -135,6 +144,7 @@ class TwoLevelSystem:
         if self.edu_level == EDU_L1_L2:
             self.cycles += self.engine.write_extra_cycles(addr, self.line_size)
             self.engine.stats.lines_encrypted += 1
+            self.engine._emit("encipher", addr, self.line_size)
             content = (
                 self.engine.encrypt_line(addr, bytes(plaintext))
                 if self.engine.functional else bytes(plaintext)
@@ -177,6 +187,11 @@ class TwoLevelSystem:
     def step(self, access: Access, data: Optional[bytes] = None) -> None:
         self.cycles += self.issue_cycles
         self._counts[access.kind] += 1
+        if self.sink is not None:
+            self.sink.emit(TraceEvent(
+                kind="access", addr=access.addr, size=access.size,
+                cycle=self.cycles, detail=access.kind.name.lower(),
+            ))
         line_size = self.line_size
 
         result = self.l1.access(access.addr, access.is_write)

@@ -11,6 +11,9 @@ vs decompression latency).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
+from ..obs import EventSink, TraceEvent
 
 __all__ = ["MemoryConfig", "MainMemory"]
 
@@ -57,13 +60,15 @@ class MemoryConfig:
 class MainMemory:
     """Byte-addressable external RAM with functional contents."""
 
-    def __init__(self, config: MemoryConfig = MemoryConfig()):
+    def __init__(self, config: MemoryConfig = MemoryConfig(),
+                 sink: Optional[EventSink] = None):
         self.config = config
         self._data = bytearray(config.size)
         self.reads = 0
         self.writes = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        self.sink = sink
 
     def _check_range(self, addr: int, nbytes: int) -> None:
         if addr < 0 or addr + nbytes > self.config.size:
@@ -77,6 +82,9 @@ class MainMemory:
         self._check_range(addr, nbytes)
         self.reads += 1
         self.bytes_read += nbytes
+        if self.sink is not None:
+            self.sink.emit(TraceEvent(kind="mem-read", addr=addr,
+                                      size=nbytes))
         return bytes(self._data[addr: addr + nbytes])
 
     def write(self, addr: int, data: bytes) -> None:
@@ -84,6 +92,9 @@ class MainMemory:
         self._check_range(addr, len(data))
         self.writes += 1
         self.bytes_written += len(data)
+        if self.sink is not None:
+            self.sink.emit(TraceEvent(kind="mem-write", addr=addr,
+                                      size=len(data)))
         self._data[addr: addr + len(data)] = data
 
     def load_image(self, addr: int, image: bytes) -> None:

@@ -1,90 +1,155 @@
-"""Observability hooks for the simulator: structured event sinks.
+"""Simulator statistics as a read-only view over the event stream.
 
-The survey's experiments all reduce to counting — cycles, misses, bus
-beats, enciphered lines — but until now each count lived in a different
-object (`Cache.hits`, `Bus.transactions`, `EngineStats`) and anything not
-pre-counted required editing the simulator.  A :class:`StatsSink` attached
-to a :class:`repro.sim.system.SecureSystem` observes every simulator event
-as a :class:`TraceEvent` without code changes:
+Historically this module owned the sink classes; those are now the
+:mod:`repro.obs` subsystem and are re-exported here unchanged for
+backward compatibility (``StatsSink`` = :class:`repro.obs.EventSink`,
+``CountingSink`` = :class:`repro.obs.CounterSink`).
 
-* ``access``  — one CPU access entering the system (detail = kind);
-* ``hit`` / ``miss`` / ``eviction`` / ``writeback`` — cache outcomes;
-* ``fill`` — a line fetched through the engine;
-* ``bus-read`` / ``bus-write`` — bytes crossing the chip boundary.
+What lives here now is :class:`SimStats`: the *read-only* statistics
+facade experiment code should consume instead of poking at scattered
+fields (``Cache.hits``, ``Bus.transactions``, ``EngineStats``).  It is a
+thin view over a :class:`repro.obs.CounterSink` — every number it reports
+is derived from the same event stream a bus probe or a trace dump sees,
+so there is exactly one accounting of the simulation.  Mutating it is an
+error by construction::
 
-Sinks are pure observers: when none is attached the emit paths reduce to
-one ``is None`` test, so profiling is free to leave wired in.
-
-Usage::
-
-    from repro.sim import CountingSink, SecureSystem
-
-    sink = CountingSink()
+    sink = CounterSink()
     system = SecureSystem(engine=engine, sink=sink)
     system.run(trace)
-    print(sink.counts)          # {"access": 4000, "miss": 812, ...}
+    stats = SimStats(sink)
+    stats.cache_misses          # fine
+    stats.cache_misses = 0      # AttributeError: counters come from events
 """
 
 from __future__ import annotations
 
-from collections import Counter
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict
 
-__all__ = ["TraceEvent", "StatsSink", "CountingSink", "RecordingSink"]
+from ..obs import CounterSink, EventSink, TraceEvent
+from ..obs.events import BUS_KINDS, CIPHER_KINDS
+from ..obs.sinks import NullSink, RecordingSink, RingBufferSink
 
+#: Backward-compatible aliases for the pre-``repro.obs`` names.
+StatsSink = EventSink
+CountingSink = CounterSink
 
-@dataclass(frozen=True)
-class TraceEvent:
-    """One observable simulator event."""
-
-    kind: str           # "access", "hit", "miss", "fill", "bus-read", ...
-    addr: int = 0       # byte address the event concerns (0 if n/a)
-    size: int = 0       # bytes moved, where meaningful
-    cycle: int = 0      # CPU cycle at emission (0 when no clock is wired)
-    detail: str = ""    # free-form qualifier ("fetch", "store", ...)
+__all__ = ["TraceEvent", "StatsSink", "CountingSink", "RecordingSink",
+           "RingBufferSink", "NullSink", "SimStats"]
 
 
-class StatsSink:
-    """Base sink: receives every :class:`TraceEvent`.
+class SimStats:
+    """Read-only counter view over one :class:`repro.obs.CounterSink`.
 
-    Subclass and override :meth:`emit`; the built-ins below cover the
-    common cases (pure counting, full recording).
+    Each property is a pure function of the event stream; there is no
+    state to reset and nothing to keep in sync.  Direct field mutation —
+    the old pattern of experiment code adjusting ``stats.hits`` by hand —
+    is rejected with an :class:`AttributeError` pointing at the event
+    stream instead.
     """
 
-    def emit(self, event: TraceEvent) -> None:  # pragma: no cover - abstract
-        raise NotImplementedError
+    def __init__(self, sink: CounterSink):
+        if not isinstance(sink, CounterSink):
+            raise TypeError(
+                f"SimStats views a CounterSink, got {type(sink).__name__}"
+            )
+        object.__setattr__(self, "_sink", sink)
 
+    def __setattr__(self, name: str, value) -> None:
+        raise AttributeError(
+            f"SimStats is read-only ({name!r} cannot be assigned); "
+            "counters are derived from the repro.obs event stream — emit "
+            "events instead of mutating statistics"
+        )
 
-class CountingSink(StatsSink):
-    """Counts events by kind and sums the bytes they moved."""
+    # -- CPU / cache ------------------------------------------------------
 
-    def __init__(self) -> None:
-        self.counts: Counter = Counter()
-        self.bytes_by_kind: Counter = Counter()
+    @property
+    def accesses(self) -> int:
+        return self._sink.get("access")
 
-    def emit(self, event: TraceEvent) -> None:
-        self.counts[event.kind] += 1
-        if event.size:
-            self.bytes_by_kind[event.kind] += event.size
+    @property
+    def cache_hits(self) -> int:
+        return self._sink.get("hit")
 
-    def summary(self) -> Dict[str, int]:
-        """Counts as a plain dict (stable, sorted by kind)."""
-        return {kind: self.counts[kind] for kind in sorted(self.counts)}
+    @property
+    def cache_misses(self) -> int:
+        return self._sink.get("miss")
 
+    @property
+    def evictions(self) -> int:
+        return self._sink.get("eviction")
 
-class RecordingSink(CountingSink):
-    """Counts *and* keeps the full event list (bounded by ``max_events``)."""
+    @property
+    def writebacks(self) -> int:
+        return self._sink.get("writeback")
 
-    def __init__(self, max_events: Optional[int] = None) -> None:
-        super().__init__()
-        self.events: List[TraceEvent] = []
-        self.max_events = max_events
-        self.dropped = 0
+    @property
+    def fills(self) -> int:
+        return self._sink.get("fill")
 
-    def emit(self, event: TraceEvent) -> None:
-        super().emit(event)
-        if self.max_events is not None and len(self.events) >= self.max_events:
-            self.dropped += 1
-            return
-        self.events.append(event)
+    @property
+    def miss_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_misses / total if total else 0.0
+
+    # -- chip boundary ----------------------------------------------------
+
+    @property
+    def bus_transactions(self) -> int:
+        return sum(self._sink.get(k) for k in BUS_KINDS)
+
+    @property
+    def bus_bytes(self) -> int:
+        return sum(self._sink.bytes_for(k) for k in BUS_KINDS)
+
+    # -- EDU --------------------------------------------------------------
+
+    @property
+    def lines_enciphered(self) -> int:
+        return self._sink.get("encipher")
+
+    @property
+    def lines_deciphered(self) -> int:
+        return self._sink.get("decipher")
+
+    @property
+    def bytes_enciphered(self) -> int:
+        """Bytes through the cipher, both directions."""
+        return sum(self._sink.bytes_for(k) for k in CIPHER_KINDS)
+
+    @property
+    def rmw_operations(self) -> int:
+        return self._sink.get("rmw")
+
+    @property
+    def integrity_checks(self) -> int:
+        return self._sink.get("integrity-check")
+
+    @property
+    def stall_cycles(self) -> int:
+        return self._sink.bytes_for("stall")
+
+    def as_dict(self) -> Dict[str, object]:
+        """Every derived statistic, JSON-serializable."""
+        return {
+            "accesses": self.accesses,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "miss_rate": round(self.miss_rate, 6),
+            "evictions": self.evictions,
+            "writebacks": self.writebacks,
+            "fills": self.fills,
+            "bus_transactions": self.bus_transactions,
+            "bus_bytes": self.bus_bytes,
+            "lines_enciphered": self.lines_enciphered,
+            "lines_deciphered": self.lines_deciphered,
+            "bytes_enciphered": self.bytes_enciphered,
+            "rmw_operations": self.rmw_operations,
+            "integrity_checks": self.integrity_checks,
+            "stall_cycles": self.stall_cycles,
+        }
+
+    def __repr__(self) -> str:
+        return (f"SimStats(accesses={self.accesses}, "
+                f"misses={self.cache_misses}, "
+                f"bus_transactions={self.bus_transactions})")

@@ -14,11 +14,11 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..core.engine import BusEncryptionEngine, MemoryPort, NullEngine, Placement
+from ..obs import EventSink, TraceEvent, current_sink
 from ..traces.trace import Access, AccessKind, Trace
 from .bus import Bus
 from .cache import Cache, CacheConfig
 from .memory import MainMemory, MemoryConfig
-from .stats import StatsSink, TraceEvent
 
 __all__ = ["SimReport", "SecureSystem", "run_trace", "overhead"]
 
@@ -101,9 +101,11 @@ class SecureSystem:
     issue_cycles:
         Cycles charged per CPU access before the memory system responds.
     sink:
-        Optional :class:`repro.sim.stats.StatsSink` receiving a
-        :class:`repro.sim.stats.TraceEvent` for every access, cache
-        outcome, fill and bus transfer (profiling without code changes).
+        Optional :class:`repro.obs.EventSink` receiving a
+        :class:`repro.obs.TraceEvent` for every access, cache outcome,
+        fill, bus transfer, memory operation and cipher operation
+        (profiling without code changes).  ``None`` picks up the ambient
+        sink installed by :func:`repro.obs.scope`, if any.
     """
 
     def __init__(
@@ -113,13 +115,16 @@ class SecureSystem:
         mem_config: MemoryConfig = MemoryConfig(),
         write_buffer: bool = True,
         issue_cycles: int = 1,
-        sink: Optional[StatsSink] = None,
+        sink: Optional[EventSink] = None,
     ):
+        if sink is None:
+            sink = current_sink()
         self.engine = engine if engine is not None else NullEngine()
+        self.engine.attach_sink(sink)
         self.sink = sink
         self.cache = Cache(cache_config, sink=sink)
         self.cache.clock = lambda: self.cycles
-        self.memory = MainMemory(mem_config)
+        self.memory = MainMemory(mem_config, sink=sink)
         self.bus = Bus(sink=sink)
         self.cycles = 0
         self.write_buffer = write_buffer

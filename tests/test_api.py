@@ -1,0 +1,109 @@
+"""repro.api: the typed experiment facade and its deprecation shims."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.api import (
+    ExperimentResult,
+    TraceSummary,
+    attack_summary,
+    engine_overhead,
+    run_attack,
+    run_experiment,
+    run_overhead,
+    trace_experiment,
+)
+from repro.obs import RecordingSink
+from repro.runner import ExperimentRunner
+
+
+class TestRunExperiment:
+    def test_returns_typed_result(self):
+        result = run_experiment("e01", quick=True)
+        assert isinstance(result, ExperimentResult)
+        assert result.experiment == "e01"
+        assert result.quick is True
+        assert result.passed
+        assert result.tasks
+        obs = result.observability
+        assert set(obs["tasks"]) == set(result.tasks)
+        assert obs["total"]["totals"]["events"] > 0
+
+    def test_result_is_frozen(self):
+        result = run_experiment("e01", quick=True)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            result.experiment = "e02"
+
+    def test_to_dict_is_json_serializable(self):
+        doc = run_experiment("e01", quick=True).to_dict()
+        assert json.loads(json.dumps(doc)) == doc
+        assert set(doc) == {"title", "section", "checks", "tasks",
+                            "observability"}
+
+    def test_matches_the_runner_byte_for_byte(self, tmp_path):
+        facade = run_experiment("e01", quick=True)
+        runner_doc = ExperimentRunner(
+            experiments=["e01"], quick=True, cache_dir=None,
+        ).run().metrics["experiments"]["e01"]
+        assert facade.tasks == runner_doc["tasks"]
+        assert facade.checks == runner_doc["checks"]
+        assert facade.observability == runner_doc["observability"]
+
+    def test_trace_sink_sees_the_run(self):
+        recording = RecordingSink(max_events=50)
+        run_experiment("e01", quick=True, trace=recording)
+        assert recording.events
+        assert recording.get("protocol-msg") > 0
+
+    def test_unknown_experiment_raises_key_error(self):
+        with pytest.raises(KeyError):
+            run_experiment("e99")
+
+
+class TestTraceExperiment:
+    def test_summary_shape(self):
+        summary = trace_experiment("e01", max_events=10)
+        assert isinstance(summary, TraceSummary)
+        assert summary.experiment == "e01"
+        assert len(summary.events) <= 10
+        assert summary.total_events == len(summary.events) + summary.dropped
+        assert summary.totals["events"] == summary.total_events
+        assert summary.result.passed
+
+    def test_counters_cover_recorded_kinds(self):
+        summary = trace_experiment("e01")
+        assert {e.kind for e in summary.events} <= set(summary.counters)
+
+    def test_format_mentions_experiment_and_kinds(self):
+        summary = trace_experiment("e01")
+        text = summary.format()
+        assert "e01 events" in text
+        for kind in summary.counters:
+            assert kind in text
+
+
+class TestOneShotMeasurements:
+    def test_engine_overhead(self):
+        result = engine_overhead("stream", "sequential", accesses=400)
+        assert result.engine_name
+        assert result.baseline.cycles > 0
+        assert result.secured.cycles >= result.baseline.cycles
+
+    def test_attack_summary(self):
+        summary = attack_summary(memory=256)
+        assert summary["fully_recovered"]
+        assert summary["bytes_recovered"] == 256
+
+
+class TestDeprecatedShims:
+    def test_run_overhead_warns_and_delegates(self):
+        with pytest.warns(DeprecationWarning, match="engine_overhead"):
+            result = run_overhead("stream", "sequential", accesses=400)
+        assert result.secured.cycles > 0
+
+    def test_run_attack_warns_and_delegates(self):
+        with pytest.warns(DeprecationWarning, match="attack_summary"):
+            summary = run_attack(memory=256)
+        assert summary["fully_recovered"]

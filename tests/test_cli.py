@@ -32,7 +32,15 @@ class TestParser:
         args = build_parser().parse_args(["bench"])
         assert args.workers == 1
         assert not args.quick
+        assert not args.no_obs
         assert args.out == "BENCH_metrics.json"
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace", "e02"])
+        assert args.experiment == "e02"
+        assert not args.full
+        assert args.limit == 40
+        assert args.jsonl is None
 
 
 class TestCommands:
@@ -91,11 +99,14 @@ class TestBench:
         assert "1 checks passed" in stdout
 
         metrics = json.loads(out.read_text())
-        assert metrics["schema"] == "repro-bench-metrics/1"
+        assert metrics["schema"] == "repro-bench-metrics/2"
         assert metrics["quick"] is True
         e01 = metrics["experiments"]["e01"]
         assert e01["checks"]["passed"] is True
         assert "cost-gap" in e01["tasks"]
+        obs = e01["observability"]
+        assert set(obs["tasks"]) == set(e01["tasks"])
+        assert obs["total"]["totals"]["events"] > 0
 
         profile = json.loads(
             (tmp_path / "metrics_profile.json").read_text())
@@ -111,6 +122,48 @@ class TestBench:
         capsys.readouterr()
         assert rc == 0
         assert out.read_text() == first
+
+    def test_bench_no_obs_omits_section_and_keeps_metrics(self, tmp_path,
+                                                          capsys):
+        with_obs = tmp_path / "obs.json"
+        without = tmp_path / "no_obs.json"
+        for path, extra in ((with_obs, []), (without, ["--no-obs"])):
+            rc = main([
+                "bench", "--experiments", "e01", "--quick", "--no-cache",
+                "--out", str(path), *extra,
+            ])
+            capsys.readouterr()
+            assert rc == 0
+        observed = json.loads(with_obs.read_text())
+        plain = json.loads(without.read_text())
+        assert "observability" not in plain["experiments"]["e01"]
+        # Dropping observation must not perturb the metrics themselves.
+        del observed["experiments"]["e01"]["observability"]
+        assert observed == plain
+
+
+class TestTrace:
+    def test_trace_smoke(self, capsys):
+        rc = main(["trace", "e01", "--limit", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "protocol-msg" in out
+        assert "e01 events" in out
+        assert "checks passed" in out
+
+    def test_trace_unknown_experiment(self, capsys):
+        assert main(["trace", "e99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_trace_jsonl_dump(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        rc = main(["trace", "e01", "--limit", "1", "--jsonl", str(path)])
+        assert rc == 0
+        capsys.readouterr()
+        lines = path.read_text().splitlines()
+        assert lines
+        first = json.loads(lines[0])
+        assert set(first) >= {"kind", "addr", "size", "cycle"}
 
 
 class TestDeprecatedFactories:

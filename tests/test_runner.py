@@ -104,3 +104,60 @@ class TestRunnerDeterminism:
         assert set(result.profile["task_wall_seconds"]) == {
             f"e01:{name}" for name in get_experiment("e01").tasks
         }
+
+
+class TestObservability:
+    def _run(self, tmp_path, tag, workers=1, observe=True):
+        return ExperimentRunner(
+            experiments=["e01"], workers=workers, quick=True,
+            cache_dir=tmp_path / f"cache-{tag}", observe=observe,
+        ).run()
+
+    def test_sections_present_and_aggregated(self, tmp_path):
+        result = self._run(tmp_path, "obs")
+        obs = result.metrics["experiments"]["e01"]["observability"]
+        tasks = get_experiment("e01").tasks
+        assert set(obs["tasks"]) == set(tasks)
+        totals = obs["total"]["totals"]
+        assert totals["events"] == sum(
+            sec["totals"]["events"] for sec in obs["tasks"].values()
+        )
+        assert totals["events"] > 0
+
+    def test_serial_and_parallel_observability_byte_identical(self,
+                                                              tmp_path):
+        serial = self._run(tmp_path, "ser", workers=1)
+        parallel = self._run(tmp_path, "par", workers=2)
+        assert serial.metrics_json() == parallel.metrics_json()
+
+    def test_observe_off_drops_section_not_metrics(self, tmp_path):
+        observed = self._run(tmp_path, "on", observe=True)
+        plain = self._run(tmp_path, "off", observe=False)
+        doc = json.loads(observed.metrics_json())
+        assert "observability" not in plain.metrics["experiments"]["e01"]
+        del doc["experiments"]["e01"]["observability"]
+        assert doc == json.loads(plain.metrics_json())
+
+    def test_observe_flag_partitions_the_cache(self, tmp_path):
+        self._run(tmp_path, "shared", observe=True)
+        plain = ExperimentRunner(
+            experiments=["e01"], workers=1, quick=True,
+            cache_dir=tmp_path / "cache-shared", observe=False,
+        )
+        plain.run()
+        # The observe=True entries must not satisfy observe=False keys.
+        assert plain.cache.hits == 0
+
+    def test_schema_is_part_of_the_cache_key(self):
+        ctx = TaskContext(quick=True).key()
+        assert ResultCache.task_key("e01", "cost-gap", ctx, schema="v/1") \
+            != ResultCache.task_key("e01", "cost-gap", ctx, schema="v/2")
+
+    def test_cache_rejects_pre_schema_payloads(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = "deadbeef"
+        # Hand-write an old-format entry (raw metrics, no "value" wrapper).
+        cache.root.mkdir(parents=True)
+        (cache.root / f"{key}.json").write_text('{"overhead": 1.5}')
+        assert cache.get(key) is None
+        assert cache.misses == 1
