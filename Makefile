@@ -13,7 +13,7 @@ ENGINE_CTORS := (Best|DS5002FP|DS5240|VlsiDma|GeneralInstrument|Gilmont|XomAes|A
 # simulator.
 OBS_BYPASS := (^|[^.[:alnum:]_])(print|Counter)\(
 
-.PHONY: install test check lint bench bench-quick bench-pytest trace-smoke examples attack survey clean
+.PHONY: install test check lint bench bench-quick bench-pytest trace-smoke faults-smoke examples attack survey clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -21,8 +21,8 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# Tier-1 gate: the test suite plus the registry lint and a trace smoke run.
-check: test lint trace-smoke
+# Tier-1 gate: the test suite plus the registry lint and the smoke runs.
+check: test lint trace-smoke faults-smoke
 
 lint:
 	@matches=$$(grep -rnE '$(ENGINE_CTORS)' --include='*.py' \
@@ -49,7 +49,15 @@ trace-smoke:
 	$(PYTHON) -m repro.cli trace e02 --limit 0 > /dev/null
 	$(PYTHON) -m repro.obs.bench --accesses 20000 --repeats 3
 
-# The E01-E18 experiment suite via the parallel runner; metrics land in
+# Fault-campaign smoke: quick campaigns against one engine that must
+# detect and one that must stay silent; the CLI exits non-zero when any
+# verdict contradicts the engine's `detects` claim.
+faults-smoke:
+	$(PYTHON) -m repro.cli faults integrity-stream --kinds spoof replay \
+		> /dev/null
+	$(PYTHON) -m repro.cli faults stream --kinds spoof > /dev/null
+
+# The E01-E19 experiment suite via the parallel runner; metrics land in
 # BENCH_metrics.json (+ _profile.json).  Override: make bench WORKERS=4
 WORKERS ?= 1
 
@@ -82,4 +90,4 @@ clean:
 	rm -rf .pytest_cache .hypothesis *.egg-info src/*.egg-info
 	rm -rf .bench_cache .bench_cache_quick
 	rm -f BENCH_metrics.json BENCH_metrics_profile.json
-	rm -f BENCH_quick_metrics.json BENCH_quick_metrics_profile.json
+	rm -f BENCH_quick_metrics_profile.json

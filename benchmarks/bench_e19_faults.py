@@ -1,0 +1,12 @@
+"""E19 — extension: fault-injection campaigns, the active-attack matrix.
+
+Thin wrapper: the campaign scripts, tables and conformance checks live in
+:mod:`repro.runner.experiments.e19` (shared with ``python -m repro.cli
+bench``).
+"""
+
+from benchmarks.common import run_experiment_benchmark
+
+
+def test_e19(benchmark):
+    run_experiment_benchmark(benchmark, "e19")

@@ -11,6 +11,7 @@ re-exported here so callers don't have to know the package layout::
     summary = repro.trace_experiment("e02")     # same, with the event trace
     repro.engine_overhead("stream", "mixed")    # measure one engine
     repro.attack_summary(memory=512)            # break the weak one
+    repro.fault_campaign("integrity-stream")    # active-attack campaigns
 
 :func:`run_experiment` and :func:`trace_experiment` return typed results
 (:class:`ExperimentResult`, :class:`TraceSummary`) whose ``observability``
@@ -58,7 +59,7 @@ __all__ = [
     "list_engines",
     "ExperimentResult", "TraceSummary",
     "run_experiment", "trace_experiment",
-    "engine_overhead", "attack_summary",
+    "engine_overhead", "attack_summary", "fault_campaign",
     "run_overhead", "run_attack",
 ]
 
@@ -271,6 +272,37 @@ def attack_summary(memory: int = 512, seed: int = 2005,
         "steps_executed": report.steps_executed,
         "ambiguous_cells": len(report.ambiguous_cells),
     }
+
+
+def fault_campaign(
+    engine: str,
+    kinds: Optional[List[Optional[str]]] = None,
+    *,
+    seed: int = 2005,
+    quick: bool = True,
+) -> List[Any]:
+    """Run deterministic fault-injection campaigns against one engine.
+
+    ``engine`` is a campaign label (:func:`repro.faults.campaign_labels`:
+    every registry name plus the ablations).  ``kinds`` selects the fault
+    classes — entries from :data:`repro.faults.FAULT_KINDS`, with ``None``
+    meaning the fault-free baseline; the default runs the baseline and all
+    four classes.  Returns the :class:`repro.faults.CampaignResult` list
+    in the order requested; each result's ``verdict``/``conforms`` say
+    whether the engine behaved as its ``detects`` claim promises.
+    """
+    from .faults import FAULT_KINDS, campaign_labels, run_campaign
+
+    labels = campaign_labels()
+    if engine not in labels:
+        raise KeyError(
+            f"unknown campaign label {engine!r}; known: {', '.join(labels)}"
+        )
+    selected = list(kinds) if kinds is not None else [None, *FAULT_KINDS]
+    return [
+        run_campaign(engine, kind, seed=seed, quick=quick)
+        for kind in selected
+    ]
 
 
 # -- deprecated aliases ---------------------------------------------------

@@ -52,11 +52,13 @@ from .kuhn import (
 from .kuhn_scrambled import PortBasedKuhnAttack, ScrambledDallasBoard
 from .probe import BusProbe
 from .taxonomy import (
+    ACTIVE_ATTACKS,
     CLASS_CAPABILITIES,
     ENGINE_RATINGS,
     AttackerClass,
     Capability,
     EngineSecurityRating,
+    attack_class_required,
     rate_engine,
 )
 
@@ -77,6 +79,7 @@ __all__ = [
     "block_diffusion_probe", "brute_force_tries",
     "PortBasedKuhnAttack", "ScrambledDallasBoard",
     "BusProbe",
-    "CLASS_CAPABILITIES", "ENGINE_RATINGS", "AttackerClass", "Capability",
-    "EngineSecurityRating", "rate_engine",
+    "ACTIVE_ATTACKS", "CLASS_CAPABILITIES", "ENGINE_RATINGS",
+    "AttackerClass", "Capability", "EngineSecurityRating",
+    "attack_class_required", "rate_engine",
 ]

@@ -18,6 +18,7 @@ from enum import IntEnum
 from typing import Dict, FrozenSet, List
 
 __all__ = ["AttackerClass", "Capability", "CLASS_CAPABILITIES",
+           "ACTIVE_ATTACKS", "attack_class_required",
            "EngineSecurityRating", "rate_engine", "ENGINE_RATINGS"]
 
 
@@ -80,6 +81,34 @@ CLASS_CAPABILITIES: Dict[AttackerClass, FrozenSet[str]] = {
         Capability.ON_CHIP_PROBE,
     }),
 }
+
+
+#: Capabilities each active fault class (:data:`repro.faults.FAULT_KINDS`)
+#: requires of the adversary: spoofing forged ciphertext or glitching the
+#: wires only needs board-level write access, while splicing and replay
+#: first *record* valid blocks (dump) before injecting them elsewhere or
+#: later.  All four sit inside class II — exactly the "knowledgeable
+#: insider" the survey says the consumer market must assume.
+ACTIVE_ATTACKS: Dict[str, FrozenSet[str]] = {
+    "spoof": frozenset({Capability.MEMORY_INJECT}),
+    "splice": frozenset({Capability.MEMORY_DUMP, Capability.MEMORY_INJECT}),
+    "replay": frozenset({Capability.MEMORY_DUMP, Capability.MEMORY_INJECT}),
+    "glitch": frozenset({Capability.MEMORY_INJECT}),
+}
+
+
+def attack_class_required(kind: str) -> AttackerClass:
+    """The weakest IBM class whose capabilities mount one fault kind."""
+    try:
+        needed = ACTIVE_ATTACKS[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown fault kind {kind!r}; known: {sorted(ACTIVE_ATTACKS)}"
+        ) from None
+    for attacker in sorted(AttackerClass):
+        if needed <= CLASS_CAPABILITIES[attacker]:
+            return attacker
+    raise AssertionError("class III holds every modeled capability")
 
 
 @dataclass

@@ -8,8 +8,9 @@ Usage::
     python -m repro.cli attack --memory 512    # Kuhn attack demo
     python -m repro.cli protocol               # Figure-1 walkthrough
     python -m repro.cli area                   # gate counts for all engines
-    python -m repro.cli bench --quick          # the full E01-E18 suite
+    python -m repro.cli bench --quick          # the full E01-E19 suite
     python -m repro.cli trace e02              # one experiment's event trace
+    python -m repro.cli faults integrity-stream # fault-injection campaigns
 
 Engine construction goes through the registry (:mod:`repro.core.registry`);
 ``bench`` drives the parallel experiment runner (:mod:`repro.runner`) and
@@ -265,6 +266,47 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0 if summary.result.passed else 1
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    from .api import fault_campaign
+    from .attacks import attack_class_required
+    from .faults import FAULT_KINDS, campaign_labels
+
+    labels = campaign_labels()
+    if args.engine == "all":
+        selected = labels
+    elif args.engine in labels:
+        selected = [args.engine]
+    else:
+        print(f"unknown campaign label {args.engine!r}; known: "
+              f"{', '.join(labels)} (or 'all')", file=sys.stderr)
+        return 2
+    kinds = [None] + [k for k in FAULT_KINDS
+                      if not args.kinds or k in args.kinds]
+
+    rows = []
+    all_conform = True
+    for label in selected:
+        for result in fault_campaign(label, kinds, seed=args.seed,
+                                     quick=not args.full):
+            all_conform = all_conform and result.conforms
+            attacker = ("-" if result.kind is None else
+                        f"class {int(attack_class_required(result.kind))}")
+            rows.append([
+                result.label, result.kind or "baseline", attacker,
+                result.verdict,
+                "yes" if result.expected_detect else "no",
+                "yes" if result.conforms else "NO",
+            ])
+    print(format_table(
+        ["engine", "attack", "adversary", "verdict", "claims detect",
+         "conforms"],
+        rows, title="Fault-injection campaigns (active-attack matrix)",
+    ))
+    conforming = sum(1 for row in rows if row[-1] == "yes")
+    print(f"faults: {conforming}/{len(rows)} campaigns conform")
+    return 0 if all_conform else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -303,7 +345,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "bench",
-        help="run the E01-E18 experiment suite, write metrics JSON",
+        help="run the E01-E19 experiment suite, write metrics JSON",
     )
     p.add_argument("--experiments", nargs="*", metavar="EXP",
                    help="experiment ids (default: all)")
@@ -325,6 +367,21 @@ def build_parser() -> argparse.ArgumentParser:
                         "observability sections from the metrics JSON)")
     p.add_argument("-v", "--verbose", action="store_true",
                    help="print per-task progress lines")
+
+    p = sub.add_parser(
+        "faults",
+        help="run fault-injection campaigns against an engine "
+             "(or 'all' for the full matrix)",
+    )
+    p.add_argument("engine",
+                   help="campaign label (see `list --all`), or 'all'")
+    p.add_argument("--kinds", nargs="*", metavar="KIND",
+                   choices=("spoof", "splice", "replay", "glitch"),
+                   help="fault classes to run (default: all four + "
+                        "baseline)")
+    p.add_argument("--seed", type=int, default=2005)
+    p.add_argument("--full", action="store_true",
+                   help="full-size campaign sweeps (default: quick)")
 
     p = sub.add_parser(
         "trace",
@@ -353,6 +410,7 @@ def main(argv: Optional[list] = None) -> int:
         "area": cmd_area,
         "bench": cmd_bench,
         "trace": cmd_trace,
+        "faults": cmd_faults,
     }
     return handlers[args.command](args)
 

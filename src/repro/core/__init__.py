@@ -19,9 +19,11 @@ from .engine import (
     MemoryPort,
     NullEngine,
     Placement,
+    TamperDetected,
+    TamperVerdicts,
 )
 from .general_instrument import AuthenticationError, GeneralInstrumentEngine
-from .integrity import IntegrityShieldEngine, TamperDetected
+from .integrity import IntegrityShieldEngine
 from .merkle import MerkleTamperDetected, MerkleTreeEngine
 from .gilmont import GilmontEngine
 from .placement import (
@@ -57,7 +59,7 @@ __all__ = [
     "BlockModeEngine", "BusEncryptionEngine", "EngineStats", "MemoryPort",
     "NullEngine", "Placement",
     "AuthenticationError", "GeneralInstrumentEngine",
-    "IntegrityShieldEngine", "TamperDetected",
+    "IntegrityShieldEngine", "TamperDetected", "TamperVerdicts",
     "MerkleTamperDetected", "MerkleTreeEngine",
     "GilmontEngine",
     "CpuCacheStreamEngine", "PlacementComparison", "compare_placements",

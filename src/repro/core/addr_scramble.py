@@ -36,6 +36,9 @@ class AddressScrambledEngine(BusEncryptionEngine):
     """
 
     name = "addr-scrambled"
+    #: Address scrambling hides *where* a line lives, it never rejects a
+    #: tampered line; detection is whatever the wrapped engine provides.
+    detects = frozenset()
 
     def __init__(
         self,

@@ -44,6 +44,9 @@ class AegisEngine(BlockModeEngine):
     """Per-cache-line AES-CBC with address+vector IVs."""
 
     name = "aegis-aes-cbc"
+    #: Confidentiality layer only; AEGIS's integrity story is the hash
+    #: tree modelled separately (see "merkle-stream").
+    detects = frozenset()
 
     def __init__(
         self,

@@ -26,6 +26,9 @@ class BestEngine(BusEncryptionEngine):
     """Substitution/transposition engine at 8-byte granularity."""
 
     name = "best-1979"
+    #: Confidentiality only: a tampered line decrypts to garbage but is
+    #: still handed to the CPU (§2.3's modification attacks succeed).
+    detects = frozenset()
 
     def __init__(
         self,

@@ -40,6 +40,9 @@ class CompressedEncryptionEngine(BusEncryptionEngine):
 
     name = "compress+encrypt"
     min_write_bytes = 1
+    #: Confidentiality only: tampered compressed code decodes to garbage
+    #: (often unparseable) but nothing *rejects* it.
+    detects = frozenset()
 
     def __init__(
         self,

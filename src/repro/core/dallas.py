@@ -32,6 +32,9 @@ class DS5002FPEngine(BusEncryptionEngine):
 
     name = "ds5002fp"
     min_write_bytes = 1
+    #: Confidentiality only — no verdict path (Kuhn's attack relies on
+    #: exactly this: injected ciphertext always executes).
+    detects = frozenset()
 
     def __init__(self, key: bytes, functional: bool = True):
         super().__init__(functional=functional)
@@ -65,6 +68,9 @@ class DS5240Engine(BlockModeEngine):
     """64-bit DES (or 3DES) block encryption (the strengthened generation)."""
 
     name = "ds5240"
+    #: Confidentiality only: wider blocks raise the injection cost but
+    #: nothing rejects a forged block.
+    detects = frozenset()
 
     def __init__(
         self,

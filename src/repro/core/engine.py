@@ -19,14 +19,44 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from enum import Enum
-from typing import Optional, Tuple
+from typing import FrozenSet, Optional, Tuple
 
 from ..obs import EventSink, TraceEvent
 from ..sim.area import AreaEstimate
 from ..sim.pipeline import PipelinedUnit
 
 __all__ = ["Placement", "EngineStats", "MemoryPort", "BusEncryptionEngine",
-           "NullEngine", "BlockModeEngine"]
+           "NullEngine", "BlockModeEngine", "TamperDetected",
+           "TamperVerdicts"]
+
+
+class TamperDetected(Exception):
+    """A fetched line/region failed its integrity verification.
+
+    The canonical active-attack outcome: every engine's verdict path
+    raises this (or a subclass — :class:`repro.core.merkle.
+    MerkleTamperDetected`, :class:`repro.core.general_instrument.
+    AuthenticationError`), so campaigns catch one exception type no matter
+    which integrity mechanism fired.
+    """
+
+
+@dataclass
+class TamperVerdicts:
+    """Outcome counters of an engine's integrity verdict path.
+
+    ``checks`` counts every verification the engine performed (tag
+    compare, Merkle path walk, region hash); ``tampers`` the subset that
+    failed.  Maintained by :meth:`BusEncryptionEngine.verify_line`, the
+    single chokepoint all engines report through.
+    """
+
+    checks: int = 0
+    tampers: int = 0
+
+    def reset(self) -> None:
+        self.checks = 0
+        self.tampers = 0
 
 
 class Placement(Enum):
@@ -73,9 +103,15 @@ class MemoryPort:
         return self._clock() if self._clock else 0
 
     def read(self, addr: int, nbytes: int) -> Tuple[bytes, int]:
-        """Read ``nbytes``; returns (data, cycles)."""
+        """Read ``nbytes``; returns (data, cycles).
+
+        The engine receives the bytes the *bus* delivered: an interposer
+        on either the memory array or the wires (see
+        :meth:`repro.sim.bus.Bus.transfer`) tampers with exactly what the
+        chip decrypts, never with what a separate bookkeeping copy holds.
+        """
         data = self.memory.read(addr, nbytes)
-        self.bus.transfer("read", addr, data, self._cycle())
+        data = self.bus.transfer("read", addr, data, self._cycle())
         return data, self.memory.config.read_cycles(nbytes)
 
     def write(self, addr: int, data: bytes) -> int:
@@ -102,11 +138,20 @@ class BusEncryptionEngine(ABC):
     #: Engines that actually transform bytes emit encipher/decipher/stall
     #: events; the plaintext baseline sets this False.
     _cipher_events: bool = True
+    #: Fault kinds (see :data:`repro.faults.FAULT_KINDS`) this engine's
+    #: verdict path is expected to detect.  Confidentiality-only engines
+    #: leave it empty: a forged/relocated/stale line decrypts to garbage
+    #: but still reaches the CPU.  Integrity engines override (as a
+    #: property where the answer depends on configuration, e.g. the
+    #: shield's ``versioned`` flag).
+    detects: FrozenSet[str] = frozenset()
 
     def __init__(self, functional: bool = True):
         #: When False, the functional transform is skipped (timing-only runs).
         self.functional = functional
         self.stats = EngineStats()
+        #: Integrity verdict counters, fed by :meth:`verify_line`.
+        self.verdicts = TamperVerdicts()
         #: Optional :class:`repro.obs.EventSink` receiving one event per
         #: cipher operation (encipher/decipher/rmw/integrity-check/stall).
         self.sink: Optional[EventSink] = None
@@ -123,6 +168,25 @@ class BusEncryptionEngine(ABC):
         if self.sink is not None and self._cipher_events:
             self.sink.emit(TraceEvent(kind=kind, addr=addr, size=size,
                                       detail=detail))
+
+    def verify_line(self, addr: int, size: int, ok: bool,
+                    detail: str = "") -> bool:
+        """Record one integrity verdict; returns ``ok``.
+
+        The uniform chokepoint for every engine's verification outcome:
+        counts the check in :attr:`verdicts`, counts the tamper on
+        failure, and emits the ``integrity-check`` event (detail ``ok`` or
+        ``tamper``).  Callers raise their :class:`TamperDetected` subclass
+        on a ``False`` return — raising stays with the engine so messages
+        keep their mechanism-specific wording.
+        """
+        self.verdicts.checks += 1
+        if ok:
+            self._emit("integrity-check", addr, size, detail or "ok")
+            return True
+        self.verdicts.tampers += 1
+        self._emit("integrity-check", addr, size, "tamper")
+        return False
 
     # -- functional transform --------------------------------------------
 
@@ -253,6 +317,7 @@ class BusEncryptionEngine(ABC):
 
     def reset_stats(self) -> None:
         self.stats.reset()
+        self.verdicts.reset()
 
 
 class NullEngine(BusEncryptionEngine):

@@ -26,19 +26,20 @@ verified region entry.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+import warnings
+from typing import Dict, FrozenSet, Tuple
 
 from ..crypto.des import TripleDES
 from ..crypto.hmac import hmac_sha256, verify_hmac
 from ..crypto.modes import CBC
 from ..sim.area import AreaEstimate
 from ..sim.pipeline import PipelinedUnit, TDES_ITERATIVE
-from .engine import BusEncryptionEngine, MemoryPort
+from .engine import BusEncryptionEngine, MemoryPort, TamperDetected
 
 __all__ = ["GeneralInstrumentEngine", "AuthenticationError"]
 
 
-class AuthenticationError(Exception):
+class AuthenticationError(TamperDetected):
     """A region's keyed-hash tag did not match its contents."""
 
 
@@ -93,7 +94,26 @@ class GeneralInstrumentEngine(BusEncryptionEngine):
         self._chain_state: Dict[int, Tuple[int, bytes]] = {}
         self.chain_hits = 0
         self.chain_restarts = 0
-        self.tamper_detected = 0
+
+    @property
+    def tamper_detected(self) -> int:
+        """Deprecated alias of ``self.verdicts.tampers``."""
+        warnings.warn(
+            "GeneralInstrumentEngine.tamper_detected is deprecated; read "
+            "engine.verdicts.tampers instead",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self.verdicts.tampers
+
+    @property
+    def detects(self) -> FrozenSet[str]:
+        """With ``authenticate=True`` the keyed hash over a whole region's
+        ciphertext catches every stored-bytes attack, replay included —
+        the reference tag lives in on-chip state, not in external memory.
+        Without it the chained cipher only garbles, never rejects."""
+        if not self.authenticate:
+            return frozenset()
+        return frozenset({"spoof", "splice", "replay", "glitch"})
 
     # -- region geometry ---------------------------------------------------
 
@@ -217,17 +237,14 @@ class GeneralInstrumentEngine(BusEncryptionEngine):
 
         if self.authenticate and base not in self._verified:
             cycles += self.hash_latency
-            if self.functional:
-                tag = self._tags.get(base)
-                if tag is None or not verify_hmac(self._mac_key, bytes(stored),
-                                                  tag):
-                    self.tamper_detected += 1
-                    self._emit("integrity-check", base, self.region_size,
-                               "tamper")
-                    raise AuthenticationError(
-                        f"region at {base:#x} failed keyed-hash verification"
-                    )
-            self._emit("integrity-check", base, self.region_size, "ok")
+            tag = self._tags.get(base)
+            ok = (not self.functional
+                  or (tag is not None
+                      and verify_hmac(self._mac_key, bytes(stored), tag)))
+            if not self.verify_line(base, self.region_size, ok):
+                raise AuthenticationError(
+                    f"region at {base:#x} failed keyed-hash verification"
+                )
             self._verified.add(base)
 
         if self.functional:
@@ -296,17 +313,15 @@ class GeneralInstrumentEngine(BusEncryptionEngine):
                 base + already, self.region_size - already
             )
             cycles += rest_cycles + self.hash_latency
-            if self.functional:
-                tag = self._tags.get(base)
-                full = prefix_ct + rest
-                if tag is None or not verify_hmac(self._mac_key, full, tag):
-                    self.tamper_detected += 1
-                    self._emit("integrity-check", base, self.region_size,
-                               "tamper")
-                    raise AuthenticationError(
-                        f"region at {base:#x} failed keyed-hash verification"
-                    )
-            self._emit("integrity-check", base, self.region_size, "ok")
+            full = prefix_ct + rest
+            tag = self._tags.get(base)
+            ok = (not self.functional
+                  or (tag is not None
+                      and verify_hmac(self._mac_key, full, tag)))
+            if not self.verify_line(base, self.region_size, ok):
+                raise AuthenticationError(
+                    f"region at {base:#x} failed keyed-hash verification"
+                )
             self._verified.add(base)
 
         if self.functional:
@@ -394,10 +409,9 @@ class GeneralInstrumentEngine(BusEncryptionEngine):
         tag = self._tags.get(base)
         if tag is None:
             return False
-        ok = verify_hmac(self._mac_key, ciphertext, tag)
-        if not ok:
-            self.tamper_detected += 1
-        return ok
+        return self.verify_line(
+            base, self.region_size, verify_hmac(self._mac_key, ciphertext, tag)
+        )
 
     def read_plain(self, memory, addr: int, nbytes: int) -> bytes:
         """Decrypt arbitrary installed bytes (verification helper)."""

@@ -35,6 +35,9 @@ class GilmontEngine(BlockModeEngine):
     """Pipelined 3DES with an N-deep sequential fetch predictor."""
 
     name = "gilmont-3des"
+    #: Confidentiality only: the fetch predictor speeds fills, it does not
+    #: authenticate them.
+    detects = frozenset()
 
     def __init__(
         self,

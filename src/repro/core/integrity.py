@@ -29,17 +29,16 @@ computation and store.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+import warnings
+from typing import Dict, FrozenSet, Optional, Tuple
 
 from ..crypto.hmac import hmac_sha256
 from ..sim.area import AreaEstimate
-from .engine import BusEncryptionEngine, MemoryPort
+from .engine import BusEncryptionEngine, MemoryPort, TamperDetected
 
+# TamperDetected historically lived here; it is now the canonical verdict
+# exception in repro.core.engine and stays importable from this module.
 __all__ = ["IntegrityShieldEngine", "TamperDetected"]
-
-
-class TamperDetected(Exception):
-    """A fetched line failed its integrity check."""
 
 
 class IntegrityShieldEngine(BusEncryptionEngine):
@@ -80,9 +79,44 @@ class IntegrityShieldEngine(BusEncryptionEngine):
         self._tag_cache: "OrderedDict[int, bytearray]" = OrderedDict()
         self.tag_cache_hits = 0
         self.tag_cache_misses = 0
-        self.tampers_detected = 0
-        self.tags_verified = 0
         self._line_size_hint = 32
+
+    # -- verdict accounting ------------------------------------------------
+    #
+    # The shield used to keep private ``tampers_detected``/``tags_verified``
+    # counters; both are now derived from the uniform verdict path
+    # (``BusEncryptionEngine.verify_line`` -> ``self.verdicts``) and kept
+    # as deprecated read-only aliases for one release.
+
+    @property
+    def tampers_detected(self) -> int:
+        """Deprecated alias of ``self.verdicts.tampers``."""
+        warnings.warn(
+            "IntegrityShieldEngine.tampers_detected is deprecated; read "
+            "engine.verdicts.tampers instead",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self.verdicts.tampers
+
+    @property
+    def tags_verified(self) -> int:
+        """Deprecated alias of ``self.verdicts.checks``."""
+        warnings.warn(
+            "IntegrityShieldEngine.tags_verified is deprecated; read "
+            "engine.verdicts.checks instead",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self.verdicts.checks
+
+    @property
+    def detects(self) -> FrozenSet[str]:
+        """Fault kinds the shield catches: any forged/relocated/flipped
+        line breaks its (address, version, ciphertext) tag; replay of a
+        recorded (line, tag) pair needs the on-chip version counters."""
+        kinds = {"spoof", "splice", "glitch"}
+        if self.versioned:
+            kinds.add("replay")
+        return frozenset(kinds)
 
     # -- tag plumbing -----------------------------------------------------
 
@@ -179,17 +213,13 @@ class IntegrityShieldEngine(BusEncryptionEngine):
         # the residual drain past the fetch lands on the critical path.
         hash_residual = max(0, self.hash_latency - mem_cycles) + 4
         cycles = mem_cycles + tag_cycles + hash_residual
-        self.tags_verified += 1
 
-        if self.functional:
-            expected = self._compute_tag(addr, ciphertext)
-            if tag != expected:
-                self.tampers_detected += 1
-                self._emit("integrity-check", addr, line_size, "tamper")
-                raise TamperDetected(
-                    f"line at {addr:#x} failed integrity verification"
-                )
-        self._emit("integrity-check", addr, line_size, "ok")
+        ok = (not self.functional
+              or tag == self._compute_tag(addr, ciphertext))
+        if not self.verify_line(addr, line_size, ok):
+            raise TamperDetected(
+                f"line at {addr:#x} failed integrity verification"
+            )
         extra = self.inner.read_extra_cycles(addr, line_size, mem_cycles)
         cycles += extra
         self.stats.lines_decrypted += 1

@@ -23,19 +23,20 @@ The engine composes with any confidentiality engine and adds:
 
 from __future__ import annotations
 
+import warnings
 from collections import OrderedDict
 from typing import List, Optional, Tuple
 
 from ..crypto.hmac import hmac_sha256
 from ..sim.area import AreaEstimate
-from .engine import BusEncryptionEngine, MemoryPort
+from .engine import BusEncryptionEngine, MemoryPort, TamperDetected
 
 __all__ = ["MerkleTreeEngine", "MerkleTamperDetected"]
 
 _NODE_BYTES = 16
 
 
-class MerkleTamperDetected(Exception):
+class MerkleTamperDetected(TamperDetected):
     """A fetched line's authentication path failed against the root."""
 
 
@@ -43,6 +44,9 @@ class MerkleTreeEngine(BusEncryptionEngine):
     """Hash-tree integrity over a fixed protected region."""
 
     name = "merkle-tree"
+    #: Spoofed, relocated, flipped *and* replayed lines all fail the walk
+    #: to the on-chip root — freshness comes for free from root state.
+    detects = frozenset({"spoof", "splice", "replay", "glitch"})
 
     def __init__(
         self,
@@ -79,9 +83,27 @@ class MerkleTreeEngine(BusEncryptionEngine):
         self.root: bytes = b""
         #: Trusted (verified or self-written) nodes: (level, index) -> value.
         self._node_cache: "OrderedDict[Tuple[int, int], bytes]" = OrderedDict()
-        self.tampers_detected = 0
-        self.paths_verified = 0
         self.cache_stops = 0
+
+    @property
+    def tampers_detected(self) -> int:
+        """Deprecated alias of ``self.verdicts.tampers``."""
+        warnings.warn(
+            "MerkleTreeEngine.tampers_detected is deprecated; read "
+            "engine.verdicts.tampers instead",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self.verdicts.tampers
+
+    @property
+    def paths_verified(self) -> int:
+        """Deprecated alias of ``self.verdicts.checks``."""
+        warnings.warn(
+            "MerkleTreeEngine.paths_verified is deprecated; read "
+            "engine.verdicts.checks instead",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self.verdicts.checks
 
     # -- tree geometry -----------------------------------------------------
     #
@@ -170,8 +192,12 @@ class MerkleTreeEngine(BusEncryptionEngine):
 
     def _verify_path(self, port: MemoryPort, addr: int, ciphertext: bytes
                      ) -> int:
-        """Authenticate one line against the root; returns cycles."""
-        self.paths_verified += 1
+        """Authenticate one line against the root; returns cycles.
+
+        Raises :class:`MerkleTamperDetected` on any mismatch; the caller
+        (:meth:`fill_line`) routes the outcome through the uniform
+        verdict path.
+        """
         cycles = 0
         leaf_index = self._line_index(addr)
         leaf = self._leaf_value(addr, ciphertext)
@@ -182,7 +208,6 @@ class MerkleTreeEngine(BusEncryptionEngine):
         if cached is not None:
             self.cache_stops += 1
             if self.functional and cached != leaf:
-                self.tampers_detected += 1
                 raise MerkleTamperDetected(
                     f"line at {addr:#x} disagrees with its trusted leaf"
                 )
@@ -206,7 +231,6 @@ class MerkleTreeEngine(BusEncryptionEngine):
             if trusted_parent is not None:
                 self.cache_stops += 1
                 if self.functional and trusted_parent != parent:
-                    self.tampers_detected += 1
                     raise MerkleTamperDetected(
                         f"path for {addr:#x} breaks at level {level + 1}"
                     )
@@ -215,7 +239,6 @@ class MerkleTreeEngine(BusEncryptionEngine):
             current, index = parent, parent_index
 
         if self.functional and current != self.root:
-            self.tampers_detected += 1
             raise MerkleTamperDetected(
                 f"path for {addr:#x} does not reach the on-chip root"
             )
@@ -274,10 +297,10 @@ class MerkleTreeEngine(BusEncryptionEngine):
         cycles = mem_cycles
         try:
             cycles += self._verify_path(port, addr, bytes(ciphertext))
-        except Exception:
-            self._emit("integrity-check", addr, line_size, "tamper")
+        except MerkleTamperDetected:
+            self.verify_line(addr, line_size, ok=False)
             raise
-        self._emit("integrity-check", addr, line_size, "ok")
+        self.verify_line(addr, line_size, ok=True)
         extra = self.inner.read_extra_cycles(addr, line_size, mem_cycles)
         cycles += extra
         self.stats.lines_decrypted += 1

@@ -44,6 +44,9 @@ class StreamCipherEngine(BusEncryptionEngine):
 
     name = "stream-ctr"
     min_write_bytes = 1
+    #: Confidentiality only — worse, XOR pads make undetected bit-flips
+    #: *surgical*: flipping ciphertext bit i flips plaintext bit i.
+    detects = frozenset()
 
     def __init__(
         self,

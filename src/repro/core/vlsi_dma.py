@@ -44,6 +44,9 @@ class VlsiDmaEngine(BusEncryptionEngine):
     """Page-granular secure DMA with an on-chip page buffer."""
 
     name = "vlsi-secure-dma"
+    #: Confidentiality only: 3DES-CBC pages garble under tampering (CBC
+    #: error propagation) but carry no authentication.
+    detects = frozenset()
 
     def __init__(
         self,

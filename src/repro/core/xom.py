@@ -29,6 +29,9 @@ class XomAesEngine(BlockModeEngine):
     """Address-tweaked AES engine with XOM's published pipeline figures."""
 
     name = "xom-aes"
+    #: Confidentiality only in this model (published XOM adds MACs — that
+    #: composition is the registry's "integrity-xom").
+    detects = frozenset()
 
     def __init__(
         self,

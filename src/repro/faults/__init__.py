@@ -1,0 +1,44 @@
+"""Deterministic fault injection: the survey's active attacker, executed.
+
+The survey's §2.3 threat model gives the class-II adversary board-level
+*write* access to external memory — "attacks based on the modification of
+the fetched instructions" — and its security claims are claims about
+which engines *detect* which modification class.  This package turns
+those claims into runnable campaigns:
+
+* :class:`FaultPlan` (:mod:`repro.faults.plan`) — one typed, seedable
+  fault: ``spoof`` (forged ciphertext), ``splice`` (relocate a block to
+  another address), ``replay`` (re-serve recorded stale state), ``glitch``
+  (transient wire bit-flips), with triggers expressed in accesses
+  (``nth_read`` / ``after_ops``) or armed explicitly at a script point;
+* :class:`FaultInjector` (:mod:`repro.faults.injector`) — an interposer
+  on the bus/memory layer (:meth:`repro.sim.memory.MainMemory.
+  attach_interposer`) that applies plans and emits ``fault.injected``
+  events on the :mod:`repro.obs` stream;
+* :func:`run_campaign` (:mod:`repro.faults.campaign`) — the standard
+  write/sweep/write/sweep/audit script that drives one engine through one
+  attack and classifies the outcome (``detected`` / ``silent-corruption``
+  / ``missed`` / ``clean``), plus :func:`detection_matrix` building the
+  attack-class × engine matrix E19 publishes into the metrics document.
+
+Everything is deterministic: plans carry their own seeds, campaigns
+derive every byte from the campaign seed, and the matrix is byte-identical
+across worker counts.
+"""
+
+from .campaign import (
+    CAMPAIGN_OVERRIDES,
+    CampaignResult,
+    campaign_labels,
+    detection_matrix,
+    run_campaign,
+)
+from .injector import FaultInjector, FaultRecord, ReadRecorder
+from .plan import FAULT_KINDS, FaultPlan
+
+__all__ = [
+    "FAULT_KINDS", "FaultPlan",
+    "FaultInjector", "FaultRecord", "ReadRecorder",
+    "CampaignResult", "run_campaign", "campaign_labels",
+    "detection_matrix", "CAMPAIGN_OVERRIDES",
+]

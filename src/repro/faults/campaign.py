@@ -1,0 +1,312 @@
+"""Deterministic attack campaigns: one engine, one fault class, one verdict.
+
+A campaign is the survey's class-II adversary run as a script.  The
+attacker first *recons* the engine (records which physical window a fetch
+of the logical target actually touches — address scrambling and
+compression move it), then drives a standard access pattern:
+
+1. write a first version of the target line,
+2. ``snapshot()`` the whole external memory (the attacker's board dump),
+3. sweep the image (fills + occasional writes) to age on-chip caches,
+4. write a second version of the target line,
+5. sweep again (evicts tag/tree/page state so the audit re-fetches),
+6. ``arm()`` the injector and audit-fetch the target.
+
+The fault fires on the audit fetch; the outcome is classified as
+``detected`` (the engine's verdict path raised
+:class:`~repro.core.engine.TamperDetected`), ``silent-corruption`` (the
+returned plaintext is wrong and nothing objected), ``missed`` (the fault
+had no observable effect — e.g. replaying a memory that never changed), or
+``clean`` for the fault-free baseline.  Every byte derives from the
+campaign seed, so the matrix is reproducible across runs and workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core import TamperDetected
+from ..core.engine import BusEncryptionEngine, MemoryPort
+from ..core.registry import engine_names, make_engine
+from ..crypto import DRBG
+from ..obs import TraceEvent, current_sink
+from ..sim.bus import Bus
+from ..sim.memory import MainMemory, MemoryConfig
+from .injector import FaultInjector, ReadRecorder
+from .plan import FAULT_KINDS, FaultPlan
+
+__all__ = [
+    "CAMPAIGN_OVERRIDES", "CampaignResult", "campaign_labels",
+    "detection_matrix", "run_campaign",
+]
+
+#: Campaign geometry.  The image is sixteen GI regions / eight VLSI pages;
+#: the target line sits mid-region (exercising the CBC chain restart) and
+#: the splice donor is a nearby line in the same protected zone.
+IMAGE_SIZE = 8192
+LINE = 32
+TARGET = 2272
+DONOR = 2336
+#: The zone the sweeps never touch, so the audit fetch of TARGET is a real
+#: re-fetch from external memory, not an on-chip cache hit.
+PROTECT_LO, PROTECT_HI = 2048, 3072
+MEM_SIZE = 1 << 21
+
+#: Per-engine parameter overrides that make the campaign meaningful:
+#: the Merkle region must exactly cover the installed image, and the VLSI
+#: page buffer must be small enough that the sweeps can evict the target
+#: page (with the default 8 pages the whole image stays on-chip and no
+#: audit fetch ever reaches the tampered memory).
+CAMPAIGN_OVERRIDES: Dict[str, Dict[str, object]] = {
+    "merkle-stream": {"region_size": IMAGE_SIZE},
+    "vlsi": {"buffer_pages": 2},
+}
+
+#: Ablation labels beyond the registry names: the E15 replay hole
+#: (integrity tags without on-chip versions) and the GI patent's optional
+#: keyed-hash authentication, off by default in the registry.
+EXTRA_LABELS: Dict[str, Tuple[str, Dict[str, object]]] = {
+    "integrity-stream-unversioned": ("integrity-stream", {"versioned": False}),
+    "gi-auth": ("gi", {"authenticate": True}),
+}
+
+#: Engines whose image is immutable (compressed code cannot be rewritten
+#: in place); their campaign script has no write phases and audits against
+#: the original image bytes.
+READ_ONLY_LABELS = frozenset({"compress"})
+
+#: (label, seed) -> (target window, donor window); recon depends only on
+#: the engine's geometry, so campaigns for the four fault kinds share it.
+_RECON_CACHE: Dict[Tuple[str, int], Tuple[Tuple[int, int], Tuple[int, int]]] = {}
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one engine x fault-class campaign."""
+
+    label: str               # campaign label (registry name or ablation)
+    engine_name: str         # the engine object's display name
+    kind: Optional[str]      # fault kind, None for the fault-free baseline
+    expected_detect: bool    # whether engine.detects claims this kind
+    injected: int            # faults that actually fired
+    detected: bool           # TamperDetected raised at the audit fetch
+    corrupted: bool          # audit plaintext differed from expectation
+    detail: str = ""
+    checks: int = 0          # engine.verdicts.checks after the campaign
+    tampers: int = 0         # engine.verdicts.tampers after the campaign
+
+    @property
+    def verdict(self) -> str:
+        if self.kind is None:
+            return "clean" if not (self.detected or self.corrupted) else "broken"
+        if self.detected:
+            return "detected"
+        if self.corrupted:
+            return "silent-corruption"
+        return "missed"
+
+    @property
+    def conforms(self) -> bool:
+        """Did the engine behave exactly as its ``detects`` set claims?"""
+        if self.kind is None:
+            return self.verdict == "clean"
+        return self.detected == self.expected_detect
+
+    def to_metrics(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "engine": self.engine_name,
+            "kind": self.kind or "baseline",
+            "verdict": self.verdict,
+            "expected_detect": self.expected_detect,
+            "injected": self.injected,
+            "detected": self.detected,
+            "corrupted": self.corrupted,
+            "checks": self.checks,
+            "tampers": self.tampers,
+            "conforms": self.conforms,
+        }
+
+
+def campaign_labels() -> List[str]:
+    """Every campaign target: all registry engines plus the ablations."""
+    return sorted(list(engine_names()) + list(EXTRA_LABELS))
+
+
+def _build_engine(label: str) -> BusEncryptionEngine:
+    name, extra = EXTRA_LABELS.get(label, (label, {}))
+    overrides = dict(CAMPAIGN_OVERRIDES.get(name, {}))
+    overrides.update(extra)
+    return make_engine(name, **overrides)
+
+
+def _rig(label: str, image: bytes):
+    """Fresh engine + memory + port with the image installed."""
+    engine = _build_engine(label)
+    memory = MainMemory(MemoryConfig(size=MEM_SIZE))
+    port = MemoryPort(memory, Bus())
+    engine.install_image(memory, 0, image, line_size=LINE)
+    return engine, memory, port
+
+
+def _recorded_window(reads: List[Tuple[int, int]], logical: int
+                     ) -> Tuple[int, int]:
+    """The physical window an attacker targets for a logical address.
+
+    If any recorded read overlaps the logical line, the engine stores it
+    in place and the logical window is the target.  Otherwise (address
+    scrambling, compression) the first read of the fetch *is* the line's
+    physical home on the bus.
+    """
+    for addr, size in reads:
+        if addr < logical + LINE and logical < addr + size:
+            return logical, LINE
+    if reads:
+        return reads[0]
+    return logical, LINE
+
+
+def _windows(label: str, image: bytes, seed: int
+             ) -> Tuple[Tuple[int, int], Tuple[int, int]]:
+    key = (label, seed)
+    cached = _RECON_CACHE.get(key)
+    if cached is not None:
+        return cached
+    engine, memory, port = _rig(label, image)
+    windows = []
+    for logical in (TARGET, DONOR):
+        recorder = ReadRecorder(memory)
+        with recorder:
+            engine.fill_line(port, logical, LINE)
+        windows.append(_recorded_window(recorder.reads, logical))
+    result = (windows[0], windows[1])
+    _RECON_CACHE[key] = result
+    return result
+
+
+def _make_plan(kind: str, target: Tuple[int, int], donor: Tuple[int, int],
+               seed: int) -> FaultPlan:
+    addr, size = target
+    if kind == "splice":
+        src_addr, src_size = donor
+        return FaultPlan(kind, addr, size=size, source=src_addr,
+                         source_size=src_size, seed=seed)
+    return FaultPlan(kind, addr, size=size, seed=seed)
+
+
+def _sweep(engine: BusEncryptionEngine, port: MemoryPort, stride: int,
+           write_every: int, writes: bool, salt: int) -> None:
+    """Age the engine: fill the image outside the protected zone with an
+    occasional rewrite.  Even the quick stride keeps what the audit relies
+    on: more distinct tag blocks than the shield's tag cache holds, and
+    every VLSI page, so the target's on-chip copies are gone by then."""
+    rng = DRBG(salt)
+    for index, addr in enumerate(range(0, IMAGE_SIZE, stride)):
+        if PROTECT_LO <= addr < PROTECT_HI:
+            continue
+        engine.fill_line(port, addr, LINE)
+        if writes and index % write_every == 0:
+            engine.write_line(port, addr, rng.random_bytes(LINE))
+
+
+def run_campaign(label: str, kind: Optional[str] = None, seed: int = 2005,
+                 quick: bool = False, sink=None) -> CampaignResult:
+    """Run one engine through one fault class (or the clean baseline)."""
+    if kind is not None and kind not in FAULT_KINDS:
+        raise ValueError(
+            f"unknown fault kind {kind!r}; known: {FAULT_KINDS}"
+        )
+    sink = sink if sink is not None else current_sink()
+    image = DRBG(seed).random_bytes(IMAGE_SIZE)
+    target, donor = _windows(label, image, seed)
+
+    engine, memory, port = _rig(label, image)
+    engine.attach_sink(sink)
+    read_only = label in READ_ONLY_LABELS
+    plans = [] if kind is None else [_make_plan(kind, target, donor, seed)]
+    injector = FaultInjector(memory, plans, sink=sink)
+    stride, write_every = (128, 32) if quick else (32, 16)
+
+    v2 = DRBG(seed + 2).random_bytes(LINE)
+    expected = image[TARGET: TARGET + LINE] if read_only else v2
+    detected = False
+    corrupted = False
+    detail = ""
+
+    with injector:
+        if not read_only:
+            engine.write_line(port, TARGET, DRBG(seed + 1).random_bytes(LINE))
+        injector.snapshot()
+        _sweep(engine, port, stride, write_every,
+               writes=not read_only, salt=seed + 3)
+        if not read_only:
+            engine.write_line(port, TARGET, v2)
+        _sweep(engine, port, stride, write_every,
+               writes=not read_only, salt=seed + 4)
+        injector.arm()
+        try:
+            plaintext, _ = engine.fill_line(port, TARGET, LINE)
+        except TamperDetected as exc:
+            detected = True
+            detail = str(exc)
+        except Exception as exc:  # garbled compressed streams fail to decode
+            corrupted = True
+            detail = f"decode-error: {exc}"
+        else:
+            if bytes(plaintext[:LINE]) != expected:
+                corrupted = True
+                detail = "audit plaintext differs from last written version"
+
+    if kind is not None and injector.injected == 0:
+        detail = detail or "fault never fired"
+    if sink is not None and kind is not None and injector.injected:
+        outcome = "fault.detected" if detected else (
+            "fault.silent" if corrupted else None
+        )
+        if outcome is not None:
+            sink.emit(TraceEvent(
+                kind=outcome, addr=plans[0].addr, size=plans[0].size,
+                detail=kind,
+            ))
+
+    return CampaignResult(
+        label=label,
+        engine_name=engine.name,
+        kind=kind,
+        expected_detect=kind in engine.detects if kind else False,
+        injected=injector.injected,
+        detected=detected,
+        corrupted=corrupted,
+        detail=detail,
+        checks=engine.verdicts.checks,
+        tampers=engine.verdicts.tampers,
+    )
+
+
+def detection_matrix(results: Iterable[object]) -> Dict[str, object]:
+    """Assemble campaign results into the engines x attacks matrix E19
+    publishes into the metrics document.
+
+    Accepts :class:`CampaignResult` objects or their ``to_metrics()``
+    dicts (what the experiment runner's tasks return after their JSON
+    round-trip), so the same function serves live runs and documents.
+    """
+    engines: Dict[str, Dict[str, object]] = {}
+    for result in results:
+        row = (result.to_metrics() if isinstance(result, CampaignResult)
+               else dict(result))
+        entry = engines.setdefault(row["label"], {
+            "engine": row["engine"],
+            "attacks": {},
+        })
+        entry["attacks"][row["kind"]] = {
+            "verdict": row["verdict"],
+            "expected_detect": row["expected_detect"],
+            "injected": row["injected"],
+            "conforms": row["conforms"],
+        }
+    return {
+        "attack_kinds": list(FAULT_KINDS),
+        "engines": {label: engines[label] for label in sorted(engines)},
+    }

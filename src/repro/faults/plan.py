@@ -1,0 +1,92 @@
+"""Typed fault plans: one deterministic active attack each.
+
+A :class:`FaultPlan` names a fault *kind* from the survey's modification
+taxonomy, the address window it targets, and the trigger deciding which
+access fires it.  Plans are frozen and carry their own seed, so a
+campaign's behaviour is a pure function of its plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["FAULT_KINDS", "FaultPlan"]
+
+#: The modification-attack taxonomy (survey §2.3 / §5):
+#: ``spoof``   — inject forged ciphertext at an address;
+#: ``splice``  — relocate a valid block from another address;
+#: ``replay``  — re-serve previously recorded (stale) memory state;
+#: ``glitch``  — transient random bit-flips on the wires (read data only).
+FAULT_KINDS = ("spoof", "splice", "replay", "glitch")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One deterministic fault to inject.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    addr, size:
+        The physical byte window the fault targets.  A read is eligible
+        to trigger the plan when it overlaps this window.
+    nth_read:
+        Fire on the n-th eligible read (1-based).  Mutually exclusive
+        with ``after_ops``.
+    after_ops:
+        Fire on the first eligible read once the injector has seen at
+        least this many total memory operations — the "trigger point in
+        accesses" form.
+    source, source_size:
+        ``splice`` only: the donor window whose bytes are relocated onto
+        ``addr`` (``source_size`` defaults to ``size``).
+    bits:
+        ``glitch`` only: how many bit positions to flip.
+    seed:
+        Seeds the forged bytes (``spoof``) / flipped positions
+        (``glitch``); identical plans always inject identical faults.
+
+    When neither ``nth_read`` nor ``after_ops`` is given the plan is
+    **armed-mode**: it fires on the first eligible read after the
+    campaign calls :meth:`repro.faults.FaultInjector.arm` — the precise
+    way for a script to say "tamper right before *this* fetch".
+    """
+
+    kind: str
+    addr: int
+    size: int = 32
+    nth_read: Optional[int] = None
+    after_ops: Optional[int] = None
+    source: Optional[int] = None
+    source_size: Optional[int] = None
+    bits: int = 2
+    seed: int = 2005
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}"
+            )
+        if self.size <= 0:
+            raise ValueError(f"size must be positive, got {self.size}")
+        if self.addr < 0:
+            raise ValueError(f"addr must be >= 0, got {self.addr}")
+        if self.kind == "splice" and self.source is None:
+            raise ValueError("splice plans need a source address")
+        if self.kind == "glitch" and self.bits <= 0:
+            raise ValueError(f"glitch needs bits >= 1, got {self.bits}")
+        if self.nth_read is not None and self.after_ops is not None:
+            raise ValueError("nth_read and after_ops are mutually exclusive")
+        if self.nth_read is not None and self.nth_read < 1:
+            raise ValueError(f"nth_read is 1-based, got {self.nth_read}")
+
+    @property
+    def armed_mode(self) -> bool:
+        """True when the plan waits for an explicit ``arm()`` call."""
+        return self.nth_read is None and self.after_ops is None
+
+    def overlaps(self, addr: int, nbytes: int) -> bool:
+        """Does an access of ``nbytes`` at ``addr`` touch this window?"""
+        return addr < self.addr + self.size and self.addr < addr + nbytes

@@ -16,7 +16,10 @@ to metrics (:mod:`repro.obs.summary`):
   are one code path;
 * the experiment runner wraps every task in :func:`scope` with a
   :class:`CounterSink` and merges the result into the
-  ``repro-bench-metrics/2`` document's ``observability`` section.
+  ``repro-bench-metrics/3`` document's ``observability`` section;
+* the fault-injection layer (:mod:`repro.faults`) emits
+  ``fault.injected`` / ``fault.detected`` / ``fault.silent`` on the same
+  stream, so active-attack campaigns are observable like everything else.
 """
 
 from .events import (
@@ -24,6 +27,7 @@ from .events import (
     CACHE_KINDS,
     CIPHER_KINDS,
     EVENT_KINDS,
+    FAULT_KINDS,
     TraceEvent,
 )
 from .scope import current_sink, scope
@@ -45,6 +49,7 @@ from .summary import (
 
 __all__ = [
     "TraceEvent", "EVENT_KINDS", "BUS_KINDS", "CACHE_KINDS", "CIPHER_KINDS",
+    "FAULT_KINDS",
     "EventSink", "NullSink", "CounterSink", "RingBufferSink",
     "RecordingSink", "JsonlSink", "TeeSink", "replay",
     "scope", "current_sink",

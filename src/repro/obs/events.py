@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Dict, NamedTuple
 
 __all__ = ["TraceEvent", "EVENT_KINDS", "CIPHER_KINDS", "BUS_KINDS",
-           "CACHE_KINDS"]
+           "CACHE_KINDS", "FAULT_KINDS"]
 
 
 class TraceEvent(NamedTuple):
@@ -71,6 +71,13 @@ EVENT_KINDS: Dict[str, str] = {
                        "(detail = ok/tamper)",
     "stall":           "cycles the EDU added to the critical path "
                        "(size = cycles, detail = read/write/rmw)",
+    # active attacks (repro.faults)
+    "fault.injected":  "an active fault fired on the memory/bus layer "
+                       "(detail = spoof/splice/replay/glitch)",
+    "fault.detected":  "an engine's verdict path caught an injected fault "
+                       "(detail = fault kind)",
+    "fault.silent":    "an injected fault went undetected and corrupted "
+                       "plaintext (detail = fault kind)",
     # protocol / attack side
     "protocol-msg":    "a message crossed the Figure-1 insecure channel",
     "probe-run":       "the attacker pulsed reset and single-stepped the "
@@ -85,3 +92,5 @@ CIPHER_KINDS = ("encipher", "decipher")
 BUS_KINDS = ("bus-read", "bus-write")
 #: Cache-outcome kinds.
 CACHE_KINDS = ("hit", "miss", "eviction", "writeback", "fill")
+#: Active-attack kinds emitted by the fault-injection layer (repro.faults).
+FAULT_KINDS = ("fault.injected", "fault.detected", "fault.silent")

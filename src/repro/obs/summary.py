@@ -1,7 +1,7 @@
 """Turning raw event counters into the metrics documents' shape.
 
 :func:`observability_section` is the single definition of the
-``observability`` block that appears in ``repro-bench-metrics/2``
+``observability`` block that appears in ``repro-bench-metrics/3``
 documents and in :class:`repro.api.ExperimentResult` — the runner, the
 facade and the CLI all call this so the shape can never drift between
 them.  Everything in it is derived from a :class:`CounterSink`, so it is
@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict
 
-from .events import BUS_KINDS, CIPHER_KINDS
+from .events import BUS_KINDS, CIPHER_KINDS, FAULT_KINDS
 from .sinks import CounterSink
 
 __all__ = ["observability_section", "merge_observability",
@@ -34,6 +34,9 @@ def _section(counts: Dict[str, int], nbytes: Dict[str, int]
             "bytes_enciphered": sum(nbytes.get(k, 0) for k in CIPHER_KINDS),
             "integrity_checks": counts.get("integrity-check", 0),
             "stall_cycles": nbytes.get("stall", 0),
+            "faults_injected": counts.get(FAULT_KINDS[0], 0),
+            "faults_detected": counts.get(FAULT_KINDS[1], 0),
+            "faults_silent": counts.get(FAULT_KINDS[2], 0),
         },
     }
 

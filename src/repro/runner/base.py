@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Mapping, Optional
+from typing import Callable, Dict, Mapping, Optional, Tuple
 
 __all__ = ["TaskContext", "Experiment", "task_seed"]
 
@@ -68,6 +68,10 @@ class Experiment:
     render: Optional[Callable[[Results], str]] = None
     #: Assert the shape of the paper's claim; raises AssertionError.
     check: Optional[Callable[[Results], None]] = None
+    #: Optionally promote a derived document to the top level of the
+    #: metrics file: returns ``(key, json-serializable value)`` computed
+    #: from the task results (e.g. E19's ``detection_matrix``).
+    publish: Optional[Callable[[Results], "Tuple[str, object]"]] = None
 
     def run(self, ctx_base: TaskContext = TaskContext()) -> Results:
         """Run every task serially (in-process reference path)."""

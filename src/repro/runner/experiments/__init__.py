@@ -12,7 +12,7 @@ from typing import Dict
 from ..base import Experiment
 from . import (
     e01, e02, e03, e04, e05, e06, e07, e08, e09,
-    e10, e11, e12, e13, e14, e15, e16, e17, e18,
+    e10, e11, e12, e13, e14, e15, e16, e17, e18, e19,
 )
 
 __all__ = ["EXPERIMENTS", "get_experiment"]
@@ -22,13 +22,13 @@ EXPERIMENTS: Dict[str, Experiment] = {
     module.EXPERIMENT.id: module.EXPERIMENT
     for module in (
         e01, e02, e03, e04, e05, e06, e07, e08, e09,
-        e10, e11, e12, e13, e14, e15, e16, e17, e18,
+        e10, e11, e12, e13, e14, e15, e16, e17, e18, e19,
     )
 }
 
 
 def get_experiment(experiment_id: str) -> Experiment:
-    """Look up an experiment by id ("e01" … "e18")."""
+    """Look up an experiment by id ("e01" … "e19")."""
     try:
         return EXPERIMENTS[experiment_id]
     except KeyError:

@@ -70,7 +70,7 @@ def task_authentication(ctx: TaskContext) -> dict:
     return {
         "clean_cycles": clean_cycles,
         "tamper_detected": detected,
-        "tamper_events": engine.tamper_detected,
+        "tamper_events": engine.verdicts.tampers,
     }
 
 

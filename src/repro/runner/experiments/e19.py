@@ -1,0 +1,111 @@
+"""E19 (extension) — §2.3/§5: the active-attack matrix, executed.
+
+The survey's threat model gives the class-II adversary the ability to
+modify external memory and the bus ("attacks based on the modification of
+the fetched instructions"), and its §5 future-work sentence asks for
+integrity to thwart them.  This experiment runs that adversary against
+every engine in the registry: each task drives the full engine list
+through one fault class (:mod:`repro.faults` campaigns) and records who
+detected it, who silently executed corrupted plaintext, and who was
+unaffected.
+
+The claim under test is **conformance**: each engine's declared
+``detects`` set (its security claim) must match its campaign behaviour
+exactly — integrity-bearing engines raise
+:class:`~repro.core.engine.TamperDetected` at the audit fetch, pure
+confidentiality engines garble silently, and the unversioned-tag ablation
+reproduces E15's replay hole under a full campaign instead of a
+hand-crafted swap.  The assembled engines x attacks table is published at
+the top level of the metrics document as ``detection_matrix``.
+"""
+
+from __future__ import annotations
+
+from ...analysis import format_table
+from ...faults import FAULT_KINDS, campaign_labels, detection_matrix, run_campaign
+from ..base import Experiment, TaskContext
+
+#: Render glyphs per verdict, in campaign vocabulary.
+_GLYPHS = {
+    "detected": "DETECTED",
+    "silent-corruption": "silent",
+    "missed": "no-effect",
+    "clean": "clean",
+    "broken": "BROKEN",
+}
+
+
+def _campaign_task(kind):
+    def task(ctx: TaskContext) -> dict:
+        rows = []
+        for label in campaign_labels():
+            result = run_campaign(label, kind, seed=ctx.seed,
+                                  quick=ctx.quick)
+            rows.append(result.to_metrics())
+        return {"rows": rows}
+
+    return task
+
+
+def _all_rows(results: dict):
+    for name in sorted(results):
+        for row in results[name]["rows"]:
+            yield row
+
+
+def render(results: dict) -> str:
+    columns = ["baseline"] + list(FAULT_KINDS)
+    by_label = {}
+    for row in _all_rows(results):
+        by_label.setdefault(row["label"], {})[row["kind"]] = row
+    table_rows = []
+    for label in sorted(by_label):
+        cells = [label]
+        for column in columns:
+            row = by_label[label].get(column)
+            cells.append("-" if row is None else _GLYPHS[row["verdict"]])
+        table_rows.append(cells)
+    return format_table(
+        ["engine"] + columns, table_rows,
+        title="E19: active-attack detection matrix "
+              "(DETECTED = verdict path fired; silent = corrupted "
+              "plaintext executed)",
+    )
+
+
+def check(results: dict) -> None:
+    for row in _all_rows(results):
+        where = f"{row['label']} x {row['kind']}"
+        assert row["conforms"], (
+            f"{where}: engine behaviour contradicts its detects claim "
+            f"(verdict={row['verdict']}, expected_detect="
+            f"{row['expected_detect']})"
+        )
+        if row["kind"] == "baseline":
+            assert row["verdict"] == "clean", f"{where}: broken round-trip"
+        elif row["expected_detect"]:
+            assert row["verdict"] == "detected", where
+        assert row["injected"] == (0 if row["kind"] == "baseline" else 1), where
+    rows = {(r["label"], r["kind"]): r for r in _all_rows(results)}
+    # The E15 replay hole, reproduced by a full campaign: tags without
+    # on-chip versions accept the stale line and execute it.
+    assert rows[("integrity-stream-unversioned", "replay")]["verdict"] \
+        == "silent-corruption"
+    # Replaying a memory that was never written back is a no-op.
+    assert rows[("compress", "replay")]["verdict"] == "missed"
+
+
+def publish(results: dict):
+    return "detection_matrix", detection_matrix(_all_rows(results))
+
+
+EXPERIMENT = Experiment(
+    id="e19",
+    title="Fault-injection campaigns: the active-attack matrix",
+    section="§2.3 threat model / §5 future work",
+    tasks={"baseline": _campaign_task(None),
+           **{kind: _campaign_task(kind) for kind in FAULT_KINDS}},
+    render=render,
+    check=check,
+    publish=publish,
+)

@@ -34,7 +34,7 @@ from .cache import ResultCache
 
 __all__ = ["ExperimentRunner", "RunResult", "to_canonical_json"]
 
-METRICS_SCHEMA = "repro-bench-metrics/2"
+METRICS_SCHEMA = "repro-bench-metrics/3"
 
 #: (experiment_id, task_name, quick, observe) — everything a worker needs.
 _TaskSpec = Tuple[str, str, bool, bool]
@@ -211,6 +211,7 @@ class ExperimentRunner:
         from ..obs import merge_observability
 
         experiments_doc = {}
+        published: Dict[str, object] = {}
         renders: Dict[str, str] = {}
         for exp in self.experiments:
             exp_values = results[exp.id]
@@ -234,6 +235,9 @@ class ExperimentRunner:
                     "total": merge_observability(task_obs.values()),
                 }
             experiments_doc[exp.id] = doc
+            if exp.publish is not None:
+                key, value = exp.publish(exp_metrics)
+                published[key] = json.loads(json.dumps(value))
             if self.render and exp.render is not None:
                 renders[exp.id] = exp.render(exp_metrics)
 
@@ -242,6 +246,7 @@ class ExperimentRunner:
             "quick": self.quick,
             "experiments": experiments_doc,
         }
+        metrics.update(sorted(published.items()))
         profile = {
             "workers": self.workers,
             "wall_seconds": round(total_wall, 3),

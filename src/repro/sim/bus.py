@@ -29,10 +29,20 @@ class BusTransaction:
 
 
 class Bus:
-    """External bus: counts traffic and notifies probes of every transfer."""
+    """External bus: counts traffic and notifies probes of every transfer.
+
+    Beyond passive probes, **interposers** model an attacker driving the
+    wires themselves: each may substitute the payload of a transfer
+    (``fn(op, addr, data) -> bytes``).  :meth:`transfer` returns the final
+    payload, and :class:`repro.core.engine.MemoryPort` hands exactly those
+    bytes to the engine — a wire-level glitch is transient (the stored copy
+    in RAM is untouched), which is how real bus glitching differs from
+    rewriting the memory array.
+    """
 
     def __init__(self, sink: Optional[EventSink] = None) -> None:
         self._probes: List[Callable[[BusTransaction], None]] = []
+        self._interposers: List[Callable[[str, int, bytes], bytes]] = []
         self.transactions = 0
         self.bytes_transferred = 0
         self.sink = sink
@@ -44,10 +54,23 @@ class Bus:
     def detach_probe(self, probe: Callable[[BusTransaction], None]) -> None:
         self._probes.remove(probe)
 
-    def transfer(self, op: str, addr: int, data: bytes, cycle: int) -> None:
-        """Announce a transfer of ``data`` at ``addr`` to all probes."""
+    def attach_interposer(
+            self, interposer: Callable[[str, int, bytes], bytes]) -> None:
+        """Attach an active interposer rewriting transfer payloads."""
+        self._interposers.append(interposer)
+
+    def detach_interposer(
+            self, interposer: Callable[[str, int, bytes], bytes]) -> None:
+        self._interposers.remove(interposer)
+
+    def transfer(self, op: str, addr: int, data: bytes, cycle: int) -> bytes:
+        """Announce a transfer of ``data`` at ``addr``; returns the payload
+        as (possibly) rewritten by attached interposers — probes and sinks
+        see the final bytes, exactly what crossed the wires."""
         if op not in ("read", "write"):
             raise ValueError(f"unknown bus op {op!r}")
+        for interposer in self._interposers:
+            data = interposer(op, addr, data)
         self.transactions += 1
         self.bytes_transferred += len(data)
         if self.sink is not None:
@@ -62,6 +85,7 @@ class Bus:
             txn = BusTransaction(op=op, addr=addr, data=data, cycle=cycle)
             for probe in self._probes:
                 probe(txn)
+        return data
 
     def reset_stats(self) -> None:
         self.transactions = 0

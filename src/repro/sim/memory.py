@@ -11,11 +11,15 @@ vs decompression latency).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, List, Optional
 
 from ..obs import EventSink, TraceEvent
 
-__all__ = ["MemoryConfig", "MainMemory"]
+#: An interposer rewrites the bytes of one access: ``fn(op, addr, data)``
+#: returns the bytes the access proceeds with (``op`` is "read"/"write").
+Interposer = Callable[[str, int, bytes], bytes]
+
+__all__ = ["MemoryConfig", "MainMemory", "Interposer"]
 
 
 @dataclass(frozen=True)
@@ -58,7 +62,15 @@ class MemoryConfig:
 
 
 class MainMemory:
-    """Byte-addressable external RAM with functional contents."""
+    """Byte-addressable external RAM with functional contents.
+
+    Attached **interposers** model an active (class II) attacker sitting on
+    the memory array: each sees every serviced access and may substitute
+    the bytes a read returns or a write stores
+    (:class:`repro.faults.FaultInjector` is the canonical one).  The bulk
+    helpers ``load_image``/``dump`` bypass interposers — they are the
+    offline install path and the attacker's own probe, not bus traffic.
+    """
 
     def __init__(self, config: MemoryConfig = MemoryConfig(),
                  sink: Optional[EventSink] = None):
@@ -69,6 +81,14 @@ class MainMemory:
         self.bytes_read = 0
         self.bytes_written = 0
         self.sink = sink
+        self._interposers: List[Interposer] = []
+
+    def attach_interposer(self, interposer: Interposer) -> None:
+        """Attach an active interposer to every subsequent read/write."""
+        self._interposers.append(interposer)
+
+    def detach_interposer(self, interposer: Interposer) -> None:
+        self._interposers.remove(interposer)
 
     def _check_range(self, addr: int, nbytes: int) -> None:
         if addr < 0 or addr + nbytes > self.config.size:
@@ -85,7 +105,10 @@ class MainMemory:
         if self.sink is not None:
             self.sink.emit(TraceEvent(kind="mem-read", addr=addr,
                                       size=nbytes))
-        return bytes(self._data[addr: addr + nbytes])
+        data = bytes(self._data[addr: addr + nbytes])
+        for interposer in self._interposers:
+            data = interposer("read", addr, data)
+        return data
 
     def write(self, addr: int, data: bytes) -> None:
         """Functional write."""
@@ -95,6 +118,8 @@ class MainMemory:
         if self.sink is not None:
             self.sink.emit(TraceEvent(kind="mem-write", addr=addr,
                                       size=len(data)))
+        for interposer in self._interposers:
+            data = interposer("write", addr, data)
         self._data[addr: addr + len(data)] = data
 
     def load_image(self, addr: int, image: bytes) -> None:

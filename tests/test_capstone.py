@@ -80,7 +80,7 @@ class TestFullStory:
         # The kernel touches only a few lines; looks_random handles the
         # small-sample entropy bias.
         assert analyze_ciphertext(code_view, 8).looks_random
-        assert engine.tampers_detected == 0
+        assert engine.verdicts.tampers == 0
 
     def test_active_attacks_are_caught(self, firmware):
         engine = MerkleTreeEngine(

@@ -99,7 +99,7 @@ class TestBench:
         assert "1 checks passed" in stdout
 
         metrics = json.loads(out.read_text())
-        assert metrics["schema"] == "repro-bench-metrics/2"
+        assert metrics["schema"] == "repro-bench-metrics/3"
         assert metrics["quick"] is True
         e01 = metrics["experiments"]["e01"]
         assert e01["checks"]["passed"] is True
@@ -173,3 +173,16 @@ class TestDeprecatedFactories:
             factories = cli.ENGINE_FACTORIES
         assert set(factories) == set(engine_names(survey_only=True))
         assert factories["aegis"]().name == make_engine("aegis").name
+
+
+class TestFaults:
+    def test_unknown_label_rejected(self, capsys):
+        assert main(["faults", "bogus"]) == 2
+        assert "unknown campaign label" in capsys.readouterr().err
+
+    def test_single_engine_conforms(self, capsys):
+        rc = main(["faults", "ds5002fp", "--kinds", "spoof"])
+        stdout = capsys.readouterr().out
+        assert rc == 0
+        assert "silent-corruption" in stdout   # no integrity claimed...
+        assert "2/2 campaigns conform" in stdout  # ...so silence conforms

@@ -129,7 +129,7 @@ class TestAuthentication:
         engine.install_image(memory, 0, self.IMAGE)
         memory.load_image(10, b"\xFF")  # attacker flips a byte
         assert not engine.verify_region(memory, 0)
-        assert engine.tamper_detected == 1
+        assert engine.verdicts.tampers == 1
 
     def test_tamper_detected_on_fill(self):
         engine = make_engine()

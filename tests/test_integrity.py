@@ -39,7 +39,7 @@ class TestFunctional:
         engine.install_image(port.memory, 0, self.IMAGE)
         line, _ = engine.fill_line(port, 64, 32)
         assert line == self.IMAGE[64:96]
-        assert engine.tags_verified == 1
+        assert engine.verdicts.checks == 1
 
     def test_write_then_fill_roundtrip(self):
         engine = make_engine()
@@ -79,7 +79,7 @@ class TestTamperDetection:
         port.memory.load_image(64, bytes([raw]))
         with pytest.raises(TamperDetected):
             engine.fill_line(port, 64, 32)
-        assert engine.tampers_detected == 1
+        assert engine.verdicts.tampers == 1
 
     def test_spoofed_tag_detected(self):
         engine = make_engine()
@@ -109,7 +109,7 @@ class TestTamperDetection:
         engine.install_image(port.memory, 0, self.IMAGE)
         for addr in range(0, 1024, 32):
             engine.fill_line(port, addr, 32)
-        assert engine.tampers_detected == 0
+        assert engine.verdicts.tampers == 0
 
 
 class TestReplayProtection:
@@ -179,5 +179,30 @@ class TestCosts:
         system.install_image(0, bytes(4096))
         for access in sequential_code(300, code_size=4096):
             system.step(access)
-        assert engine.tags_verified > 0
-        assert engine.tampers_detected == 0
+        assert engine.verdicts.checks > 0
+        assert engine.verdicts.tampers == 0
+
+
+class TestDeprecatedCounters:
+    """The pre-verdict counter attributes survive as warning aliases."""
+
+    def test_aliases_track_the_verdict_path(self):
+        engine = make_engine()
+        port = make_port()
+        engine.install_image(port.memory, 0, TestFunctional.IMAGE)
+        engine.fill_line(port, 64, 32)
+        with pytest.warns(DeprecationWarning, match="verdicts.checks"):
+            assert engine.tags_verified == engine.verdicts.checks == 1
+        with pytest.warns(DeprecationWarning, match="verdicts.tampers"):
+            assert engine.tampers_detected == engine.verdicts.tampers == 0
+
+    def test_merkle_and_gi_aliases(self):
+        from repro.core.registry import make_engine as build
+        merkle = build("merkle-stream")
+        with pytest.warns(DeprecationWarning, match="verdicts.tampers"):
+            assert merkle.tampers_detected == 0
+        with pytest.warns(DeprecationWarning, match="verdicts.checks"):
+            assert merkle.paths_verified == 0
+        gi = build("gi")
+        with pytest.warns(DeprecationWarning, match="verdicts.tampers"):
+            assert gi.tamper_detected == 0

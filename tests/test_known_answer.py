@@ -1,0 +1,184 @@
+"""Known-answer tests pinning the from-scratch crypto to published vectors.
+
+Every engine in the reproduction rides on these primitives; a silent
+regression here would invalidate the whole detection matrix.  Vectors come
+from FIPS 197 (AES), the classic NBS/NIST DES validation set, SP 800-67
+(3DES), FIPS 180-4 (SHA-256) and RFC 4231 (HMAC-SHA256); where the Python
+standard library has the same primitive we also cross-check against it on
+arbitrary data.
+"""
+
+import hashlib
+import hmac as std_hmac
+
+import pytest
+
+from repro.crypto import AES, DES, DRBG, TripleDES, hmac_sha256, sha256
+from repro.crypto.sha256 import SHA256
+
+# -- AES (FIPS 197) --------------------------------------------------------
+
+AES_VECTORS = [
+    # Appendix B worked example (AES-128).
+    ("2b7e151628aed2a6abf7158809cf4f3c",
+     "3243f6a8885a308d313198a2e0370734",
+     "3925841d02dc09fbdc118597196a0b32"),
+    # Appendix C.1 (AES-128).
+    ("000102030405060708090a0b0c0d0e0f",
+     "00112233445566778899aabbccddeeff",
+     "69c4e0d86a7b0430d8cdb78070b4c55a"),
+    # Appendix C.2 (AES-192).
+    ("000102030405060708090a0b0c0d0e0f1011121314151617",
+     "00112233445566778899aabbccddeeff",
+     "dda97ca4864cdfe06eaf70a0ec0d7191"),
+    # Appendix C.3 (AES-256).
+    ("000102030405060708090a0b0c0d0e0f"
+     "101112131415161718191a1b1c1d1e1f",
+     "00112233445566778899aabbccddeeff",
+     "8ea2b7ca516745bfeafc49904b496089"),
+]
+
+
+class TestAES:
+    @pytest.mark.parametrize("key,plaintext,ciphertext", AES_VECTORS)
+    def test_fips_197_encrypt(self, key, plaintext, ciphertext):
+        cipher = AES(bytes.fromhex(key))
+        assert cipher.encrypt_block(bytes.fromhex(plaintext)).hex() \
+            == ciphertext
+
+    @pytest.mark.parametrize("key,plaintext,ciphertext", AES_VECTORS)
+    def test_fips_197_decrypt(self, key, plaintext, ciphertext):
+        cipher = AES(bytes.fromhex(key))
+        assert cipher.decrypt_block(bytes.fromhex(ciphertext)).hex() \
+            == plaintext
+
+
+# -- DES / 3DES ------------------------------------------------------------
+
+DES_VECTORS = [
+    # The textbook walkthrough key/plaintext pair.
+    ("133457799bbcdff1", "0123456789abcdef", "85e813540f0ab405"),
+    # "Validating the Correctness of Hardware Implementations of the NBS
+    # Data Encryption Standard" sample ("Now is t").
+    ("0123456789abcdef", "4e6f772069732074", "3fa40e8a984d4815"),
+]
+
+
+class TestDES:
+    @pytest.mark.parametrize("key,plaintext,ciphertext", DES_VECTORS)
+    def test_known_answers(self, key, plaintext, ciphertext):
+        cipher = DES(bytes.fromhex(key))
+        assert cipher.encrypt_block(bytes.fromhex(plaintext)).hex() \
+            == ciphertext
+        assert cipher.decrypt_block(bytes.fromhex(ciphertext)).hex() \
+            == plaintext
+
+
+class TestTripleDES:
+    def test_three_key_known_answer(self):
+        # The classic three-key EDE vector (Karn's des test suite; the
+        # "qufck" typo is part of the published plaintext).
+        key = bytes.fromhex(
+            "0123456789abcdef23456789abcdef01456789abcdef0123"
+        )
+        plaintext = b"The qufck brown fox jump"
+        expected = "a826fd8ce53b855fcce21c8112256fe668d5c05dd9b6b900"
+        cipher = TripleDES(key)
+        ciphertext = b"".join(
+            cipher.encrypt_block(plaintext[i: i + 8])
+            for i in range(0, len(plaintext), 8)
+        )
+        assert ciphertext.hex() == expected
+        assert b"".join(
+            cipher.decrypt_block(ciphertext[i: i + 8])
+            for i in range(0, len(ciphertext), 8)
+        ) == plaintext
+
+    def test_single_key_degenerates_to_des(self):
+        # SP 800-67 keying option 3: K1=K2=K3 makes EDE a single DES.
+        key = bytes.fromhex("0123456789abcdef")
+        block = bytes.fromhex("4e6f772069732074")
+        assert TripleDES(key).encrypt_block(block) \
+            == DES(key).encrypt_block(block)
+
+    def test_two_key_option(self):
+        # Keying option 2 (16-byte key, K3=K1) round-trips and differs
+        # from both single-DES halves.
+        key = bytes.fromhex("0123456789abcdeffedcba9876543210")
+        block = b"\xa5" * 8
+        cipher = TripleDES(key)
+        ciphertext = cipher.encrypt_block(block)
+        assert cipher.decrypt_block(ciphertext) == block
+        assert ciphertext != DES(key[:8]).encrypt_block(block)
+        assert ciphertext != DES(key[8:]).encrypt_block(block)
+
+
+# -- SHA-256 (FIPS 180-4) --------------------------------------------------
+
+SHA256_VECTORS = [
+    (b"", "e3b0c44298fc1c149afbf4c8996fb924"
+          "27ae41e4649b934ca495991b7852b855"),
+    (b"abc", "ba7816bf8f01cfea414140de5dae2223"
+             "b00361a396177a9cb410ff61f20015ad"),
+    (b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+     "248d6a61d20638b8e5c026930c3e6039"
+     "a33ce45964ff2167f6ecedd419db06c1"),
+]
+
+
+class TestSHA256:
+    @pytest.mark.parametrize("message,digest", SHA256_VECTORS)
+    def test_fips_180_4(self, message, digest):
+        assert sha256(message).hex() == digest
+
+    def test_million_a(self):
+        digest = SHA256()
+        for _ in range(1000):
+            digest.update(b"a" * 1000)
+        assert digest.hexdigest() == (
+            "cdc76e5c9914fb9281a1c7e284d73e67"
+            "f1809a48a497200e046d39ccc7112cd0"
+        )
+
+    def test_matches_hashlib_on_arbitrary_lengths(self):
+        rng = DRBG(4231)
+        for length in (0, 1, 55, 56, 63, 64, 65, 1000):
+            data = rng.random_bytes(length)
+            assert sha256(data) == hashlib.sha256(data).digest()
+
+
+# -- HMAC-SHA256 (RFC 4231) ------------------------------------------------
+
+HMAC_VECTORS = [
+    # Test case 1.
+    (b"\x0b" * 20, b"Hi There",
+     "b0344c61d8db38535ca8afceaf0bf12b"
+     "881dc200c9833da726e9376c2e32cff7"),
+    # Test case 2.
+    (b"Jefe", b"what do ya want for nothing?",
+     "5bdcc146bf60754e6a042426089575c7"
+     "5a003f089d2739839dec58b964ec3843"),
+    # Test case 3.
+    (b"\xaa" * 20, b"\xdd" * 50,
+     "773ea91e36800e46854db8ebd09181a7"
+     "2959098b3ef8c122d9635514ced565fe"),
+    # Test case 6: key longer than the block size.
+    (b"\xaa" * 131, b"Test Using Larger Than Block-Size Key - Hash Key First",
+     "60e431591ee0b67f0d8a26aacbf5b77f"
+     "8e0bc6213728c5140546040f0ee37f54"),
+]
+
+
+class TestHMAC:
+    @pytest.mark.parametrize("key,message,tag", HMAC_VECTORS)
+    def test_rfc_4231(self, key, message, tag):
+        assert hmac_sha256(key, message).hex() == tag
+
+    def test_matches_stdlib_hmac(self):
+        rng = DRBG(2104)
+        for key_len, msg_len in ((0, 0), (16, 32), (64, 100), (100, 7)):
+            key = rng.random_bytes(key_len)
+            message = rng.random_bytes(msg_len)
+            assert hmac_sha256(key, message) == std_hmac.new(
+                key, message, hashlib.sha256
+            ).digest()

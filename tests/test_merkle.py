@@ -72,7 +72,7 @@ class TestVerification:
         for addr in range(0, REGION, 32):
             line, _ = engine.fill_line(port, addr, 32)
             assert line == image[addr: addr + 32]
-        assert engine.tampers_detected == 0
+        assert engine.verdicts.tampers == 0
 
     def test_write_then_read(self, installed):
         engine, port, _ = installed

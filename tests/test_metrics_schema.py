@@ -1,0 +1,105 @@
+"""Golden-schema regression for the committed bench metrics document.
+
+``BENCH_quick_metrics.json`` is the repository's reference run: the
+``repro-bench-metrics/3`` document ``make bench-quick`` regenerates
+byte-identically for any worker count.  These tests pin its shape — keys,
+canonical serialization, observability sections and the E19 detection
+matrix — so schema drift fails tier-1 instead of silently landing in a
+committed artifact.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.faults import FAULT_KINDS, campaign_labels
+from repro.runner.runner import METRICS_SCHEMA, to_canonical_json
+
+GOLDEN = Path(__file__).resolve().parent.parent / "BENCH_quick_metrics.json"
+
+EXPERIMENT_IDS = [f"e{n:02d}" for n in range(1, 20)]
+
+
+@pytest.fixture(scope="module")
+def document():
+    assert GOLDEN.exists(), (
+        "BENCH_quick_metrics.json is missing; regenerate it with "
+        "`make bench-quick`"
+    )
+    return json.loads(GOLDEN.read_text(encoding="utf-8"))
+
+
+class TestDocumentShape:
+    def test_schema_version(self, document):
+        assert document["schema"] == METRICS_SCHEMA == "repro-bench-metrics/3"
+        assert document["quick"] is True
+
+    def test_top_level_keys(self, document):
+        assert set(document) == {
+            "schema", "quick", "experiments", "detection_matrix",
+        }
+
+    def test_canonical_serialization(self, document):
+        # The committed artifact is exactly what the runner would write:
+        # stable key order, stable float formatting, trailing newline.
+        assert GOLDEN.read_text(encoding="utf-8") \
+            == to_canonical_json(document)
+
+    def test_every_experiment_present_and_passing(self, document):
+        experiments = document["experiments"]
+        assert sorted(experiments) == EXPERIMENT_IDS
+        for exp_id, doc in experiments.items():
+            assert {"title", "section", "checks", "tasks"} <= set(doc), exp_id
+            assert doc["checks"]["passed"] is True, exp_id
+            assert doc["tasks"], exp_id
+
+    def test_observability_sections(self, document):
+        for exp_id, doc in document["experiments"].items():
+            obs = doc.get("observability")
+            assert obs is not None, exp_id
+            assert set(obs["tasks"]) == set(doc["tasks"]), exp_id
+            assert obs["total"]["totals"]["events"] > 0, exp_id
+
+    def test_e19_observability_counts_faults(self, document):
+        totals = (document["experiments"]["e19"]["observability"]
+                  ["total"]["totals"])
+        # 16 labels x 4 fault kinds, one injection each; every injection
+        # resolves to a detection or a silent corruption except the one
+        # replay that is a no-op against read-only compressed code.
+        assert totals["faults_injected"] == 64
+        assert totals["faults_detected"] > 0
+        assert totals["faults_silent"] > 0
+        assert (totals["faults_detected"] + totals["faults_silent"]
+                == totals["faults_injected"] - 1)
+
+
+class TestDetectionMatrix:
+    def test_matrix_covers_every_campaign_label(self, document):
+        matrix = document["detection_matrix"]
+        assert matrix["attack_kinds"] == list(FAULT_KINDS)
+        assert sorted(matrix["engines"]) == campaign_labels()
+
+    def test_every_cell_conforms(self, document):
+        for label, entry in document["detection_matrix"]["engines"].items():
+            attacks = entry["attacks"]
+            assert set(attacks) == {"baseline", *FAULT_KINDS}, label
+            assert attacks["baseline"]["verdict"] == "clean", label
+            for kind, cell in attacks.items():
+                assert cell["conforms"] is True, (label, kind)
+                assert cell["injected"] == (0 if kind == "baseline" else 1)
+                if cell["expected_detect"]:
+                    assert cell["verdict"] == "detected", (label, kind)
+
+    def test_survey_integrity_claims(self, document):
+        engines = document["detection_matrix"]["engines"]
+        detectors = ("gi-auth", "integrity-stream", "integrity-xom",
+                     "merkle-stream")
+        for label in detectors:
+            for kind in FAULT_KINDS:
+                assert engines[label]["attacks"][kind]["verdict"] \
+                    == "detected", (label, kind)
+        # The E15 replay hole and the read-only no-op stay documented.
+        assert (engines["integrity-stream-unversioned"]["attacks"]["replay"]
+                ["verdict"]) == "silent-corruption"
+        assert engines["compress"]["attacks"]["replay"]["verdict"] == "missed"

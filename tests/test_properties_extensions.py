@@ -53,7 +53,7 @@ def test_merkle_random_write_read_sequences(writes, reads):
     for line_idx in reads:
         line, _ = engine.fill_line(port, line_idx * 32, 32)
         assert line == bytes(image[line_idx * 32: (line_idx + 1) * 32])
-    assert engine.tampers_detected == 0
+    assert engine.verdicts.tampers == 0
 
 
 @settings(max_examples=15, deadline=None)
@@ -129,7 +129,7 @@ def test_integrity_repeated_rewrites_verify(versioned, values):
         engine.write_line(port, 32, bytes([value] * 32))
         line, _ = engine.fill_line(port, 32, 32)
         assert line == bytes([value] * 32)
-    assert engine.tampers_detected == 0
+    assert engine.verdicts.tampers == 0
 
 
 @settings(max_examples=25, deadline=None)

@@ -32,8 +32,8 @@ class TestTaskModel:
 
 
 class TestRegistry:
-    def test_all_eighteen_registered(self):
-        assert sorted(EXPERIMENTS) == [f"e{i:02d}" for i in range(1, 19)]
+    def test_all_nineteen_registered(self):
+        assert sorted(EXPERIMENTS) == [f"e{i:02d}" for i in range(1, 20)]
 
     def test_unknown_id_lists_known(self):
         with pytest.raises(KeyError, match="e01"):
