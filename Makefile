@@ -13,7 +13,7 @@ ENGINE_CTORS := (Best|DS5002FP|DS5240|VlsiDma|GeneralInstrument|Gilmont|XomAes|A
 # simulator.
 OBS_BYPASS := (^|[^.[:alnum:]_])(print|Counter)\(
 
-.PHONY: install test check lint bench bench-quick bench-pytest trace-smoke faults-smoke examples attack survey clean
+.PHONY: install test check lint bench bench-quick bench-pytest trace-smoke faults-smoke kernels-smoke kernels-bench examples attack survey clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -22,7 +22,7 @@ test:
 	$(PYTHON) -m pytest tests/
 
 # Tier-1 gate: the test suite plus the registry lint and the smoke runs.
-check: test lint trace-smoke faults-smoke
+check: test lint trace-smoke faults-smoke kernels-smoke
 
 lint:
 	@matches=$$(grep -rnE '$(ENGINE_CTORS)' --include='*.py' \
@@ -56,6 +56,17 @@ faults-smoke:
 	$(PYTHON) -m repro.cli faults integrity-stream --kinds spoof replay \
 		> /dev/null
 	$(PYTHON) -m repro.cli faults stream --kinds spoof > /dev/null
+
+# Cipher-kernel smoke: the equivalence tests plus a sanity run of the
+# microbenchmark (exits non-zero if any kernel diverges from its
+# reference cipher).
+kernels-smoke:
+	$(PYTHON) -m pytest tests/test_kernels.py -q
+	$(PYTHON) -m repro.crypto.bench_kernels --quick
+
+# Full kernel timing table (reference loop vs batched kernel, all ciphers).
+kernels-bench:
+	$(PYTHON) -m repro.crypto.bench_kernels
 
 # The E01-E19 experiment suite via the parallel runner; metrics land in
 # BENCH_metrics.json (+ _profile.json).  Override: make bench WORKERS=4

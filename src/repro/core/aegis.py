@@ -30,8 +30,8 @@ from __future__ import annotations
 
 from typing import Dict
 
-from ..crypto.aes import AES
 from ..crypto.drbg import DRBG
+from ..crypto.kernels import aes_kernel
 from ..crypto.modes import CBC
 from ..sim.area import AreaEstimate
 from ..sim.pipeline import AEGIS_AES_PIPE, PipelinedUnit
@@ -65,8 +65,8 @@ class AegisEngine(BlockModeEngine):
             raise ValueError(f"vector_bits must be in [1, 64], got {vector_bits}")
         super().__init__(unit=unit, cipher_block=16, functional=functional,
                          **kwargs)
-        self._aes = AES(key)
-        self._iv_aes = AES(bytes(b ^ 0x36 for b in key))
+        self._aes = aes_kernel(key)
+        self._iv_aes = aes_kernel(bytes(b ^ 0x36 for b in key))
         self.iv_mode = iv_mode
         self.vector_bits = vector_bits
         self._rng = rng if rng is not None else DRBG(b"aegis-iv")

@@ -17,8 +17,8 @@ Two generations, two security levels:
 
 from __future__ import annotations
 
-from ..crypto.des import DES, TripleDES
 from ..crypto.feistel import SmallBlockCipher
+from ..crypto.kernels import des_kernel, tdes_kernel
 from ..crypto.modes import xor_bytes
 from ..sim.area import AreaEstimate
 from ..sim.pipeline import BYTE_SUBST_UNIT, DES_ITERATIVE, PipelinedUnit
@@ -83,24 +83,23 @@ class DS5240Engine(BlockModeEngine):
         super().__init__(unit=unit, cipher_block=8, functional=functional,
                          **kwargs)
         self.triple = triple
-        self._cipher = TripleDES(key) if triple else DES(key[:8])
+        self._cipher = tdes_kernel(key) if triple else des_kernel(key[:8])
 
     def _tweak(self, addr: int) -> bytes:
         return addr.to_bytes(8, "big")
 
+    def _tweaks(self, addr: int, nbytes: int) -> bytes:
+        return b"".join(
+            self._tweak(addr + i) for i in range(0, nbytes, 8)
+        )
+
     def encrypt_line(self, addr: int, plaintext: bytes) -> bytes:
-        out = bytearray()
-        for i in range(0, len(plaintext), 8):
-            block = xor_bytes(plaintext[i: i + 8], self._tweak(addr + i))
-            out += self._cipher.encrypt_block(block)
-        return bytes(out)
+        tweaked = xor_bytes(plaintext, self._tweaks(addr, len(plaintext)))
+        return self._cipher.encrypt_blocks(tweaked)
 
     def decrypt_line(self, addr: int, ciphertext: bytes) -> bytes:
-        out = bytearray()
-        for i in range(0, len(ciphertext), 8):
-            block = self._cipher.decrypt_block(ciphertext[i: i + 8])
-            out += xor_bytes(block, self._tweak(addr + i))
-        return bytes(out)
+        decrypted = self._cipher.decrypt_blocks(ciphertext)
+        return xor_bytes(decrypted, self._tweaks(addr, len(ciphertext)))
 
     def area(self) -> AreaEstimate:
         est = AreaEstimate(self.name)

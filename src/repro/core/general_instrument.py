@@ -29,8 +29,8 @@ from __future__ import annotations
 import warnings
 from typing import Dict, FrozenSet, Tuple
 
-from ..crypto.des import TripleDES
 from ..crypto.hmac import hmac_sha256, verify_hmac
+from ..crypto.kernels import tdes_kernel
 from ..crypto.modes import CBC
 from ..sim.area import AreaEstimate
 from ..sim.pipeline import PipelinedUnit, TDES_ITERATIVE
@@ -66,7 +66,7 @@ class GeneralInstrumentEngine(BusEncryptionEngine):
                 f"line_size {line_size}"
             )
         super().__init__(functional=functional)
-        self._tdes = TripleDES(key)
+        self._tdes = tdes_kernel(key)
         self._mac_key = mac_key if mac_key is not None else bytes(
             b ^ 0xA5 for b in key
         )

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Set
 
-from ..crypto.des import TripleDES
+from ..crypto.kernels import tdes_kernel
 from ..crypto.modes import xor_bytes
 from ..sim.area import AreaEstimate
 from ..sim.pipeline import TDES_PIPE, PipelinedUnit
@@ -52,7 +52,7 @@ class GilmontEngine(BlockModeEngine):
             raise ValueError(f"prediction_depth must be >= 0, got {prediction_depth}")
         super().__init__(unit=unit, cipher_block=8, functional=functional,
                          **kwargs)
-        self._tdes = TripleDES(key)
+        self._tdes = tdes_kernel(key)
         self.prediction_depth = prediction_depth
         self.line_size = line_size
         self._predicted: Set[int] = set()
@@ -63,19 +63,18 @@ class GilmontEngine(BlockModeEngine):
     def _tweak(self, addr: int) -> bytes:
         return addr.to_bytes(8, "big")
 
+    def _tweaks(self, addr: int, nbytes: int) -> bytes:
+        return b"".join(
+            self._tweak(addr + i) for i in range(0, nbytes, 8)
+        )
+
     def encrypt_line(self, addr: int, plaintext: bytes) -> bytes:
-        out = bytearray()
-        for i in range(0, len(plaintext), 8):
-            block = xor_bytes(plaintext[i: i + 8], self._tweak(addr + i))
-            out += self._tdes.encrypt_block(block)
-        return bytes(out)
+        tweaked = xor_bytes(plaintext, self._tweaks(addr, len(plaintext)))
+        return self._tdes.encrypt_blocks(tweaked)
 
     def decrypt_line(self, addr: int, ciphertext: bytes) -> bytes:
-        out = bytearray()
-        for i in range(0, len(ciphertext), 8):
-            block = self._tdes.decrypt_block(ciphertext[i: i + 8])
-            out += xor_bytes(block, self._tweak(addr + i))
-        return bytes(out)
+        decrypted = self._tdes.decrypt_blocks(ciphertext)
+        return xor_bytes(decrypted, self._tweaks(addr, len(ciphertext)))
 
     # -- prediction-aware timing ----------------------------------------------
 

@@ -32,7 +32,7 @@ from __future__ import annotations
 import warnings
 from typing import Dict, FrozenSet, Optional, Tuple
 
-from ..crypto.hmac import hmac_sha256
+from ..crypto.hmac import consttime_eq, hmac_sha256
 from ..sim.area import AreaEstimate
 from .engine import BusEncryptionEngine, MemoryPort, TamperDetected
 
@@ -215,7 +215,7 @@ class IntegrityShieldEngine(BusEncryptionEngine):
         cycles = mem_cycles + tag_cycles + hash_residual
 
         ok = (not self.functional
-              or tag == self._compute_tag(addr, ciphertext))
+              or consttime_eq(bytes(tag), self._compute_tag(addr, ciphertext)))
         if not self.verify_line(addr, line_size, ok):
             raise TamperDetected(
                 f"line at {addr:#x} failed integrity verification"

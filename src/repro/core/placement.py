@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from ..crypto.aes import AES
+from ..crypto.kernels import aes_kernel, ctr_pad
 from ..crypto.modes import xor_bytes
 from ..sim.area import AreaEstimate
 from ..sim.cache import CacheConfig
@@ -61,7 +61,7 @@ class CpuCacheStreamEngine(BusEncryptionEngine):
         functional: bool = True,
     ):
         super().__init__(functional=functional)
-        self._aes = AES(key)
+        self._aes = aes_kernel(key)
         self.cache_size = cache_size
         self.keystream_on_chip = keystream_on_chip
         self.unit = unit
@@ -71,15 +71,11 @@ class CpuCacheStreamEngine(BusEncryptionEngine):
     # stored masked in memory as well — one keystream end to end).
 
     def _pad(self, addr: int, nbytes: int) -> bytes:
-        start = addr - addr % 16
-        end = -(-(addr + nbytes) // 16) * 16
-        out = bytearray()
-        for block_addr in range(start, end, 16):
-            out += self._aes.encrypt_block(
-                b"cpu$" + (block_addr // 16).to_bytes(12, "big")
-            )
-        offset = addr - start
-        return bytes(out[offset: offset + nbytes])
+        return ctr_pad(
+            self._aes, addr, nbytes,
+            lambda block_addr:
+                b"cpu$" + (block_addr // 16).to_bytes(12, "big"),
+        )
 
     def encrypt_line(self, addr: int, plaintext: bytes) -> bytes:
         return xor_bytes(plaintext, self._pad(addr, len(plaintext)))

@@ -30,7 +30,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
-from ..crypto.aes import AES
+from ..crypto.kernels import aes_kernel, ctr_pad
 from ..crypto.modes import xor_bytes
 from ..sim.area import AreaEstimate
 from ..sim.pipeline import PipelinedUnit, XOM_AES_PIPE
@@ -61,7 +61,7 @@ class StreamCipherEngine(BusEncryptionEngine):
         super().__init__(functional=functional)
         if pad_cache_lines < 1:
             raise ValueError(f"pad_cache_lines must be >= 1, got {pad_cache_lines}")
-        self._aes = AES(key)
+        self._aes = aes_kernel(key)
         self.line_size = line_size
         self.unit = unit
         self.pad_cache_lines = pad_cache_lines
@@ -78,17 +78,12 @@ class StreamCipherEngine(BusEncryptionEngine):
         """Keystream for [addr, addr+nbytes) at the line's current version."""
         if version is None:
             version = self._versions.get(addr - addr % self.line_size, 0)
-        start = addr - addr % 16
-        end = -(-(addr + nbytes) // 16) * 16
-        out = bytearray()
-        for block_addr in range(start, end, 16):
-            counter_block = (
-                b"pad!" + version.to_bytes(4, "big")
-                + (block_addr // 16).to_bytes(8, "big")
-            )
-            out += self._aes.encrypt_block(counter_block)
-        offset = addr - start
-        return bytes(out[offset: offset + nbytes])
+        prefix = b"pad!" + version.to_bytes(4, "big")
+        return ctr_pad(
+            self._aes, addr, nbytes,
+            lambda block_addr:
+                prefix + (block_addr // 16).to_bytes(8, "big"),
+        )
 
     def _pad_blocks(self, nbytes: int) -> int:
         return -(-nbytes // 16)

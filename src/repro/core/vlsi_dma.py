@@ -23,7 +23,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Tuple
 
-from ..crypto.des import TripleDES
+from ..crypto.kernels import tdes_kernel
 from ..crypto.modes import CBC
 from ..sim.area import AreaEstimate
 from ..sim.pipeline import PipelinedUnit, TDES_PIPE
@@ -64,7 +64,7 @@ class VlsiDmaEngine(BusEncryptionEngine):
         if buffer_pages < 1:
             raise ValueError(f"buffer_pages must be >= 1, got {buffer_pages}")
         super().__init__(functional=functional)
-        self._tdes = TripleDES(key)
+        self._tdes = tdes_kernel(key)
         self.page_size = page_size
         self.buffer_pages = buffer_pages
         self.sram_latency = sram_latency

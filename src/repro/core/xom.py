@@ -16,7 +16,7 @@ system cost".
 
 from __future__ import annotations
 
-from ..crypto.aes import AES
+from ..crypto.kernels import aes_kernel
 from ..crypto.modes import xor_bytes
 from ..sim.area import AreaEstimate
 from ..sim.pipeline import XOM_AES_PIPE, PipelinedUnit
@@ -42,31 +42,32 @@ class XomAesEngine(BlockModeEngine):
     ):
         super().__init__(unit=unit, cipher_block=16, functional=functional,
                          **kwargs)
-        self._aes = AES(key)
+        self._aes = aes_kernel(key)
         # Tweak mask key: independent schedule derived from the main key.
-        self._tweak_aes = AES(bytes(b ^ 0x5C for b in key))
+        self._tweak_aes = aes_kernel(bytes(b ^ 0x5C for b in key))
 
     def _mask(self, addr: int) -> bytes:
         """XEX mask for the block at byte address ``addr``."""
         return self._tweak_aes.encrypt_block(addr.to_bytes(16, "big"))
 
+    def _masks(self, addr: int, nbytes: int) -> bytes:
+        """Concatenated XEX masks for every 16-byte block of the line."""
+        material = b"".join(
+            (addr + i).to_bytes(16, "big") for i in range(0, nbytes, 16)
+        )
+        return self._tweak_aes.encrypt_blocks(material)
+
     def encrypt_line(self, addr: int, plaintext: bytes) -> bytes:
-        out = bytearray()
-        for i in range(0, len(plaintext), 16):
-            block_addr = addr + i
-            mask = self._mask(block_addr)
-            block = xor_bytes(plaintext[i: i + 16], mask)
-            out += xor_bytes(self._aes.encrypt_block(block), mask)
-        return bytes(out)
+        masks = self._masks(addr, len(plaintext))
+        return xor_bytes(
+            self._aes.encrypt_blocks(xor_bytes(plaintext, masks)), masks
+        )
 
     def decrypt_line(self, addr: int, ciphertext: bytes) -> bytes:
-        out = bytearray()
-        for i in range(0, len(ciphertext), 16):
-            block_addr = addr + i
-            mask = self._mask(block_addr)
-            block = xor_bytes(ciphertext[i: i + 16], mask)
-            out += xor_bytes(self._aes.decrypt_block(block), mask)
-        return bytes(out)
+        masks = self._masks(addr, len(ciphertext))
+        return xor_bytes(
+            self._aes.decrypt_blocks(xor_bytes(ciphertext, masks)), masks
+        )
 
     def area(self) -> AreaEstimate:
         est = AreaEstimate(self.name)

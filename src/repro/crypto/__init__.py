@@ -13,7 +13,17 @@ from .best_cipher import BestCipher
 from .des import DES, TripleDES
 from .drbg import DRBG
 from .feistel import SmallBlockCipher, TweakableFeistel
-from .hmac import hmac_sha256, prf, verify_hmac
+from .hmac import consttime_eq, hmac_sha256, prf, verify_hmac
+from .kernels import (
+    AESKernel,
+    DESKernel,
+    TripleDESKernel,
+    aes_kernel,
+    ctr_pad,
+    des_kernel,
+    kernel_for,
+    tdes_kernel,
+)
 from .lfsr import LFSR, AlternatingStepGenerator, GeffeGenerator
 from .modes import CBC, CFB, CTR, ECB, OFB, xor_bytes
 from .padding import PaddingError, pad, unpad
@@ -24,7 +34,10 @@ from .sha256 import SHA256, sha256
 __all__ = [
     "AddressScrambler", "AES", "BestCipher", "DES", "TripleDES", "DRBG",
     "SmallBlockCipher", "TweakableFeistel",
-    "hmac_sha256", "prf", "verify_hmac",
+    "consttime_eq", "hmac_sha256", "prf", "verify_hmac",
+    "AESKernel", "DESKernel", "TripleDESKernel",
+    "aes_kernel", "des_kernel", "tdes_kernel",
+    "kernel_for", "ctr_pad",
     "LFSR", "AlternatingStepGenerator", "GeffeGenerator",
     "CBC", "CFB", "CTR", "ECB", "OFB", "xor_bytes",
     "PaddingError", "pad", "unpad",

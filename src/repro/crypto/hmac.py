@@ -7,33 +7,74 @@ in the reproduction, and it also backs the PRF used for key derivation.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from typing import List, Tuple
+
 from .sha256 import SHA256, sha256
 
-__all__ = ["hmac_sha256", "verify_hmac", "prf"]
+__all__ = ["hmac_sha256", "verify_hmac", "consttime_eq", "prf"]
 
 _BLOCK = 64
+
+# key -> (inner chaining state, outer chaining state), i.e. the SHA-256
+# states after absorbing ipad/opad.  Engines tag with a handful of fixed
+# keys, so the two pad compressions become a once-per-key cost.
+_STATE_CACHE: "OrderedDict[bytes, Tuple[List[int], List[int]]]" = OrderedDict()
+_STATE_CACHE_MAX = 64
+
+
+def _keyed_states(key: bytes) -> Tuple[List[int], List[int]]:
+    cached = _STATE_CACHE.get(key)
+    if cached is not None:
+        _STATE_CACHE.move_to_end(key)
+        return cached
+    padded = sha256(key) if len(key) > _BLOCK else key
+    padded = padded.ljust(_BLOCK, b"\x00")
+    inner = SHA256(bytes(b ^ 0x36 for b in padded))
+    outer = SHA256(bytes(b ^ 0x5C for b in padded))
+    cached = (inner._h, outer._h)
+    _STATE_CACHE[key] = cached
+    while len(_STATE_CACHE) > _STATE_CACHE_MAX:
+        _STATE_CACHE.popitem(last=False)
+    return cached
+
+
+def _resume(state: List[int]) -> SHA256:
+    """A SHA-256 stream positioned just after one absorbed pad block."""
+    h = SHA256()
+    h._h = list(state)
+    h._length = _BLOCK
+    return h
 
 
 def hmac_sha256(key: bytes, message: bytes) -> bytes:
     """Compute HMAC-SHA256(key, message)."""
-    if len(key) > _BLOCK:
-        key = sha256(key)
-    key = key.ljust(_BLOCK, b"\x00")
-    ipad = bytes(b ^ 0x36 for b in key)
-    opad = bytes(b ^ 0x5C for b in key)
-    inner = SHA256(ipad).update(message).digest()
-    return SHA256(opad).update(inner).digest()
+    inner_state, outer_state = _keyed_states(bytes(key))
+    inner = _resume(inner_state).update(message).digest()
+    return _resume(outer_state).update(inner).digest()
+
+
+def consttime_eq(a: bytes, b: bytes) -> bool:
+    """Constant-time byte-string comparison (``compare_digest``-style).
+
+    The fold always walks every byte of ``a``: a mismatch — including a
+    length mismatch — changes the verdict, never the amount of work, so
+    the comparison leaks nothing about *where* two tags diverge.
+    """
+    if len(a) == len(b):
+        diff = 0
+        other = b
+    else:
+        diff = 1
+        other = a  # keep the fold length independent of the mismatch
+    for x, y in zip(a, other):
+        diff |= x ^ y
+    return diff == 0
 
 
 def verify_hmac(key: bytes, message: bytes, tag: bytes) -> bool:
-    """Constant-time-style comparison of an HMAC tag."""
-    expected = hmac_sha256(key, message)
-    if len(tag) != len(expected):
-        return False
-    diff = 0
-    for a, b in zip(expected, tag):
-        diff |= a ^ b
-    return diff == 0
+    """Constant-time comparison of an HMAC tag."""
+    return consttime_eq(hmac_sha256(key, message), tag)
 
 
 def prf(key: bytes, *parts: bytes, out_len: int = 32) -> bytes:

@@ -1,0 +1,559 @@
+"""Table-driven fast paths for the from-scratch block ciphers.
+
+The survey's hardware engines owe their throughput to precomputation: XOM's
+14-cycle AES pipeline and AEGIS's round-pipelined AES are possible because
+every round collapses into table lookups and XORs, and the DES parts bake
+the bit permutations into wiring.  The same tricks have exact software
+analogues, and this module applies them to the reference implementations in
+:mod:`repro.crypto.aes` and :mod:`repro.crypto.des`:
+
+* :class:`AESKernel` — the classic T-table formulation: SubBytes, ShiftRows
+  and MixColumns fuse into four 256-entry word tables, so one round is 16
+  lookups and 20 XORs instead of per-byte GF(2^8) arithmetic.  The tables
+  are *derived* from the algebraically constructed ``SBOX``/``gf_mul`` of
+  the reference module, so the existing S-box tests cover them.
+* :class:`DESKernel` / :class:`TripleDESKernel` — bit-packed rounds: the
+  IP/FP/E permutations become per-byte scatter tables and the eight S-boxes
+  fuse with the P permutation into ``SP`` tables.  3DES additionally skips
+  the interior FP∘IP pairs, which cancel algebraically.
+* a **key-schedule registry** (:func:`aes_kernel`, :func:`des_kernel`,
+  :func:`tdes_kernel`) memoizing kernels by raw key bytes, so campaign
+  scripts that rebuild engines dozens of times reuse one expanded schedule;
+* **batched APIs** — :meth:`encrypt_blocks`/:meth:`decrypt_blocks` on every
+  kernel, the :func:`encrypt_blocks`/:func:`decrypt_blocks` dispatch
+  helpers that fall back to per-block loops for exotic ciphers, and
+  :func:`ctr_pad` producing a whole line's keystream in one call — the
+  miss-path shape the engines in :mod:`repro.core` use.
+
+Every kernel is bit-for-bit equivalent to its reference cipher; the
+equivalence layer in ``tests/test_kernels.py`` proves it on the FIPS-197 /
+SP 800-67 known answers and on random blocks, and
+``python -m repro.crypto.bench_kernels`` measures the speedup.
+
+>>> from repro.crypto.aes import AES
+>>> key = bytes(range(16))
+>>> block = bytes(range(16, 32))
+>>> AESKernel(key).encrypt_block(block) == AES(key).encrypt_block(block)
+True
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, List, Tuple
+
+from .aes import AES, INV_SBOX, SBOX, gf_mul
+from .des import (
+    DES,
+    TripleDES,
+    _E,
+    _FP,
+    _IP,
+    _P,
+    _SBOXES,
+    _key_schedule,
+    _permute,
+)
+
+__all__ = [
+    "AESKernel", "DESKernel", "TripleDESKernel",
+    "aes_kernel", "des_kernel", "tdes_kernel",
+    "kernel_for", "encrypt_blocks", "decrypt_blocks", "ctr_pad",
+]
+
+
+# ---------------------------------------------------------------------------
+# AES T-tables, derived from the reference S-box and GF(2^8) arithmetic.
+# T0..T3 fuse SubBytes + MixColumns for the byte in state rows 0..3; the
+# inverse tables fuse InvSubBytes + InvMixColumns.
+# ---------------------------------------------------------------------------
+
+def _build_aes_tables() -> Tuple[List[List[int]], List[List[int]], List[int]]:
+    enc = [[0] * 256 for _ in range(4)]
+    dec = [[0] * 256 for _ in range(4)]
+    imix = [0] * 256  # InvMixColumns of a single byte, for the decrypt schedule
+    for x in range(256):
+        s = SBOX[x]
+        s2 = gf_mul(s, 2)
+        s3 = s2 ^ s
+        # MixColumns contribution of the byte landing in row 0..3.
+        enc[0][x] = (s2 << 24) | (s << 16) | (s << 8) | s3
+        enc[1][x] = (s3 << 24) | (s2 << 16) | (s << 8) | s
+        enc[2][x] = (s << 24) | (s3 << 16) | (s2 << 8) | s
+        enc[3][x] = (s << 24) | (s << 16) | (s3 << 8) | s2
+        i = INV_SBOX[x]
+        e, n = gf_mul(i, 14), gf_mul(i, 9)
+        t, l = gf_mul(i, 13), gf_mul(i, 11)
+        dec[0][x] = (e << 24) | (n << 16) | (t << 8) | l
+        dec[1][x] = (l << 24) | (e << 16) | (n << 8) | t
+        dec[2][x] = (t << 24) | (l << 16) | (e << 8) | n
+        dec[3][x] = (n << 24) | (t << 16) | (l << 8) | e
+        imix[x] = (gf_mul(x, 14) << 24) | (gf_mul(x, 9) << 16) \
+            | (gf_mul(x, 13) << 8) | gf_mul(x, 11)
+    return enc, dec, imix
+
+
+(_TE, _TD, _IMIX) = _build_aes_tables()
+
+
+def _pack_words(round_key: List[int]) -> List[int]:
+    """One 16-byte round key -> four big-endian column words."""
+    return [
+        (round_key[4 * c] << 24) | (round_key[4 * c + 1] << 16)
+        | (round_key[4 * c + 2] << 8) | round_key[4 * c + 3]
+        for c in range(4)
+    ]
+
+
+def _inv_mix_word(word: int) -> int:
+    return (
+        _IMIX[(word >> 24) & 0xFF]
+        ^ _rotr32(_IMIX[(word >> 16) & 0xFF], 8)
+        ^ _rotr32(_IMIX[(word >> 8) & 0xFF], 16)
+        ^ _rotr32(_IMIX[word & 0xFF], 24)
+    )
+
+
+def _rotr32(x: int, n: int) -> int:
+    return ((x >> n) | (x << (32 - n))) & 0xFFFFFFFF
+
+
+class AESKernel:
+    """T-table AES, byte-identical to :class:`repro.crypto.aes.AES`."""
+
+    block_size = 16
+
+    def __init__(self, key: bytes):
+        self._init_from_schedule(AES(key))
+
+    @classmethod
+    def from_cipher(cls, cipher: AES) -> "AESKernel":
+        """Build a kernel from an existing reference cipher's schedule."""
+        kernel = cls.__new__(cls)
+        kernel._init_from_schedule(cipher)
+        return kernel
+
+    def _init_from_schedule(self, ref: AES) -> None:
+        self.key_size = ref.key_size
+        self._rounds = ref._rounds
+        # Encrypt keys: flat list of words, 4 per round.
+        self._ek: List[int] = []
+        for rk in ref._round_keys:
+            self._ek.extend(_pack_words(rk))
+        # Equivalent-inverse-cipher keys: reversed order, InvMixColumns
+        # applied to the interior rounds.
+        self._dk: List[int] = list(_pack_words(ref._round_keys[self._rounds]))
+        for rnd in range(self._rounds - 1, 0, -1):
+            self._dk.extend(
+                _inv_mix_word(w) for w in _pack_words(ref._round_keys[rnd])
+            )
+        self._dk.extend(_pack_words(ref._round_keys[0]))
+
+    # -- batched core ----------------------------------------------------
+
+    def encrypt_blocks(self, data: bytes) -> bytes:
+        """ECB-encrypt a multiple of 16 bytes in one batched pass."""
+        if len(data) % 16:
+            raise ValueError(
+                f"data length {len(data)} is not a multiple of block size 16"
+            )
+        t0, t1, t2, t3 = _TE
+        sbox = SBOX
+        ek = self._ek
+        rounds = self._rounds
+        out = bytearray(len(data))
+        for base in range(0, len(data), 16):
+            w0 = int.from_bytes(data[base: base + 4], "big") ^ ek[0]
+            w1 = int.from_bytes(data[base + 4: base + 8], "big") ^ ek[1]
+            w2 = int.from_bytes(data[base + 8: base + 12], "big") ^ ek[2]
+            w3 = int.from_bytes(data[base + 12: base + 16], "big") ^ ek[3]
+            k = 4
+            for _ in range(rounds - 1):
+                n0 = (t0[w0 >> 24] ^ t1[(w1 >> 16) & 0xFF]
+                      ^ t2[(w2 >> 8) & 0xFF] ^ t3[w3 & 0xFF] ^ ek[k])
+                n1 = (t0[w1 >> 24] ^ t1[(w2 >> 16) & 0xFF]
+                      ^ t2[(w3 >> 8) & 0xFF] ^ t3[w0 & 0xFF] ^ ek[k + 1])
+                n2 = (t0[w2 >> 24] ^ t1[(w3 >> 16) & 0xFF]
+                      ^ t2[(w0 >> 8) & 0xFF] ^ t3[w1 & 0xFF] ^ ek[k + 2])
+                n3 = (t0[w3 >> 24] ^ t1[(w0 >> 16) & 0xFF]
+                      ^ t2[(w1 >> 8) & 0xFF] ^ t3[w2 & 0xFF] ^ ek[k + 3])
+                w0, w1, w2, w3 = n0, n1, n2, n3
+                k += 4
+            # Final round: SubBytes + ShiftRows only.
+            o0 = ((sbox[w0 >> 24] << 24) | (sbox[(w1 >> 16) & 0xFF] << 16)
+                  | (sbox[(w2 >> 8) & 0xFF] << 8) | sbox[w3 & 0xFF]) ^ ek[k]
+            o1 = ((sbox[w1 >> 24] << 24) | (sbox[(w2 >> 16) & 0xFF] << 16)
+                  | (sbox[(w3 >> 8) & 0xFF] << 8) | sbox[w0 & 0xFF]) ^ ek[k + 1]
+            o2 = ((sbox[w2 >> 24] << 24) | (sbox[(w3 >> 16) & 0xFF] << 16)
+                  | (sbox[(w0 >> 8) & 0xFF] << 8) | sbox[w1 & 0xFF]) ^ ek[k + 2]
+            o3 = ((sbox[w3 >> 24] << 24) | (sbox[(w0 >> 16) & 0xFF] << 16)
+                  | (sbox[(w1 >> 8) & 0xFF] << 8) | sbox[w2 & 0xFF]) ^ ek[k + 3]
+            out[base: base + 16] = (
+                (o0 << 96) | (o1 << 64) | (o2 << 32) | o3
+            ).to_bytes(16, "big")
+        return bytes(out)
+
+    def decrypt_blocks(self, data: bytes) -> bytes:
+        """ECB-decrypt a multiple of 16 bytes in one batched pass."""
+        if len(data) % 16:
+            raise ValueError(
+                f"data length {len(data)} is not a multiple of block size 16"
+            )
+        t0, t1, t2, t3 = _TD
+        inv = INV_SBOX
+        dk = self._dk
+        rounds = self._rounds
+        out = bytearray(len(data))
+        for base in range(0, len(data), 16):
+            w0 = int.from_bytes(data[base: base + 4], "big") ^ dk[0]
+            w1 = int.from_bytes(data[base + 4: base + 8], "big") ^ dk[1]
+            w2 = int.from_bytes(data[base + 8: base + 12], "big") ^ dk[2]
+            w3 = int.from_bytes(data[base + 12: base + 16], "big") ^ dk[3]
+            k = 4
+            for _ in range(rounds - 1):
+                n0 = (t0[w0 >> 24] ^ t1[(w3 >> 16) & 0xFF]
+                      ^ t2[(w2 >> 8) & 0xFF] ^ t3[w1 & 0xFF] ^ dk[k])
+                n1 = (t0[w1 >> 24] ^ t1[(w0 >> 16) & 0xFF]
+                      ^ t2[(w3 >> 8) & 0xFF] ^ t3[w2 & 0xFF] ^ dk[k + 1])
+                n2 = (t0[w2 >> 24] ^ t1[(w1 >> 16) & 0xFF]
+                      ^ t2[(w0 >> 8) & 0xFF] ^ t3[w3 & 0xFF] ^ dk[k + 2])
+                n3 = (t0[w3 >> 24] ^ t1[(w2 >> 16) & 0xFF]
+                      ^ t2[(w1 >> 8) & 0xFF] ^ t3[w0 & 0xFF] ^ dk[k + 3])
+                w0, w1, w2, w3 = n0, n1, n2, n3
+                k += 4
+            o0 = ((inv[w0 >> 24] << 24) | (inv[(w3 >> 16) & 0xFF] << 16)
+                  | (inv[(w2 >> 8) & 0xFF] << 8) | inv[w1 & 0xFF]) ^ dk[k]
+            o1 = ((inv[w1 >> 24] << 24) | (inv[(w0 >> 16) & 0xFF] << 16)
+                  | (inv[(w3 >> 8) & 0xFF] << 8) | inv[w2 & 0xFF]) ^ dk[k + 1]
+            o2 = ((inv[w2 >> 24] << 24) | (inv[(w1 >> 16) & 0xFF] << 16)
+                  | (inv[(w0 >> 8) & 0xFF] << 8) | inv[w3 & 0xFF]) ^ dk[k + 2]
+            o3 = ((inv[w3 >> 24] << 24) | (inv[(w2 >> 16) & 0xFF] << 16)
+                  | (inv[(w1 >> 8) & 0xFF] << 8) | inv[w0 & 0xFF]) ^ dk[k + 3]
+            out[base: base + 16] = (
+                (o0 << 96) | (o1 << 64) | (o2 << 32) | o3
+            ).to_bytes(16, "big")
+        return bytes(out)
+
+    # -- BlockCipher protocol --------------------------------------------
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise ValueError(f"AES block must be 16 bytes, got {len(block)}")
+        return self.encrypt_blocks(block)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise ValueError(f"AES block must be 16 bytes, got {len(block)}")
+        return self.decrypt_blocks(block)
+
+
+# ---------------------------------------------------------------------------
+# DES: per-byte scatter tables for IP/FP/E, fused S-box+P tables.  All
+# derived from the FIPS tables (and `_permute` itself) in repro.crypto.des.
+# ---------------------------------------------------------------------------
+
+def _scatter_tables(table, in_width: int) -> List[List[int]]:
+    """Per-input-byte lookup tables computing a FIPS bit permutation."""
+    out_width = len(table)
+    tabs = [[0] * 256 for _ in range(in_width // 8)]
+    for out_pos, in_pos in enumerate(table):
+        byte_idx = (in_pos - 1) // 8
+        bit = 7 - ((in_pos - 1) % 8)          # within the byte, from LSB
+        target = 1 << (out_width - 1 - out_pos)
+        tab = tabs[byte_idx]
+        for value in range(256):
+            if (value >> bit) & 1:
+                tab[value] |= target
+    return tabs
+
+
+_IP_TAB = _scatter_tables(_IP, 64)
+_FP_TAB = _scatter_tables(_FP, 64)
+_E_TAB = _scatter_tables(_E, 32)
+
+# SP[i][chunk]: S-box i applied to a 6-bit chunk, its 4-bit output placed
+# in nibble i, then run through the P permutation — the whole second half
+# of the round function as one lookup.
+_SP: List[List[int]] = []
+for _i in range(8):
+    _tab = [0] * 64
+    for _chunk in range(64):
+        _row = ((_chunk & 0x20) >> 4) | (_chunk & 1)
+        _col = (_chunk >> 1) & 0xF
+        _tab[_chunk] = _permute(
+            _SBOXES[_i][_row][_col] << (28 - 4 * _i), 32, _P
+        )
+    _SP.append(_tab)
+del _i, _tab, _chunk, _row, _col
+
+
+def _perm64(v: int, tabs: List[List[int]]) -> int:
+    return (
+        tabs[0][(v >> 56) & 0xFF] | tabs[1][(v >> 48) & 0xFF]
+        | tabs[2][(v >> 40) & 0xFF] | tabs[3][(v >> 32) & 0xFF]
+        | tabs[4][(v >> 24) & 0xFF] | tabs[5][(v >> 16) & 0xFF]
+        | tabs[6][(v >> 8) & 0xFF] | tabs[7][v & 0xFF]
+    )
+
+
+def _des_rounds(value: int, round_keys) -> int:
+    """16 Feistel rounds (incl. the final half swap), no IP/FP.
+
+    Input and output are in post-IP bit order, so passes compose directly
+    — which is how :class:`TripleDESKernel` drops the interior FP∘IP pairs.
+    """
+    e0, e1, e2, e3 = _E_TAB
+    sp0, sp1, sp2, sp3, sp4, sp5, sp6, sp7 = _SP
+    left = (value >> 32) & 0xFFFFFFFF
+    right = value & 0xFFFFFFFF
+    for key in round_keys:
+        x = (e0[right >> 24] | e1[(right >> 16) & 0xFF]
+             | e2[(right >> 8) & 0xFF] | e3[right & 0xFF]) ^ key
+        f = (sp0[(x >> 42) & 0x3F] ^ sp1[(x >> 36) & 0x3F]
+             ^ sp2[(x >> 30) & 0x3F] ^ sp3[(x >> 24) & 0x3F]
+             ^ sp4[(x >> 18) & 0x3F] ^ sp5[(x >> 12) & 0x3F]
+             ^ sp6[(x >> 6) & 0x3F] ^ sp7[x & 0x3F])
+        left, right = right, left ^ f
+    return (right << 32) | left
+
+
+class DESKernel:
+    """Bit-packed DES, byte-identical to :class:`repro.crypto.des.DES`."""
+
+    block_size = 8
+    key_size = 8
+
+    def __init__(self, key: bytes):
+        if len(key) != 8:
+            raise ValueError(f"DES key must be 8 bytes, got {len(key)}")
+        self._keys = tuple(_key_schedule(int.from_bytes(key, "big")))
+        self._rev_keys = tuple(reversed(self._keys))
+
+    @classmethod
+    def from_cipher(cls, cipher: DES) -> "DESKernel":
+        kernel = cls.__new__(cls)
+        kernel._keys = tuple(cipher._round_keys)
+        kernel._rev_keys = tuple(reversed(kernel._keys))
+        return kernel
+
+    def _crypt_blocks(self, data: bytes, keys) -> bytes:
+        if len(data) % 8:
+            raise ValueError(
+                f"data length {len(data)} is not a multiple of block size 8"
+            )
+        out = bytearray(len(data))
+        for base in range(0, len(data), 8):
+            v = _perm64(int.from_bytes(data[base: base + 8], "big"), _IP_TAB)
+            out[base: base + 8] = _perm64(
+                _des_rounds(v, keys), _FP_TAB
+            ).to_bytes(8, "big")
+        return bytes(out)
+
+    def encrypt_blocks(self, data: bytes) -> bytes:
+        return self._crypt_blocks(data, self._keys)
+
+    def decrypt_blocks(self, data: bytes) -> bytes:
+        return self._crypt_blocks(data, self._rev_keys)
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 8:
+            raise ValueError(f"DES block must be 8 bytes, got {len(block)}")
+        return self.encrypt_blocks(block)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 8:
+            raise ValueError(f"DES block must be 8 bytes, got {len(block)}")
+        return self.decrypt_blocks(block)
+
+
+class TripleDESKernel:
+    """Bit-packed 3DES-EDE, byte-identical to
+    :class:`repro.crypto.des.TripleDES`.
+
+    The interior FP∘IP permutation pairs of the EDE composition cancel
+    (FP is IP's inverse), so each block pays one IP, 48 packed rounds and
+    one FP.
+    """
+
+    block_size = 8
+
+    def __init__(self, key: bytes):
+        if len(key) == 8:
+            k1 = k2 = k3 = key
+        elif len(key) == 16:
+            k1, k2, k3 = key[:8], key[8:], key[:8]
+        elif len(key) == 24:
+            k1, k2, k3 = key[:8], key[8:16], key[16:]
+        else:
+            raise ValueError(
+                f"3DES key must be 8, 16 or 24 bytes, got {len(key)}"
+            )
+        self._init_schedules(
+            _key_schedule(int.from_bytes(k1, "big")),
+            _key_schedule(int.from_bytes(k2, "big")),
+            _key_schedule(int.from_bytes(k3, "big")),
+        )
+
+    @classmethod
+    def from_cipher(cls, cipher: TripleDES) -> "TripleDESKernel":
+        kernel = cls.__new__(cls)
+        kernel._init_schedules(
+            cipher._d1._round_keys, cipher._d2._round_keys,
+            cipher._d3._round_keys,
+        )
+        return kernel
+
+    def _init_schedules(self, ks1, ks2, ks3) -> None:
+        # Encrypt: E(K1) -> D(K2) -> E(K3); decrypt reverses the chain.
+        self._enc = (tuple(ks1), tuple(reversed(ks2)), tuple(ks3))
+        self._dec = (tuple(reversed(ks3)), tuple(ks2), tuple(reversed(ks1)))
+
+    @staticmethod
+    def _crypt_blocks(data: bytes, schedules) -> bytes:
+        if len(data) % 8:
+            raise ValueError(
+                f"data length {len(data)} is not a multiple of block size 8"
+            )
+        ka, kb, kc = schedules
+        out = bytearray(len(data))
+        for base in range(0, len(data), 8):
+            v = _perm64(int.from_bytes(data[base: base + 8], "big"), _IP_TAB)
+            v = _des_rounds(_des_rounds(_des_rounds(v, ka), kb), kc)
+            out[base: base + 8] = _perm64(v, _FP_TAB).to_bytes(8, "big")
+        return bytes(out)
+
+    def encrypt_blocks(self, data: bytes) -> bytes:
+        return self._crypt_blocks(data, self._enc)
+
+    def decrypt_blocks(self, data: bytes) -> bytes:
+        return self._crypt_blocks(data, self._dec)
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 8:
+            raise ValueError(f"DES block must be 8 bytes, got {len(block)}")
+        return self.encrypt_blocks(block)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 8:
+            raise ValueError(f"DES block must be 8 bytes, got {len(block)}")
+        return self.decrypt_blocks(block)
+
+
+# ---------------------------------------------------------------------------
+# Key-schedule registry: kernels memoized by raw key bytes.  Engines are
+# rebuilt wholesale by fault campaigns and sweeps; the registry makes the
+# (tables + schedule) cost a once-per-key event for the whole process.
+# ---------------------------------------------------------------------------
+
+_REGISTRY: "OrderedDict[Tuple[str, bytes], object]" = OrderedDict()
+_REGISTRY_MAX = 128
+
+
+def _registered(kind: str, key: bytes, factory: Callable):
+    entry = (kind, bytes(key))
+    kernel = _REGISTRY.get(entry)
+    if kernel is None:
+        kernel = factory(key)
+        _REGISTRY[entry] = kernel
+        while len(_REGISTRY) > _REGISTRY_MAX:
+            _REGISTRY.popitem(last=False)
+    else:
+        _REGISTRY.move_to_end(entry)
+    return kernel
+
+
+def aes_kernel(key: bytes) -> AESKernel:
+    """Registry-cached :class:`AESKernel` for ``key``."""
+    return _registered("aes", key, AESKernel)
+
+
+def des_kernel(key: bytes) -> DESKernel:
+    """Registry-cached :class:`DESKernel` for ``key``."""
+    return _registered("des", key, DESKernel)
+
+
+def tdes_kernel(key: bytes) -> TripleDESKernel:
+    """Registry-cached :class:`TripleDESKernel` for ``key``."""
+    return _registered("3des", key, TripleDESKernel)
+
+
+# ---------------------------------------------------------------------------
+# Dispatch: route any BlockCipher through its kernel when one exists.
+# ---------------------------------------------------------------------------
+
+_KERNEL_TYPES = (AESKernel, DESKernel, TripleDESKernel)
+_KERNEL_ATTR = "_repro_kernel"
+
+
+def kernel_for(cipher):
+    """Fast kernel equivalent of ``cipher``, or ``None`` if it has none.
+
+    Reference :class:`AES`/:class:`DES`/:class:`TripleDES` instances get a
+    kernel built from their already-expanded schedule, memoized on the
+    instance; kernels pass through unchanged; anything else returns
+    ``None`` (callers fall back to the cipher's own per-block methods).
+    """
+    if isinstance(cipher, _KERNEL_TYPES):
+        return cipher
+    kernel = getattr(cipher, _KERNEL_ATTR, None)
+    if kernel is not None:
+        return kernel
+    if isinstance(cipher, AES):
+        kernel = AESKernel.from_cipher(cipher)
+    elif isinstance(cipher, TripleDES):
+        kernel = TripleDESKernel.from_cipher(cipher)
+    elif isinstance(cipher, DES):
+        kernel = DESKernel.from_cipher(cipher)
+    else:
+        return None
+    setattr(cipher, _KERNEL_ATTR, kernel)
+    return kernel
+
+
+def encrypt_blocks(cipher, data: bytes) -> bytes:
+    """ECB-encrypt ``data`` through ``cipher``'s kernel, batched."""
+    kernel = kernel_for(cipher)
+    if kernel is not None:
+        return kernel.encrypt_blocks(data)
+    size = cipher.block_size
+    if len(data) % size:
+        raise ValueError(
+            f"data length {len(data)} is not a multiple of block size {size}"
+        )
+    enc = cipher.encrypt_block
+    return b"".join(enc(data[i: i + size]) for i in range(0, len(data), size))
+
+
+def decrypt_blocks(cipher, data: bytes) -> bytes:
+    """ECB-decrypt ``data`` through ``cipher``'s kernel, batched."""
+    kernel = kernel_for(cipher)
+    if kernel is not None:
+        return kernel.decrypt_blocks(data)
+    size = cipher.block_size
+    if len(data) % size:
+        raise ValueError(
+            f"data length {len(data)} is not a multiple of block size {size}"
+        )
+    dec = cipher.decrypt_block
+    return b"".join(dec(data[i: i + size]) for i in range(0, len(data), size))
+
+
+def ctr_pad(cipher, addr: int, nbytes: int,
+            counter_block: Callable[[int], bytes]) -> bytes:
+    """Keystream covering ``[addr, addr + nbytes)`` in one batched pass.
+
+    ``counter_block(block_addr)`` formats the counter block for the
+    cipher-block-aligned address — each engine keeps its own layout (pad
+    tag, version, line index...).  The blocks are enciphered through one
+    :func:`encrypt_blocks` call instead of a per-block loop, which is the
+    pad-ahead shape of the stream engines' miss path.
+    """
+    size = cipher.block_size
+    start = addr - addr % size
+    end = -(-(addr + nbytes) // size) * size
+    blocks = b"".join(
+        counter_block(block_addr) for block_addr in range(start, end, size)
+    )
+    pad = encrypt_blocks(cipher, blocks)
+    offset = addr - start
+    return pad[offset: offset + nbytes]

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import List, Protocol
 
+from . import kernels
+
 __all__ = ["BlockCipher", "ECB", "CBC", "CTR", "OFB", "CFB", "xor_bytes"]
 
 
@@ -36,7 +38,9 @@ def xor_bytes(a: bytes, b: bytes) -> bytes:
     """XOR two equal-length byte strings."""
     if len(a) != len(b):
         raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
-    return bytes(x ^ y for x, y in zip(a, b))
+    return (
+        int.from_bytes(a, "big") ^ int.from_bytes(b, "big")
+    ).to_bytes(len(a), "big")
 
 
 def _split_blocks(data: bytes, block_size: int) -> List[bytes]:
@@ -55,12 +59,12 @@ class ECB:
         self.block_size = cipher.block_size
 
     def encrypt(self, plaintext: bytes) -> bytes:
-        enc = self.cipher.encrypt_block
-        return b"".join(enc(b) for b in _split_blocks(plaintext, self.block_size))
+        _split_blocks(plaintext, self.block_size)
+        return kernels.encrypt_blocks(self.cipher, plaintext)
 
     def decrypt(self, ciphertext: bytes) -> bytes:
-        dec = self.cipher.decrypt_block
-        return b"".join(dec(b) for b in _split_blocks(ciphertext, self.block_size))
+        _split_blocks(ciphertext, self.block_size)
+        return kernels.decrypt_blocks(self.cipher, ciphertext)
 
 
 class CBC:
@@ -76,20 +80,24 @@ class CBC:
         self.iv = iv
 
     def encrypt(self, plaintext: bytes) -> bytes:
+        # The chain is inherently serial (C_i feeds C_{i+1}); the kernel
+        # still accelerates each block encryption.
+        enc = (kernels.kernel_for(self.cipher) or self.cipher).encrypt_block
         prev = self.iv
         out = []
         for block in _split_blocks(plaintext, self.block_size):
-            prev = self.cipher.encrypt_block(xor_bytes(block, prev))
+            prev = enc(xor_bytes(block, prev))
             out.append(prev)
         return b"".join(out)
 
     def decrypt(self, ciphertext: bytes) -> bytes:
-        prev = self.iv
-        out = []
-        for block in _split_blocks(ciphertext, self.block_size):
-            out.append(xor_bytes(self.cipher.decrypt_block(block), prev))
-            prev = block
-        return b"".join(out)
+        # Decryption has no chain dependency: batch-decrypt every block,
+        # then XOR with the shifted ciphertext in one pass.
+        _split_blocks(ciphertext, self.block_size)
+        if not ciphertext:
+            return b""
+        decrypted = kernels.decrypt_blocks(self.cipher, ciphertext)
+        return xor_bytes(decrypted, self.iv + ciphertext[:-self.block_size])
 
 
 class CTR:
@@ -112,19 +120,28 @@ class CTR:
         self.block_size = cipher.block_size
         self.nonce = nonce
         self.counter_bytes = counter_bytes
+        # Wrapping the counter would silently reuse keystream (or, worse,
+        # bleed into the nonce field); refuse indices outside the space.
+        self._counter_limit = 1 << (8 * counter_bytes)
+
+    def _counter_block(self, index: int) -> bytes:
+        if not 0 <= index < self._counter_limit:
+            raise ValueError(
+                f"counter block index {index} outside [0, "
+                f"{self._counter_limit}): keystream would wrap"
+            )
+        return self.nonce + index.to_bytes(self.counter_bytes, "big")
 
     def keystream_block(self, index: int) -> bytes:
         """Return keystream block ``index`` (seekable — no chaining state)."""
-        counter = index % (1 << (8 * self.counter_bytes))
-        block = self.nonce + counter.to_bytes(self.counter_bytes, "big")
-        return self.cipher.encrypt_block(block)
+        return self.cipher.encrypt_block(self._counter_block(index))
 
     def keystream(self, nbytes: int, start_block: int = 0) -> bytes:
         nblocks = -(-nbytes // self.block_size)
-        stream = b"".join(
-            self.keystream_block(start_block + i) for i in range(nblocks)
+        counters = b"".join(
+            self._counter_block(start_block + i) for i in range(nblocks)
         )
-        return stream[:nbytes]
+        return kernels.encrypt_blocks(self.cipher, counters)[:nbytes]
 
     def encrypt(self, plaintext: bytes, start_block: int = 0) -> bytes:
         return xor_bytes(plaintext, self.keystream(len(plaintext), start_block))
@@ -146,11 +163,16 @@ class OFB:
         self.iv = iv
 
     def keystream(self, nbytes: int) -> bytes:
+        # The feedback loop is serial by construction; the kernel still
+        # accelerates each block encryption.
+        enc = (kernels.kernel_for(self.cipher) or self.cipher).encrypt_block
         state = self.iv
         out = []
-        while sum(len(s) for s in out) < nbytes:
-            state = self.cipher.encrypt_block(state)
+        total = 0
+        while total < nbytes:
+            state = enc(state)
             out.append(state)
+            total += len(state)
         return b"".join(out)[:nbytes]
 
     def encrypt(self, plaintext: bytes) -> bytes:
@@ -172,17 +194,21 @@ class CFB:
         self.iv = iv
 
     def encrypt(self, plaintext: bytes) -> bytes:
+        enc = (kernels.kernel_for(self.cipher) or self.cipher).encrypt_block
         prev = self.iv
         out = []
         for block in _split_blocks(plaintext, self.block_size):
-            prev = xor_bytes(block, self.cipher.encrypt_block(prev))
+            prev = xor_bytes(block, enc(prev))
             out.append(prev)
         return b"".join(out)
 
     def decrypt(self, ciphertext: bytes) -> bytes:
-        prev = self.iv
-        out = []
-        for block in _split_blocks(ciphertext, self.block_size):
-            out.append(xor_bytes(block, self.cipher.encrypt_block(prev)))
-            prev = block
-        return b"".join(out)
+        # Each pad block is E(C_{i-1}), all known up front: batch-encrypt
+        # the shifted ciphertext and XOR in one pass.
+        _split_blocks(ciphertext, self.block_size)
+        if not ciphertext:
+            return b""
+        pads = kernels.encrypt_blocks(
+            self.cipher, self.iv + ciphertext[:-self.block_size]
+        )
+        return xor_bytes(ciphertext, pads)

@@ -58,32 +58,45 @@ class SHA256:
 
     def update(self, data: bytes) -> "SHA256":
         self._length += len(data)
-        self._buffer += data
-        while len(self._buffer) >= 64:
-            self._compress(self._buffer[:64])
-            self._buffer = self._buffer[64:]
+        buffer = self._buffer + data
+        offset = 0
+        end = len(buffer) - 63
+        while offset < end:
+            self._compress(buffer[offset: offset + 64])
+            offset += 64
+        self._buffer = buffer[offset:]
         return self
 
     def _compress(self, chunk: bytes) -> None:
+        # Hot loop (every HMAC tag funnels through here): rotations are
+        # inlined and the round constants bound locally.  Outputs are
+        # bit-identical to the straightforward `_rotr` formulation.
+        mask = _MASK
+        k = _K
         w: List[int] = list(struct.unpack(">16I", chunk))
+        append = w.append
         for i in range(16, 64):
-            s0 = _rotr(w[i - 15], 7) ^ _rotr(w[i - 15], 18) ^ (w[i - 15] >> 3)
-            s1 = _rotr(w[i - 2], 17) ^ _rotr(w[i - 2], 19) ^ (w[i - 2] >> 10)
-            w.append((w[i - 16] + s0 + w[i - 7] + s1) & _MASK)
+            x = w[i - 15]
+            y = w[i - 2]
+            s0 = ((x >> 7) | (x << 25)) ^ ((x >> 18) | (x << 14)) ^ (x >> 3)
+            s1 = ((y >> 17) | (y << 15)) ^ ((y >> 19) | (y << 13)) ^ (y >> 10)
+            append((w[i - 16] + s0 + w[i - 7] + s1) & mask)
 
         a, b, c, d, e, f, g, h = self._h
         for i in range(64):
-            s1 = _rotr(e, 6) ^ _rotr(e, 11) ^ _rotr(e, 25)
+            s1 = (((e >> 6) | (e << 26)) ^ ((e >> 11) | (e << 21))
+                  ^ ((e >> 25) | (e << 7))) & mask
             ch = (e & f) ^ (~e & g)
-            temp1 = (h + s1 + ch + _K[i] + w[i]) & _MASK
-            s0 = _rotr(a, 2) ^ _rotr(a, 13) ^ _rotr(a, 22)
+            temp1 = (h + s1 + ch + k[i] + w[i]) & mask
+            s0 = (((a >> 2) | (a << 30)) ^ ((a >> 13) | (a << 19))
+                  ^ ((a >> 22) | (a << 10))) & mask
             maj = (a & b) ^ (a & c) ^ (b & c)
-            temp2 = (s0 + maj) & _MASK
-            h, g, f, e = g, f, e, (d + temp1) & _MASK
-            d, c, b, a = c, b, a, (temp1 + temp2) & _MASK
+            temp2 = (s0 + maj) & mask
+            h, g, f, e = g, f, e, (d + temp1) & mask
+            d, c, b, a = c, b, a, (temp1 + temp2) & mask
 
         self._h = [
-            (x + y) & _MASK
+            (x + y) & mask
             for x, y in zip(self._h, (a, b, c, d, e, f, g, h))
         ]
 

@@ -34,19 +34,28 @@ class ResultCache:
 
     @staticmethod
     def task_key(experiment_id: str, task_name: str, ctx_key: dict,
-                 schema: str = "") -> str:
+                 schema: str = "", *, quick: Optional[bool] = None) -> str:
         """Stable digest identifying one task execution.
 
         ``schema`` is the metrics schema the caller will store under the
         key: bumping the document schema must invalidate cached entries,
         otherwise stale results of the old shape would be replayed into
         new documents.
+
+        ``quick`` is folded into the key as a first-class field so a
+        quick-suite (scaled-down) result can never be replayed into a
+        full-scale document — even if a caller builds ``ctx_key`` by hand
+        and forgets the flag.  When not passed explicitly it is recovered
+        from ``ctx_key``.
         """
+        if quick is None:
+            quick = bool(ctx_key.get("quick", False))
         ident = json.dumps(
             {
                 "experiment": experiment_id,
                 "task": task_name,
                 "ctx": ctx_key,
+                "quick": bool(quick),
                 "schema": schema,
                 "version": __version__,
             },

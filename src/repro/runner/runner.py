@@ -153,10 +153,12 @@ class ExperimentRunner:
         ctx = TaskContext(quick=self.quick, seed=task_seed(exp_id, task_name))
         # The schema and the observe flag are part of the key: a document
         # shape change or a counters-on/off change must not replay stale
-        # entries of the other shape.
+        # entries of the other shape.  The quick flag is passed explicitly
+        # so scaled-down results can never leak into full-scale documents.
         return ResultCache.task_key(
             exp_id, task_name, ctx.key(),
             schema=f"{METRICS_SCHEMA};observe={self.observe}",
+            quick=self.quick,
         )
 
     def run(self) -> RunResult:

@@ -6,6 +6,7 @@ import pytest
 
 import repro.crypto.aes
 import repro.crypto.des
+import repro.crypto.kernels
 import repro.crypto.rc4
 import repro.isa.assembler
 import repro.traces.io
@@ -13,6 +14,7 @@ import repro.traces.io
 DOCTESTED_MODULES = [
     repro.crypto.aes,
     repro.crypto.des,
+    repro.crypto.kernels,
     repro.crypto.rc4,
     repro.isa.assembler,
     repro.traces.io,

@@ -15,6 +15,20 @@ def aes():
     return AES(KEY16)
 
 
+class ReferenceOnly:
+    """Cipher wrapper invisible to kernel dispatch.
+
+    ``repro.crypto.kernels.kernel_for`` does not recognize it, so every
+    mode falls back to the per-block reference path — which lets tests
+    pin the kernel-accelerated path against the reference path.
+    """
+
+    def __init__(self, cipher):
+        self.block_size = cipher.block_size
+        self.encrypt_block = cipher.encrypt_block
+        self.decrypt_block = cipher.decrypt_block
+
+
 class TestXorBytes:
     def test_basic(self):
         assert xor_bytes(b"\x0f\xf0", b"\xff\xff") == b"\xf0\x0f"
@@ -125,6 +139,38 @@ class TestCTR:
             CTR(aes(), nonce=bytes(16), counter_bytes=16)
 
 
+class TestCTRWrap:
+    """The counter must never wrap into the nonce (keystream reuse)."""
+
+    def test_last_index_before_wrap_is_usable(self):
+        ctr = CTR(aes(), nonce=bytes(15), counter_bytes=1)
+        limit = 256  # 256 ** counter_bytes
+        block = ctr.keystream_block(limit - 1)
+        assert block == aes().encrypt_block(bytes(15) + b"\xff")
+
+    def test_wrap_index_raises(self):
+        ctr = CTR(aes(), nonce=bytes(15), counter_bytes=1)
+        with pytest.raises(ValueError):
+            ctr.keystream_block(256)  # 256 ** counter_bytes
+        with pytest.raises(ValueError):
+            ctr.keystream_block(-1)
+
+    def test_default_width_boundary(self):
+        ctr = CTR(aes(), nonce=bytes(12))  # counter_bytes=4
+        assert len(ctr.keystream_block(256 ** 4 - 1)) == 16
+        with pytest.raises(ValueError):
+            ctr.keystream_block(256 ** 4)
+
+    def test_keystream_crossing_the_limit_raises(self):
+        ctr = CTR(aes(), nonce=bytes(15), counter_bytes=1)
+        # 255 is fine, but a two-block read starting there would wrap.
+        assert len(ctr.keystream(16, start_block=255)) == 16
+        with pytest.raises(ValueError):
+            ctr.keystream(17, start_block=255)
+        with pytest.raises(ValueError):
+            ctr.encrypt(bytes(32), start_block=255)
+
+
 class TestOFBCFB:
     def test_ofb_roundtrip(self):
         data = b"output feedback mode stream bytes"
@@ -173,3 +219,65 @@ def test_cbc_roundtrip_property(blocks, seed):
     data = bytes((seed + i) & 0xFF for i in range(16 * blocks))
     ct = CBC(aes(), IV16).encrypt(data)
     assert CBC(aes(), IV16).decrypt(ct) == data
+
+
+# -- kernel path vs reference path at awkward lengths ------------------------
+#
+# The modes route AES/DES/3DES through repro.crypto.kernels; wrapping the
+# cipher in ReferenceOnly forces the original per-block path.  Both paths
+# must agree bit-for-bit, including at zero length, a single byte, and
+# lengths that are not block multiples.
+
+ODD_LENGTH_DATA = st.binary(min_size=0, max_size=100)
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=ODD_LENGTH_DATA)
+def test_ctr_kernel_path_matches_reference(data):
+    ct = CTR(aes(), nonce=bytes(12)).encrypt(data)
+    assert CTR(ReferenceOnly(aes()), nonce=bytes(12)).encrypt(data) == ct
+    assert CTR(aes(), nonce=bytes(12)).decrypt(ct) == data
+    assert CTR(ReferenceOnly(aes()), nonce=bytes(12)).decrypt(ct) == data
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=ODD_LENGTH_DATA)
+def test_ofb_kernel_path_matches_reference(data):
+    ct = OFB(aes(), IV16).encrypt(data)
+    assert OFB(ReferenceOnly(aes()), IV16).encrypt(data) == ct
+    assert OFB(aes(), IV16).decrypt(ct) == data
+    assert OFB(ReferenceOnly(aes()), IV16).decrypt(ct) == data
+
+
+@settings(max_examples=25, deadline=None)
+@given(blocks=st.integers(min_value=0, max_value=6), seed=st.integers(0, 255))
+def test_cbc_kernel_path_matches_reference(blocks, seed):
+    data = bytes((seed + i) & 0xFF for i in range(16 * blocks))
+    ct = CBC(aes(), IV16).encrypt(data)
+    assert CBC(ReferenceOnly(aes()), IV16).encrypt(data) == ct
+    assert CBC(aes(), IV16).decrypt(ct) == data
+    assert CBC(ReferenceOnly(aes()), IV16).decrypt(ct) == data
+
+
+@settings(max_examples=25, deadline=None)
+@given(blocks=st.integers(min_value=0, max_value=6), seed=st.integers(0, 255))
+def test_cfb_kernel_path_matches_reference(blocks, seed):
+    data = bytes((seed ^ i) & 0xFF for i in range(16 * blocks))
+    ct = CFB(aes(), IV16).encrypt(data)
+    assert CFB(ReferenceOnly(aes()), IV16).encrypt(data) == ct
+    assert CFB(aes(), IV16).decrypt(ct) == data
+    assert CFB(ReferenceOnly(aes()), IV16).decrypt(ct) == data
+
+
+def test_stream_modes_handle_zero_and_single_byte():
+    for data in (b"", b"x"):
+        assert CTR(aes(), nonce=bytes(12)).decrypt(
+            CTR(aes(), nonce=bytes(12)).encrypt(data)
+        ) == data
+        assert OFB(aes(), IV16).decrypt(OFB(aes(), IV16).encrypt(data)) == data
+    # Block modes stay strict about ragged lengths on both paths.
+    for cipher in (aes(), ReferenceOnly(aes())):
+        with pytest.raises(ValueError):
+            CBC(cipher, IV16).encrypt(b"x")
+        with pytest.raises(ValueError):
+            CBC(cipher, IV16).decrypt(b"x" * 17)

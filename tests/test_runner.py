@@ -94,6 +94,35 @@ class TestRunnerDeterminism:
         assert cache.get(quick) == {"x": 1}
         assert cache.get(full) is None
 
+    def test_quick_flag_partitions_even_without_ctx_key(self, tmp_path):
+        # Regression: a caller building ctx_key by hand (forgetting the
+        # quick flag) must still get distinct keys per scale — the flag is
+        # a first-class field of the key, not just part of the context.
+        cache = ResultCache(tmp_path / "c")
+        bare_ctx = {"seed": 1234}
+        quick = ResultCache.task_key("e01", "cost-gap", bare_ctx, quick=True)
+        full = ResultCache.task_key("e01", "cost-gap", bare_ctx, quick=False)
+        assert quick != full
+        cache.put(quick, {"metrics": {"scale": "quick"}})
+        assert cache.get(full) is None
+
+    def test_quick_result_never_replayed_into_full_document(self, tmp_path):
+        # A quick-suite run must not seed cache entries that a full-scale
+        # runner would consume.
+        shared = tmp_path / "cache-scale"
+        quick_runner = ExperimentRunner(
+            experiments=self.EXPS, workers=1, quick=True, cache_dir=shared,
+        )
+        quick_runner.run()
+        full_runner = ExperimentRunner(
+            experiments=self.EXPS, workers=1, quick=False, cache_dir=shared,
+        )
+        for task_name in get_experiment("e01").tasks:
+            quick_key = quick_runner._cache_key("e01", task_name)
+            full_key = full_runner._cache_key("e01", task_name)
+            assert quick_key != full_key
+            assert full_runner.cache.get(full_key) is None
+
     def test_rejects_bad_worker_count(self):
         with pytest.raises(ValueError):
             ExperimentRunner(experiments=self.EXPS, workers=0)

@@ -3,7 +3,14 @@ behaviour and the PRF helper."""
 
 import pytest
 
-from repro.crypto import SHA256, hmac_sha256, prf, sha256, verify_hmac
+from repro.crypto import (
+    SHA256,
+    consttime_eq,
+    hmac_sha256,
+    prf,
+    sha256,
+    verify_hmac,
+)
 
 
 class TestSHA256Vectors:
@@ -116,6 +123,50 @@ class TestVerify:
     def test_rejects_wrong_key(self):
         tag = hmac_sha256(b"k", b"msg")
         assert not verify_hmac(b"K", b"msg", tag)
+
+
+class _CountingBytes:
+    """Byte sequence that records how many bytes a comparison consumed."""
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.reads = 0
+
+    def __len__(self):
+        return len(self.data)
+
+    def __iter__(self):
+        for byte in self.data:
+            self.reads += 1
+            yield byte
+
+
+class TestConstantTimeCompare:
+    def test_equal_and_unequal(self):
+        assert consttime_eq(b"same tag bytes!!", b"same tag bytes!!")
+        assert not consttime_eq(b"same tag bytes!!", b"same tag bytes!?")
+        assert not consttime_eq(b"", b"x")
+        assert consttime_eq(b"", b"")
+
+    def test_equal_length_mismatch_takes_full_comparison_path(self):
+        # A first-byte mismatch must not short-circuit: the fold still
+        # walks every byte, so the comparison leaks no prefix length.
+        expected = _CountingBytes(b"\x00" + b"\xaa" * 31)
+        tag = b"\xff" + b"\xaa" * 31
+        assert not consttime_eq(expected, tag)
+        assert expected.reads == 32
+
+    def test_length_mismatch_takes_full_comparison_path(self):
+        # Even a wrong-length tag folds over the full expected digest
+        # (compared against itself) rather than returning immediately.
+        expected = _CountingBytes(b"\xaa" * 32)
+        assert not consttime_eq(expected, b"\xaa" * 16)
+        assert expected.reads >= 32
+
+    def test_verify_hmac_equal_length_first_byte_mismatch(self):
+        tag = bytearray(hmac_sha256(b"k", b"msg"))
+        tag[0] ^= 0x80
+        assert not verify_hmac(b"k", b"msg", bytes(tag))
 
 
 class TestPRF:
