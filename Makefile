@@ -13,7 +13,7 @@ ENGINE_CTORS := (Best|DS5002FP|DS5240|VlsiDma|GeneralInstrument|Gilmont|XomAes|A
 # simulator.
 OBS_BYPASS := (^|[^.[:alnum:]_])(print|Counter)\(
 
-.PHONY: install test check lint bench bench-quick bench-pytest trace-smoke faults-smoke kernels-smoke kernels-bench examples attack survey clean
+.PHONY: install test check lint bench bench-quick bench-gate bench-pytest trace-smoke faults-smoke fastpath-smoke kernels-smoke kernels-bench examples attack survey clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -22,7 +22,7 @@ test:
 	$(PYTHON) -m pytest tests/
 
 # Tier-1 gate: the test suite plus the registry lint and the smoke runs.
-check: test lint trace-smoke faults-smoke kernels-smoke
+check: test lint trace-smoke faults-smoke kernels-smoke fastpath-smoke
 
 lint:
 	@matches=$$(grep -rnE '$(ENGINE_CTORS)' --include='*.py' \
@@ -57,6 +57,13 @@ faults-smoke:
 		> /dev/null
 	$(PYTHON) -m repro.cli faults stream --kinds spoof > /dev/null
 
+# Fast-path smoke: the scalar reference and the batched execution path
+# must agree exactly — reports, bus streams, event totals — on one
+# stream and one block-mode engine (the full registry sweep runs in
+# tests/test_fastpath.py).
+fastpath-smoke:
+	$(PYTHON) -m repro.sim.bench_fastpath --check stream integrity-xom
+
 # Cipher-kernel smoke: the equivalence tests plus a sanity run of the
 # microbenchmark (exits non-zero if any kernel diverges from its
 # reference cipher).
@@ -80,6 +87,18 @@ bench-quick:
 	$(PYTHON) -m repro.cli bench --quick --workers $(WORKERS) \
 		--out BENCH_quick_metrics.json --cache-dir .bench_cache_quick
 
+# Performance gate (CI): a fresh-cache quick suite must reproduce the
+# committed metrics byte-for-byte and finish within 25% of the committed
+# wall-time profile.
+bench-gate:
+	cp BENCH_quick_metrics_profile.json /tmp/bench_profile_baseline.json
+	rm -rf .bench_cache_quick
+	$(MAKE) bench-quick
+	git diff --exit-code BENCH_quick_metrics.json
+	$(PYTHON) -m repro.runner.profile_gate \
+		--profile BENCH_quick_metrics_profile.json \
+		--baseline /tmp/bench_profile_baseline.json --tolerance 0.25
+
 # The same experiment bodies under pytest-benchmark (per-bench timing).
 bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
@@ -101,4 +120,3 @@ clean:
 	rm -rf .pytest_cache .hypothesis *.egg-info src/*.egg-info
 	rm -rf .bench_cache .bench_cache_quick
 	rm -f BENCH_metrics.json BENCH_metrics_profile.json
-	rm -f BENCH_quick_metrics_profile.json

@@ -62,8 +62,13 @@ def measure_overhead(
     **system_kwargs,
 ) -> OverheadResult:
     """Run one engine and the baseline on the same trace."""
+    from ..sim.fastpath import compile_trace
+
     cache_config = cache_config or CacheConfig()
     mem_config = mem_config or MemoryConfig()
+    # Compile once: both runs (and, through overhead_grid, every engine on
+    # this workload) replay the same coalesced access runs.
+    compiled = compile_trace(trace, cache_config.line_size)
 
     def run(engine: Optional[BusEncryptionEngine]) -> SimReport:
         system = SecureSystem(
@@ -72,7 +77,7 @@ def measure_overhead(
         )
         if image is not None:
             system.install_image(image_base, image)
-        return system.run(list(trace))
+        return system.run(compiled)
 
     engine = engine_factory()
     secured = run(engine)
@@ -91,8 +96,14 @@ def overhead_grid(
     **kwargs,
 ) -> List[OverheadResult]:
     """Every engine on every workload; the E14 survey-table data."""
+    from ..sim.fastpath import compile_trace
+
+    line_size = (kwargs.get("cache_config") or CacheConfig()).line_size
     results = []
     for workload_name, trace in workloads.items():
+        # One compilation serves the whole engine column (compile_trace
+        # passes an already-compiled trace through unchanged).
+        trace = compile_trace(trace, line_size)
         for engine_name, factory in engines.items():
             result = measure_overhead(
                 factory, trace, workload=workload_name, **kwargs

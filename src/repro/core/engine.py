@@ -19,7 +19,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from enum import Enum
-from typing import FrozenSet, Optional, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Tuple
 
 from ..obs import EventSink, TraceEvent
 from ..sim.area import AreaEstimate
@@ -258,6 +258,34 @@ class BusEncryptionEngine(ABC):
             else plaintext
         return extra + port.write(addr, ciphertext)
 
+    # -- bulk entry points ---------------------------------------------------
+    #
+    # The batched trace executor (repro.sim.fastpath) collects the miss
+    # stream and hands whole groups of line fills/writebacks to the engine
+    # at once.  The defaults preserve scalar semantics exactly — same
+    # per-line port traffic, stats, events and cycle accounting, in the
+    # same order — so every engine works unported; engines with batched
+    # kernels override to amortize the crypto across the group.
+
+    def fill_lines(self, port: MemoryPort, addrs: Sequence[int],
+                   line_size: int) -> List[Tuple[bytes, int]]:
+        """Service a group of cache-line fills; one (plaintext, cycles) each.
+
+        Must behave exactly like ``[fill_line(port, a, line_size) for a in
+        addrs]``: bulk implementations may batch the *byte transforms* but
+        keep the per-line bus reads, stats updates and events in order.
+        """
+        return [self.fill_line(port, addr, line_size) for addr in addrs]
+
+    def spill_lines(self, port: MemoryPort,
+                    writes: Sequence[Tuple[int, bytes]]) -> List[int]:
+        """Service a group of full-line writebacks; returns cycles per line.
+
+        The bulk dual of :meth:`write_line`, with the same equivalence
+        contract as :meth:`fill_lines`.
+        """
+        return [self.write_line(port, addr, data) for addr, data in writes]
+
     def write_partial(self, port: MemoryPort, addr: int, data: bytes,
                       line_size: int) -> int:
         """Service a write narrower than a line (write-through / no-allocate).
@@ -338,6 +366,17 @@ class NullEngine(BusEncryptionEngine):
 
     def write_extra_cycles(self, addr: int, nbytes: int) -> int:
         return 0
+
+    def fill_lines(self, port: MemoryPort, addrs: Sequence[int],
+                   line_size: int) -> List[Tuple[bytes, int]]:
+        # Identity transform, zero extra cycles, no cipher events: the
+        # bulk fill is just the bus reads plus the decrypt counter.
+        out = []
+        for addr in addrs:
+            data, mem_cycles = port.read(addr, line_size)
+            self.stats.lines_decrypted += 1
+            out.append((data, mem_cycles))
+        return out
 
     def area(self) -> AreaEstimate:
         return AreaEstimate(self.name)

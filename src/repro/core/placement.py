@@ -21,7 +21,7 @@ one workload and returns the table E12 prints.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..crypto.kernels import aes_kernel, ctr_pad
 from ..crypto.modes import xor_bytes
@@ -30,7 +30,7 @@ from ..sim.cache import CacheConfig
 from ..sim.memory import MemoryConfig
 from ..sim.pipeline import KEYSTREAM_UNIT, PipelinedUnit, XOM_AES_PIPE
 from ..traces.trace import Trace
-from .engine import BusEncryptionEngine, Placement
+from .engine import BusEncryptionEngine, MemoryPort, Placement
 from .stream_engine import StreamCipherEngine
 
 # NOTE: repro.sim.system imports this package (for the engine interface), so
@@ -100,6 +100,41 @@ class CpuCacheStreamEngine(BusEncryptionEngine):
         # the cache access path.
         return self.unit.latency
 
+    def fill_lines(self, port: MemoryPort, addrs: Sequence[int],
+                   line_size: int) -> List[Tuple[bytes, int]]:
+        # Position-keyed keystream: one batched pad call covers the whole
+        # group (the counter layout depends only on the block address).
+        ciphertexts: List[bytes] = []
+        cycles: List[int] = []
+        for addr in addrs:
+            ciphertext, mem_cycles = port.read(addr, line_size)
+            self.stats.lines_decrypted += 1
+            if self.sink is not None:
+                self._emit("decipher", addr, line_size)
+            ciphertexts.append(ciphertext)
+            cycles.append(mem_cycles)
+        if not self.functional:
+            return list(zip(ciphertexts, cycles))
+        size = 16
+        spans: List[Tuple[int, int]] = []
+        material: List[bytes] = []
+        for addr in addrs:
+            start = addr - addr % size
+            end = -(-(addr + line_size) // size) * size
+            material.append(b"".join(
+                b"cpu$" + (block_addr // 16).to_bytes(12, "big")
+                for block_addr in range(start, end, size)
+            ))
+            spans.append((addr - start, end - start))
+        pad = self._aes.encrypt_blocks(b"".join(material))
+        out: List[Tuple[bytes, int]] = []
+        pos = 0
+        for i, (offset, span) in enumerate(spans):
+            line_pad = pad[pos + offset: pos + offset + line_size]
+            out.append((xor_bytes(ciphertexts[i], line_pad), cycles[i]))
+            pos += span
+        return out
+
     def area(self) -> AreaEstimate:
         est = AreaEstimate(self.name)
         if self.keystream_on_chip:
@@ -145,16 +180,19 @@ def compare_placements(
     ``functional=False`` by default: placement is a pure timing question and
     timing-only runs keep the sweep fast.
     """
+    from ..sim.fastpath import compile_trace
     from ..sim.system import SecureSystem
 
     cache_config = cache_config or CacheConfig()
     mem_config = mem_config or MemoryConfig()
+    # All four design points replay the same compiled runs.
+    compiled = compile_trace(trace, cache_config.line_size)
 
     def run(engine):
         system = SecureSystem(
             engine=engine, cache_config=cache_config, mem_config=mem_config
         )
-        return system.run(list(trace))
+        return system.run(compiled)
 
     baseline = run(None)
     edu_7a = StreamCipherEngine(

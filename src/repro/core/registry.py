@@ -39,6 +39,7 @@ from .xom import XomAesEngine
 __all__ = [
     "EngineSpec", "ENGINE_SPECS", "DEFAULT_KEYS",
     "make_engine", "get_spec", "list_engines", "engine_names",
+    "warm_kernel_registry",
 ]
 
 #: Deterministic demo keys by key size; every spec picks one of these when
@@ -240,3 +241,19 @@ def list_engines(survey_only: bool = False) -> List[Tuple[str, EngineSpec]]:
     """Sorted (name, spec) pairs for display."""
     return [(name, ENGINE_SPECS[name])
             for name in engine_names(survey_only=survey_only)]
+
+
+def warm_kernel_registry() -> int:
+    """Instantiate every registered engine once, discarding the instances.
+
+    Construction expands each engine's cipher key schedules into the
+    process-wide kernel registry (:mod:`repro.crypto.kernels`).  Called
+    before forking worker processes so the children inherit warm
+    schedules instead of each re-deriving them; returns the number of
+    engines built.
+    """
+    count = 0
+    for name in ENGINE_SPECS:
+        make_engine(name)
+        count += 1
+    return count

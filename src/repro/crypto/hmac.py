@@ -7,10 +7,11 @@ in the reproduction, and it also backs the PRF used for key derivation.
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
 from typing import List, Tuple
 
-from .sha256 import SHA256, sha256
+from .sha256 import HASHLIB_BACKED, SHA256, sha256
 
 __all__ = ["hmac_sha256", "verify_hmac", "consttime_eq", "prf"]
 
@@ -22,14 +23,22 @@ _BLOCK = 64
 _STATE_CACHE: "OrderedDict[bytes, Tuple[List[int], List[int]]]" = OrderedDict()
 _STATE_CACHE_MAX = 64
 
+# Same idea on the hashlib-backed path: key -> hashlib streams positioned
+# after ipad/opad, resumed per tag with the O(1) ``copy()``.
+_FAST_CACHE: "OrderedDict[bytes, Tuple[object, object]]" = OrderedDict()
+
+
+def _padded_key(key: bytes) -> bytes:
+    padded = sha256(key) if len(key) > _BLOCK else key
+    return padded.ljust(_BLOCK, b"\x00")
+
 
 def _keyed_states(key: bytes) -> Tuple[List[int], List[int]]:
     cached = _STATE_CACHE.get(key)
     if cached is not None:
         _STATE_CACHE.move_to_end(key)
         return cached
-    padded = sha256(key) if len(key) > _BLOCK else key
-    padded = padded.ljust(_BLOCK, b"\x00")
+    padded = _padded_key(key)
     inner = SHA256(bytes(b ^ 0x36 for b in padded))
     outer = SHA256(bytes(b ^ 0x5C for b in padded))
     cached = (inner._h, outer._h)
@@ -47,8 +56,35 @@ def _resume(state: List[int]) -> SHA256:
     return h
 
 
+def _fast_states(key: bytes):
+    cached = _FAST_CACHE.get(key)
+    if cached is not None:
+        _FAST_CACHE.move_to_end(key)
+        return cached
+    padded = _padded_key(key)
+    inner = hashlib.sha256(bytes(b ^ 0x36 for b in padded))
+    outer = hashlib.sha256(bytes(b ^ 0x5C for b in padded))
+    cached = (inner, outer)
+    _FAST_CACHE[key] = cached
+    while len(_FAST_CACHE) > _STATE_CACHE_MAX:
+        _FAST_CACHE.popitem(last=False)
+    return cached
+
+
 def hmac_sha256(key: bytes, message: bytes) -> bytes:
     """Compute HMAC-SHA256(key, message)."""
+    if HASHLIB_BACKED:
+        inner0, outer0 = _fast_states(bytes(key))
+        inner = inner0.copy()
+        inner.update(message)
+        outer = outer0.copy()
+        outer.update(inner.digest())
+        return outer.digest()
+    return hmac_sha256_reference(key, message)
+
+
+def hmac_sha256_reference(key: bytes, message: bytes) -> bytes:
+    """The from-scratch HMAC path (equivalence baseline for the fast one)."""
     inner_state, outer_state = _keyed_states(bytes(key))
     inner = _resume(inner_state).update(message).digest()
     return _resume(outer_state).update(inner).digest()

@@ -133,6 +133,11 @@ class AESKernel:
         kernel._init_from_schedule(cipher)
         return kernel
 
+    def __deepcopy__(self, memo):
+        # The expanded schedule is immutable after construction; engines
+        # cloned for warm-rig reuse can share the instance.
+        return self
+
     def _init_from_schedule(self, ref: AES) -> None:
         self.key_size = ref.key_size
         self._rounds = ref._rounds
@@ -329,6 +334,10 @@ class DESKernel:
         self._keys = tuple(_key_schedule(int.from_bytes(key, "big")))
         self._rev_keys = tuple(reversed(self._keys))
 
+    def __deepcopy__(self, memo):
+        # Immutable after construction (see AESKernel.__deepcopy__).
+        return self
+
     @classmethod
     def from_cipher(cls, cipher: DES) -> "DESKernel":
         kernel = cls.__new__(cls)
@@ -393,6 +402,10 @@ class TripleDESKernel:
             _key_schedule(int.from_bytes(k2, "big")),
             _key_schedule(int.from_bytes(k3, "big")),
         )
+
+    def __deepcopy__(self, memo):
+        # Immutable after construction (see AESKernel.__deepcopy__).
+        return self
 
     @classmethod
     def from_cipher(cls, cipher: TripleDES) -> "TripleDESKernel":

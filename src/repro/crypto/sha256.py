@@ -3,14 +3,22 @@
 Used by the keyed-hash (HMAC) authentication path of the General Instrument
 engine (E08), by the deterministic DRBG, and as the PRF behind the
 address-tweaked small ciphers.
+
+The from-scratch :class:`SHA256` stream is the reference.  The one-shot
+:func:`sha256` (and the HMAC layer on top, see :mod:`repro.crypto.hmac`)
+dispatches to the platform implementation in :mod:`hashlib` when an
+import-time equivalence probe against the reference passes — same
+digests, an order of magnitude less interpreter work on the tag/DRBG
+hot paths.  ``HASHLIB_BACKED`` records which path is live.
 """
 
 from __future__ import annotations
 
+import hashlib
 import struct
 from typing import List
 
-__all__ = ["sha256", "SHA256"]
+__all__ = ["sha256", "SHA256", "HASHLIB_BACKED"]
 
 _K = [
     0x428A2F98, 0x71374491, 0xB5C0FBCF, 0xE9B5DBA5,
@@ -119,6 +127,35 @@ class SHA256:
         return self.digest().hex()
 
 
+def _probe_hashlib() -> bool:
+    """Gate the platform dispatch on reference equivalence.
+
+    Probes cover the FIPS 180-4 one-block ("abc") and two-block vectors,
+    the empty message, and a multi-block message crossing the padding
+    boundary; any mismatch (or a hashlib without sha256) falls back to
+    the from-scratch stream.
+    """
+    vectors = [
+        b"",
+        b"abc",
+        b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        bytes(range(256)) * 3 + b"tail",
+    ]
+    try:
+        return all(
+            hashlib.sha256(v).digest() == SHA256(v).digest() for v in vectors
+        )
+    except (AttributeError, ValueError):
+        return False
+
+
+#: True when one-shot digests are served by :mod:`hashlib` (probed at
+#: import against the from-scratch reference above).
+HASHLIB_BACKED = _probe_hashlib()
+
+
 def sha256(data: bytes) -> bytes:
     """One-shot SHA-256 digest."""
+    if HASHLIB_BACKED:
+        return hashlib.sha256(data).digest()
     return SHA256(data).digest()

@@ -23,6 +23,8 @@ campaign seed, so the matrix is reproducible across runs and workers.
 
 from __future__ import annotations
 
+import copy
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -37,8 +39,8 @@ from .injector import FaultInjector, ReadRecorder
 from .plan import FAULT_KINDS, FaultPlan
 
 __all__ = [
-    "CAMPAIGN_OVERRIDES", "CampaignResult", "campaign_labels",
-    "detection_matrix", "run_campaign",
+    "CAMPAIGN_OVERRIDES", "CampaignResult", "campaign_image",
+    "campaign_labels", "detection_matrix", "run_campaign",
 ]
 
 #: Campaign geometry.  The image is sixteen GI regions / eight VLSI pages;
@@ -79,6 +81,32 @@ READ_ONLY_LABELS = frozenset({"compress"})
 #: (label, seed) -> (target window, donor window); recon depends only on
 #: the engine's geometry, so campaigns for the four fault kinds share it.
 _RECON_CACHE: Dict[Tuple[str, int], Tuple[Tuple[int, int], Tuple[int, int]]] = {}
+
+#: seed -> the campaign image those bytes deterministically expand to.
+_IMAGE_CACHE: "OrderedDict[int, bytes]" = OrderedDict()
+_IMAGE_CACHE_MAX = 16
+
+#: (label, seed) -> pristine post-install state: a deep copy of the engine
+#: (kernels shared — their schedules are immutable) plus a full dump of the
+#: external memory.  Recon and the campaign proper use the same rig, so the
+#: expensive part — building the engine and offline-encrypting the 256-line
+#: image (Merkle tree, tag regions, per-line IVs...) — runs once per
+#: (label, seed) instead of once per use.
+_PRISTINE_CACHE: "OrderedDict[Tuple[str, int], Tuple[BusEncryptionEngine, bytes]]" = OrderedDict()
+_PRISTINE_CACHE_MAX = 8
+
+
+def campaign_image(seed: int) -> bytes:
+    """The deterministic campaign image for ``seed`` (cached)."""
+    image = _IMAGE_CACHE.get(seed)
+    if image is None:
+        image = DRBG(seed).random_bytes(IMAGE_SIZE)
+        _IMAGE_CACHE[seed] = image
+        while len(_IMAGE_CACHE) > _IMAGE_CACHE_MAX:
+            _IMAGE_CACHE.popitem(last=False)
+    else:
+        _IMAGE_CACHE.move_to_end(seed)
+    return image
 
 
 @dataclass
@@ -141,12 +169,36 @@ def _build_engine(label: str) -> BusEncryptionEngine:
     return make_engine(name, **overrides)
 
 
-def _rig(label: str, image: bytes):
-    """Fresh engine + memory + port with the image installed."""
-    engine = _build_engine(label)
+def _rig(label: str, image: bytes, seed: Optional[int] = None):
+    """Fresh engine + memory + port with the image installed.
+
+    With a ``seed``, the pristine post-install state is cached per
+    (label, seed) and every call gets an independent clone of it — the
+    campaign's recon pass and attack run share one install instead of
+    re-encrypting the image twice.  Without a seed the rig is built cold.
+    """
+    if seed is None:
+        engine = _build_engine(label)
+        memory = MainMemory(MemoryConfig(size=MEM_SIZE))
+        port = MemoryPort(memory, Bus())
+        engine.install_image(memory, 0, image, line_size=LINE)
+        return engine, memory, port
+    key = (label, seed)
+    cached = _PRISTINE_CACHE.get(key)
+    if cached is None:
+        engine = _build_engine(label)
+        memory = MainMemory(MemoryConfig(size=MEM_SIZE))
+        engine.install_image(memory, 0, image, line_size=LINE)
+        cached = (engine, memory.dump(0, MEM_SIZE))
+        _PRISTINE_CACHE[key] = cached
+        while len(_PRISTINE_CACHE) > _PRISTINE_CACHE_MAX:
+            _PRISTINE_CACHE.popitem(last=False)
+    else:
+        _PRISTINE_CACHE.move_to_end(key)
+    engine = copy.deepcopy(cached[0])
     memory = MainMemory(MemoryConfig(size=MEM_SIZE))
+    memory.load_image(0, cached[1])
     port = MemoryPort(memory, Bus())
-    engine.install_image(memory, 0, image, line_size=LINE)
     return engine, memory, port
 
 
@@ -173,7 +225,7 @@ def _windows(label: str, image: bytes, seed: int
     cached = _RECON_CACHE.get(key)
     if cached is not None:
         return cached
-    engine, memory, port = _rig(label, image)
+    engine, memory, port = _rig(label, image, seed)
     windows = []
     for logical in (TARGET, DONOR):
         recorder = ReadRecorder(memory)
@@ -218,10 +270,10 @@ def run_campaign(label: str, kind: Optional[str] = None, seed: int = 2005,
             f"unknown fault kind {kind!r}; known: {FAULT_KINDS}"
         )
     sink = sink if sink is not None else current_sink()
-    image = DRBG(seed).random_bytes(IMAGE_SIZE)
+    image = campaign_image(seed)
     target, donor = _windows(label, image, seed)
 
-    engine, memory, port = _rig(label, image)
+    engine, memory, port = _rig(label, image, seed)
     engine.attach_sink(sink)
     read_only = label in READ_ONLY_LABELS
     plans = [] if kind is None else [_make_plan(kind, target, donor, seed)]

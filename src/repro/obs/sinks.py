@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import json
 from collections import Counter, deque
-from typing import IO, Deque, Dict, Iterable, List, Optional, Union
+from typing import (
+    IO, Callable, Deque, Dict, Iterable, List, Optional, Union,
+)
 
 from .events import TraceEvent
 
@@ -36,6 +38,28 @@ class EventSink:
 
     def emit(self, event: TraceEvent) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    def emit_bulk(self, kind: str, count: int, total_size: int,
+                  events: Callable[[], Iterable[TraceEvent]]) -> None:
+        """Aggregated emission of ``count`` same-kind events.
+
+        The batched fast path (:mod:`repro.sim.fastpath`) reports whole
+        runs of cache hits through this hook instead of constructing one
+        :class:`TraceEvent` per access.  ``events`` is a zero-argument
+        callable producing the individual events; sinks that only
+        aggregate (:class:`CounterSink`) never invoke it, so the common
+        observed run skips per-access event construction entirely.  The
+        callable may be invoked more than once (e.g. under a
+        :class:`TeeSink` fanning out to two event-keeping sinks).
+
+        Contract: for any sink, ``emit_bulk(kind, n, total, events)``
+        must leave the same *aggregate* state (counts, byte totals) as
+        ``n`` individual :meth:`emit` calls; event-keeping sinks also
+        store the same events, though batches of different kinds may be
+        stored grouped rather than interleaved.
+        """
+        for event in events():
+            self.emit(event)
 
     def close(self) -> None:
         """Release any resources (file sinks override)."""
@@ -57,6 +81,10 @@ class NullSink(EventSink):
     def emit(self, event: TraceEvent) -> None:
         pass
 
+    def emit_bulk(self, kind: str, count: int, total_size: int,
+                  events: Callable[[], Iterable[TraceEvent]]) -> None:
+        pass
+
 
 class CounterSink(EventSink):
     """Counts events by kind and sums the bytes they moved.
@@ -74,6 +102,14 @@ class CounterSink(EventSink):
         self.counts[event.kind] += 1
         if event.size:
             self.bytes_by_kind[event.kind] += event.size
+
+    def emit_bulk(self, kind: str, count: int, total_size: int,
+                  events: Callable[[], Iterable[TraceEvent]]) -> None:
+        # The whole point of the hook: a run of n hits is two counter
+        # adds, not n event constructions.
+        self.counts[kind] += count
+        if total_size:
+            self.bytes_by_kind[kind] += total_size
 
     def get(self, kind: str) -> int:
         """Count for one kind (0 if never seen)."""
@@ -111,6 +147,11 @@ class RingBufferSink(CounterSink):
         super().emit(event)
         self.events.append(event)
 
+    # Event-keeping sinks must materialize batches: inheriting
+    # CounterSink's aggregate-only emit_bulk would silently drop the
+    # events themselves.
+    emit_bulk = EventSink.emit_bulk
+
     @property
     def dropped(self) -> int:
         """Events that fell off the front of the ring."""
@@ -136,6 +177,8 @@ class RecordingSink(CounterSink):
             self.dropped += 1
             return
         self.events.append(event)
+
+    emit_bulk = EventSink.emit_bulk  # keep the events, not just counts
 
 
 class JsonlSink(EventSink):
@@ -173,6 +216,11 @@ class TeeSink(EventSink):
     def emit(self, event: TraceEvent) -> None:
         for sink in self.sinks:
             sink.emit(event)
+
+    def emit_bulk(self, kind: str, count: int, total_size: int,
+                  events: Callable[[], Iterable[TraceEvent]]) -> None:
+        for sink in self.sinks:
+            sink.emit_bulk(kind, count, total_size, events)
 
     def close(self) -> None:
         for sink in self.sinks:

@@ -1,0 +1,92 @@
+"""Wall-clock regression gate for the benchmark suite.
+
+``python -m repro.runner.profile_gate --profile NEW --baseline OLD``
+compares two runner profile documents (the ``*_profile.json`` written
+next to every metrics document) and exits non-zero when the fresh run's
+total wall exceeds the baseline by more than ``--tolerance`` (default
+25%).  CI runs it after a fresh-cache ``make bench-quick`` against the
+committed profile, so a change that quietly slows the suite down fails
+the build with the per-task deltas that caused it.
+
+Only fully executed runs are comparable: a profile whose cache section
+shows hits replayed some tasks in ~0s and would pass vacuously, so the
+gate rejects it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+__all__ = ["compare_profiles", "main"]
+
+
+def compare_profiles(profile: dict, baseline: dict,
+                     tolerance: float) -> Sequence[str]:
+    """Return the list of failure messages (empty when the gate passes)."""
+    problems = []
+    hits = profile.get("cache", {}).get("hits", 0)
+    if hits:
+        problems.append(
+            f"profile under test replayed {hits} task(s) from cache; "
+            "the gate needs a fresh-cache run"
+        )
+    wall = profile.get("wall_seconds")
+    base_wall = baseline.get("wall_seconds")
+    if wall is None or base_wall is None:
+        problems.append("both documents need a wall_seconds field")
+        return problems
+    budget = base_wall * (1.0 + tolerance)
+    if wall > budget:
+        problems.append(
+            f"suite wall {wall:.3f}s exceeds {budget:.3f}s "
+            f"(baseline {base_wall:.3f}s + {tolerance:.0%})"
+        )
+        new_tasks = profile.get("task_wall_seconds", {})
+        old_tasks = baseline.get("task_wall_seconds", {})
+        regressions = sorted(
+            ((task, new_tasks[task], old_tasks.get(task, 0.0))
+             for task in new_tasks),
+            key=lambda item: item[2] - item[1],
+        )[:5]
+        for task, new_wall, old_wall in regressions:
+            problems.append(
+                f"  {task}: {old_wall:.3f}s -> {new_wall:.3f}s"
+            )
+    return problems
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runner.profile_gate",
+        description="Fail when a fresh benchmark profile regressed past "
+                    "the committed baseline's wall-time budget.",
+    )
+    parser.add_argument("--profile", required=True,
+                        help="profile JSON of the run under test")
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline profile JSON")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional slowdown (default 0.25)")
+    args = parser.parse_args(argv)
+    with open(args.profile, encoding="utf-8") as fh:
+        profile = json.load(fh)
+    with open(args.baseline, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    problems = compare_profiles(profile, baseline, args.tolerance)
+    if problems:
+        for problem in problems:
+            print(f"profile-gate: {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"profile-gate: ok — wall {profile['wall_seconds']:.3f}s within "
+        f"{args.tolerance:.0%} of baseline "
+        f"{baseline['wall_seconds']:.3f}s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -169,26 +169,34 @@ class ExperimentRunner:
         walls: Dict[str, float] = {}
 
         pending: List[_TaskSpec] = []
+        cache_stats: Dict[str, Dict[str, int]] = {
+            exp.id: {"hits": 0, "misses": 0} for exp in self.experiments
+        }
         for spec in self._task_specs():
             exp_id, task_name = spec[0], spec[1]
             cached = None
             if self.cache is not None:
                 cached = self.cache.get(self._cache_key(exp_id, task_name))
             if cached is not None and "metrics" in cached:
+                cache_stats[exp_id]["hits"] += 1
                 results[exp_id][task_name] = cached
                 walls[f"{exp_id}:{task_name}"] = 0.0
                 self._progress(f"{exp_id}:{task_name}  [cached]")
             else:
+                if self.cache is not None:
+                    cache_stats[exp_id]["misses"] += 1
                 pending.append(spec)
 
         for exp_id, task_name, value, wall in self._execute(pending):
             results[exp_id][task_name] = value
-            walls[f"{exp_id}:{task_name}"] = round(wall, 3)
+            # Microsecond resolution: sub-millisecond tasks (e.g. the
+            # kernel microbench summaries) must not profile as 0.0.
+            walls[f"{exp_id}:{task_name}"] = round(wall, 6)
             if self.cache is not None:
                 self.cache.put(self._cache_key(exp_id, task_name), value)
             self._progress(f"{exp_id}:{task_name}  [{wall:.2f}s]")
 
-        return self._assemble(results, walls,
+        return self._assemble(results, walls, cache_stats,
                               time.perf_counter() - suite_start)
 
     def _execute(self, pending: List[_TaskSpec]):
@@ -201,6 +209,11 @@ class ExperimentRunner:
             return
         # Fork keeps sys.path (and the already-imported registry) intact
         # in the children; chunksize 1 keeps long tasks load-balanced.
+        # Expanding every engine's cipher schedules first means the
+        # children inherit a warm kernel registry instead of each
+        # re-deriving the same key schedules.
+        from ..core.registry import warm_kernel_registry
+        warm_kernel_registry()
         ctx = multiprocessing.get_context("fork")
         with ctx.Pool(processes=self.workers) as pool:
             for item in pool.imap_unordered(_execute_task, pending,
@@ -209,7 +222,7 @@ class ExperimentRunner:
 
     # -- assembly ----------------------------------------------------------
 
-    def _assemble(self, results, walls, total_wall) -> RunResult:
+    def _assemble(self, results, walls, cache_stats, total_wall) -> RunResult:
         from ..obs import merge_observability
 
         experiments_doc = {}
@@ -256,6 +269,10 @@ class ExperimentRunner:
                 "hits": self.cache.hits if self.cache else 0,
                 "misses": self.cache.misses if self.cache else 0,
                 "dir": str(self.cache.root) if self.cache else None,
+                "per_experiment": {
+                    exp_id: dict(stats)
+                    for exp_id, stats in sorted(cache_stats.items())
+                },
             },
             "task_wall_seconds": dict(sorted(walls.items())),
         }

@@ -1,0 +1,401 @@
+"""Batched trace execution: the simulator's fast path.
+
+:meth:`repro.sim.system.SecureSystem.run` walks every :class:`Access`
+through ``Cache.access`` -> engine -> ``Bus`` -> ``MainMemory`` one at a
+time.  That per-access dispatch — an ``OrderedDict`` LRU update, a
+``CacheResult`` allocation, an event construction, an engine method call —
+dominates the quick suite even though the survey's interesting work all
+happens on the *miss* stream.  This module executes the same trace in
+batches:
+
+* :func:`compile_trace` precomputes line numbers once and coalesces
+  consecutive same-line accesses into runs (with per-run kind counts,
+  byte totals and store positions), so a compiled trace can be replayed
+  against many systems;
+* :func:`execute` resolves the hit stream in bulk over a tight
+  array-based LRU (plain per-set lists instead of per-access
+  ``OrderedDict`` churn) and defers load/fetch miss fills into groups
+  that reach the engine through the bulk
+  :meth:`~repro.core.engine.BusEncryptionEngine.fill_lines` interface —
+  one batched kernel call per group for the ported engines.
+
+Equivalence contract (pinned by ``tests/test_fastpath.py`` and
+``python -m repro.sim.bench_fastpath --check``):
+
+* the :class:`~repro.sim.system.SimReport` is byte-identical to the
+  scalar path — same cycles, counters, stats — for every engine;
+* the bus transaction stream (op, addr, data) is identical in content
+  *and order*: deferred fills are flushed before any engine write so the
+  engine-call order, and therefore every engine's internal state
+  evolution, matches the scalar schedule exactly;
+* with a sink attached, aggregate totals (:class:`repro.obs.CounterSink`
+  counts and byte sums) are identical.  Bulk-resolved hit runs report
+  through :meth:`repro.obs.EventSink.emit_bulk`, so batches of `access`
+  and `hit` events may arrive grouped by kind rather than interleaved,
+  and deferred fills carry later cycle stamps than their scalar twins —
+  event *interleaving and stamps* are the one relaxation.
+
+With observability disabled the hot loop constructs zero
+:class:`~repro.obs.TraceEvent` objects.  Engines that override
+``notify_access`` (none in the registry do) fall back to the scalar
+per-access loop, as does the explicit reference path
+:meth:`~repro.sim.system.SecureSystem.run_reference`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple, Union
+
+from ..core.engine import BusEncryptionEngine, Placement
+from ..obs import TraceEvent
+from ..traces.trace import Access, AccessKind, Trace
+from .cache import WritePolicy, _Line
+
+__all__ = ["CompiledTrace", "compile_trace", "execute", "FLUSH_THRESHOLD"]
+
+#: Deferred fills are handed to ``fill_lines`` in groups of at most this
+#: many lines (they also flush early whenever ordering requires it).
+FLUSH_THRESHOLD = 16
+
+#: One coalesced same-line run:
+#: (start, count, line, n_fetch, n_load, n_store, byte_total, store_idxs).
+_Run = Tuple[int, int, int, int, int, int, int, Tuple[int, ...]]
+
+
+class CompiledTrace:
+    """A trace preprocessed for batched execution against one line size.
+
+    Iterable and sized like the access list it wraps, so it can stand in
+    for a plain trace anywhere; :func:`execute` recognizes it and skips
+    recompilation when the line size matches.
+    """
+
+    __slots__ = ("accesses", "line_size", "runs")
+
+    def __init__(self, accesses: List[Access], line_size: int,
+                 runs: List[_Run]):
+        self.accesses = accesses
+        self.line_size = line_size
+        self.runs = runs
+
+    def __len__(self) -> int:
+        return len(self.accesses)
+
+    def __iter__(self) -> Iterator[Access]:
+        return iter(self.accesses)
+
+
+def compile_trace(trace: Union[Trace, CompiledTrace],
+                  line_size: int) -> CompiledTrace:
+    """Coalesce consecutive same-line accesses into annotated runs."""
+    if isinstance(trace, CompiledTrace):
+        if trace.line_size == line_size:
+            return trace
+        accesses = trace.accesses
+    else:
+        accesses = list(trace)
+    fetch = AccessKind.FETCH
+    store = AccessKind.STORE
+    runs: List[_Run] = []
+    i = 0
+    n = len(accesses)
+    while i < n:
+        line = accesses[i].addr // line_size
+        n_fetch = n_load = n_store = total = 0
+        stores: List[int] = []
+        j = i
+        while j < n:
+            access = accesses[j]
+            if access.addr // line_size != line:
+                break
+            kind = access.kind
+            if kind is store:
+                n_store += 1
+                stores.append(j)
+            elif kind is fetch:
+                n_fetch += 1
+            else:
+                n_load += 1
+            total += access.size
+            j += 1
+        runs.append((i, j - i, line, n_fetch, n_load, n_store, total,
+                     tuple(stores)))
+        i = j
+    return CompiledTrace(accesses, line_size, runs)
+
+
+def execute(system, trace: Union[Trace, CompiledTrace]) -> None:
+    """Replay ``trace`` on ``system`` via the batched path.
+
+    Mutates the system exactly like ``for a in trace: system.step(a)``
+    (see the module docstring for the precise equivalence contract).
+    """
+    engine = system.engine
+    if type(engine).notify_access is not BusEncryptionEngine.notify_access:
+        # A prefetcher-style hook needs the per-access callback; take the
+        # scalar path rather than risk starving it.
+        for access in trace:
+            system.step(access)
+        return
+
+    cache = system.cache
+    cfg = cache.config
+    line_size = cfg.line_size
+    compiled = compile_trace(trace, line_size)
+    accesses = compiled.accesses
+
+    sink = system.sink
+    num_sets = cfg.num_sets
+    assoc = cfg.associativity
+    write_back = cfg.write_policy is WritePolicy.WRITE_BACK
+    write_allocate = cfg.write_allocate
+    hit_latency = cfg.hit_latency
+    issue = system.issue_cycles
+    per_access = engine.per_access_cycles() \
+        if engine.placement is Placement.CPU_CACHE else 0
+    step_cycles = issue + per_access + hit_latency
+    write_buffer = system.write_buffer
+    line_data = system._line_data
+    counts = system._counts
+    port = system.port
+    fetch_kind = AccessKind.FETCH
+    store_kind = AccessKind.STORE
+
+    # Mirror the cache's OrderedDict sets into plain lists (index 0 is
+    # LRU, the tail is MRU — OrderedDict insertion order is exactly that)
+    # plus one dirty set; synced back in the finally block below.
+    sets: List[List[int]] = [list(s) for s in cache._sets]
+    dirty = {
+        line
+        for s in cache._sets
+        for line, entry in s.items() if entry.dirty
+    }
+    hits = cache.hits
+    misses = cache.misses
+    evictions = cache.evictions
+    writebacks = cache.writebacks
+    cycles = system.cycles
+
+    pending: List[int] = []     # line numbers with deferred fills, in order
+    pending_set = set()
+
+    def flush_fills() -> None:
+        nonlocal cycles
+        system.cycles = cycles
+        addrs = [line * line_size for line in pending]
+        filled = engine.fill_lines(port, addrs, line_size)
+        for line, addr, (plaintext, fill_cycles) in zip(pending, addrs,
+                                                        filled):
+            cycles += fill_cycles
+            line_data[line] = bytearray(plaintext)
+            if sink is not None:
+                sink.emit(TraceEvent(kind="fill", addr=addr, size=line_size,
+                                     cycle=cycles))
+        pending.clear()
+        pending_set.clear()
+
+    def one_access(access: Access) -> None:
+        """Scalar-equivalent handling of one access on the array LRU."""
+        nonlocal cycles, hits, misses, evictions, writebacks
+        kind = access.kind
+        cycles += issue
+        counts[kind] += 1
+        if sink is not None:
+            sink.emit(TraceEvent(
+                kind="access", addr=access.addr, size=access.size,
+                cycle=cycles, detail=kind.name.lower(),
+            ))
+        cycles += per_access
+        is_write = kind is store_kind
+        line = access.addr // line_size
+        lines = sets[line % num_sets]
+
+        if line in lines:
+            if lines[-1] != line:
+                lines.remove(line)
+                lines.append(line)
+            hits += 1
+            if sink is not None:
+                sink.emit(TraceEvent(kind="hit", addr=access.addr,
+                                     size=line_size, cycle=cycles))
+            through = False
+            if is_write:
+                if write_back:
+                    dirty.add(line)
+                else:
+                    through = True
+            cycles += hit_latency
+        else:
+            misses += 1
+            if sink is not None:
+                sink.emit(TraceEvent(kind="miss", addr=access.addr,
+                                     size=line_size, cycle=cycles))
+            if is_write and not write_allocate:
+                # Store miss bypasses the cache entirely.
+                cycles += hit_latency
+                through = True
+            else:
+                victim = None
+                wb_addr = None
+                if len(lines) >= assoc:
+                    victim = lines.pop(0)
+                    evictions += 1
+                    if sink is not None:
+                        sink.emit(TraceEvent(
+                            kind="eviction", addr=victim * line_size,
+                            size=line_size, cycle=cycles,
+                        ))
+                    if victim in dirty:
+                        dirty.discard(victim)
+                        writebacks += 1
+                        wb_addr = victim * line_size
+                        if sink is not None:
+                            sink.emit(TraceEvent(
+                                kind="writeback", addr=wb_addr,
+                                size=line_size, cycle=cycles,
+                            ))
+                lines.append(line)
+                if is_write and write_back:
+                    dirty.add(line)
+                through = is_write and not write_back
+                cycles += hit_latency
+
+                # External traffic, in scalar engine-call order: every
+                # older deferred fill strictly precedes this access's
+                # victim writeback, which precedes its own fill.
+                if victim is not None:
+                    if pending and (wb_addr is not None
+                                    or victim in pending_set):
+                        flush_fills()
+                    victim_data = line_data.pop(victim, None)
+                    if wb_addr is not None:
+                        if victim_data is None:
+                            victim_data = bytearray(line_size)
+                        system.cycles = cycles
+                        wb_cycles = engine.write_line(
+                            port, wb_addr, bytes(victim_data)
+                        )
+                        if not write_buffer:
+                            cycles += wb_cycles
+                pending.append(line)
+                pending_set.add(line)
+                if is_write or len(pending) >= FLUSH_THRESHOLD:
+                    # Stores patch the line below, so their fill cannot
+                    # be deferred.
+                    flush_fills()
+
+        if is_write:
+            payload = bytes(
+                (access.addr + i) & 0xFF for i in range(access.size)
+            )
+            if line in pending_set:
+                flush_fills()
+            buf = line_data.get(line)
+            if buf is not None:
+                offset = access.addr - line * line_size
+                end = min(offset + len(payload), line_size)
+                buf[offset:end] = payload[: end - offset]
+            if through:
+                if pending:
+                    flush_fills()
+                system.cycles = cycles
+                write_cycles = engine.write_partial(
+                    port, access.addr, payload, line_size
+                )
+                if not write_buffer:
+                    cycles += write_cycles
+
+    try:
+        for start, count, line, n_fetch, n_load, n_store, total, stores \
+                in compiled.runs:
+            head = accesses[start]
+            one_access(head)
+            tail = count - 1
+            if tail == 0:
+                continue
+            lines = sets[line % num_sets]
+            head_is_store = head.kind is store_kind
+            tail_stores = n_store - (1 if head_is_store else 0)
+            if not (lines and lines[-1] == line
+                    and (write_back or tail_stores == 0)):
+                # Rare shapes (write-through stores, no-write-allocate
+                # bypass) keep full per-access treatment.
+                for k in range(start + 1, start + count):
+                    one_access(accesses[k])
+                continue
+
+            # Bulk tail: `tail` guaranteed hits on the already-MRU line.
+            # LRU order, set membership and engine state are all
+            # untouched by a same-line hit run, so the whole run reduces
+            # to counter/cycle arithmetic (plus store patches).
+            hits += tail
+            if n_fetch:
+                counts[fetch_kind] += n_fetch
+            if n_load:
+                counts[AccessKind.LOAD] += n_load
+            if n_store:
+                counts[store_kind] += n_store
+            counts[head.kind] -= 1  # the head was counted in one_access
+            if sink is not None:
+                base = cycles
+                lo, hi = start + 1, start + count
+
+                def access_events(base=base, lo=lo, hi=hi):
+                    c = base
+                    for k in range(lo, hi):
+                        access = accesses[k]
+                        c += issue
+                        yield TraceEvent(
+                            kind="access", addr=access.addr,
+                            size=access.size, cycle=c,
+                            detail=access.kind.name.lower(),
+                        )
+                        c += per_access + hit_latency
+
+                def hit_events(base=base, lo=lo, hi=hi):
+                    c = base
+                    for k in range(lo, hi):
+                        access = accesses[k]
+                        c += issue + per_access
+                        yield TraceEvent(kind="hit", addr=access.addr,
+                                         size=line_size, cycle=c)
+                        c += hit_latency
+
+                sink.emit_bulk("access", tail, total - head.size,
+                               access_events)
+                sink.emit_bulk("hit", tail, tail * line_size, hit_events)
+            cycles += tail * step_cycles
+
+            if tail_stores:
+                if line in pending_set:
+                    flush_fills()
+                dirty.add(line)
+                buf = line_data.get(line)
+                if buf is not None:
+                    for idx in stores:
+                        if idx == start:
+                            continue
+                        access = accesses[idx]
+                        payload = bytes(
+                            (access.addr + i) & 0xFF
+                            for i in range(access.size)
+                        )
+                        offset = access.addr - line * line_size
+                        end = min(offset + len(payload), line_size)
+                        buf[offset:end] = payload[: end - offset]
+
+        if pending:
+            flush_fills()
+    finally:
+        # Sync the mirrored state back into the cache so scalar steps,
+        # flushes and reports observe exactly the post-run state — even
+        # when an engine raised (e.g. TamperDetected) mid-run.
+        cache.hits = hits
+        cache.misses = misses
+        cache.evictions = evictions
+        cache.writebacks = writebacks
+        system.cycles = cycles
+        for index, ordered in enumerate(cache._sets):
+            ordered.clear()
+            for line in sets[index]:
+                ordered[line] = _Line(dirty=line in dirty)

@@ -133,6 +133,39 @@ class TestRunnerDeterminism:
         assert set(result.profile["task_wall_seconds"]) == {
             f"e01:{name}" for name in get_experiment("e01").tasks
         }
+        # Executed tasks record a real (microsecond-resolution) wall.
+        assert all(w > 0 for w in
+                   result.profile["task_wall_seconds"].values())
+
+    def test_profile_reports_per_experiment_cache_mix(self, tmp_path):
+        # First run: e01 fully executed (all misses).  Second run adds
+        # e13: e01 replays from cache, e13 executes — the per-experiment
+        # section must show that mix, which the suite totals can't.
+        shared = tmp_path / "cache-mix"
+        first = ExperimentRunner(
+            experiments=["e01"], workers=1, quick=True, cache_dir=shared,
+        ).run()
+        e01_tasks = len(get_experiment("e01").tasks)
+        assert first.profile["cache"]["per_experiment"] == {
+            "e01": {"hits": 0, "misses": e01_tasks},
+        }
+        second = ExperimentRunner(
+            experiments=["e01", "e13"], workers=1, quick=True,
+            cache_dir=shared,
+        ).run()
+        per_exp = second.profile["cache"]["per_experiment"]
+        assert per_exp["e01"] == {"hits": e01_tasks, "misses": 0}
+        assert per_exp["e13"]["hits"] == 0
+        assert per_exp["e13"]["misses"] == len(get_experiment("e13").tasks)
+        # Cached tasks report zero wall; executed tasks a positive one.
+        assert all(
+            second.profile["task_wall_seconds"][f"e01:{n}"] == 0.0
+            for n in get_experiment("e01").tasks
+        )
+        assert all(
+            second.profile["task_wall_seconds"][f"e13:{n}"] > 0
+            for n in get_experiment("e13").tasks
+        )
 
 
 class TestObservability:

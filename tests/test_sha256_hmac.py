@@ -188,3 +188,37 @@ class TestPRF:
 
     def test_key_separation(self):
         assert prf(b"key1", b"x") != prf(b"key2", b"x")
+
+
+class TestHashlibDispatch:
+    """The stdlib-backed fast path must be on and byte-identical to the
+    from-scratch reference (the import-time probe gates the dispatch)."""
+
+    def test_probe_accepted_stdlib(self):
+        from repro.crypto.sha256 import HASHLIB_BACKED
+
+        assert HASHLIB_BACKED is True
+
+    def test_oneshot_matches_reference_class(self):
+        for n in (0, 1, 31, 32, 55, 56, 63, 64, 65, 127, 128, 1000):
+            data = bytes((i * 7 + n) & 0xFF for i in range(n))
+            assert sha256(data) == SHA256(data).digest()
+
+    def test_hmac_matches_reference(self):
+        from repro.crypto.hmac import hmac_sha256_reference
+
+        for key_len in (0, 1, 16, 32, 63, 64, 65, 200):
+            key = bytes((i * 13 + key_len) & 0xFF for i in range(key_len))
+            for msg_len in (0, 1, 64, 200):
+                msg = bytes((i * 29) & 0xFF for i in range(msg_len))
+                assert hmac_sha256(key, msg) == hmac_sha256_reference(key, msg)
+
+    def test_hmac_state_cache_eviction_keeps_answers(self):
+        """Churning far past the LRU bound must not corrupt results."""
+        from repro.crypto.hmac import _STATE_CACHE_MAX, hmac_sha256_reference
+
+        keys = [b"churn-%d" % i for i in range(2 * _STATE_CACHE_MAX)]
+        expected = {k: hmac_sha256_reference(k, b"m") for k in keys}
+        for _ in range(2):
+            for k in keys:
+                assert hmac_sha256(k, b"m") == expected[k]
