@@ -13,7 +13,12 @@ ENGINE_CTORS := (Best|DS5002FP|DS5240|VlsiDma|GeneralInstrument|Gilmont|XomAes|A
 # simulator.
 OBS_BYPASS := (^|[^.[:alnum:]_])(print|Counter)\(
 
-.PHONY: install test check lint bench bench-quick bench-gate bench-pytest trace-smoke faults-smoke fastpath-smoke kernels-smoke kernels-bench examples attack survey clean
+# Code outside the package integrates through the supported surfaces
+# (repro.api, repro.runner top level); deep repro.runner.* imports from
+# benchmarks/examples would freeze internal layout.
+RUNNER_DEEP := ^[[:space:]]*(from repro\.runner\.[[:alnum:]_.]+ import|import repro\.runner\.)
+
+.PHONY: install test check lint bench bench-quick bench-gate bench-pytest trace-smoke faults-smoke fastpath-smoke kernels-smoke campaign-smoke kernels-bench campaign-bench examples attack survey clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -22,7 +27,7 @@ test:
 	$(PYTHON) -m pytest tests/
 
 # Tier-1 gate: the test suite plus the registry lint and the smoke runs.
-check: test lint trace-smoke faults-smoke kernels-smoke fastpath-smoke
+check: test lint trace-smoke faults-smoke kernels-smoke fastpath-smoke campaign-smoke
 
 lint:
 	@matches=$$(grep -rnE '$(ENGINE_CTORS)' --include='*.py' \
@@ -42,6 +47,15 @@ lint:
 		exit 1; \
 	fi; \
 	echo "lint: ok (sim reports through repro.obs events)"
+	@matches=$$(grep -rnE '$(RUNNER_DEEP)' --include='*.py' \
+		benchmarks examples || true); \
+	if [ -n "$$matches" ]; then \
+		echo "lint: import the runner surface via repro.runner (or" >&2; \
+		echo "      repro.api), not deep repro.runner.* modules:" >&2; \
+		echo "$$matches" >&2; \
+		exit 1; \
+	fi; \
+	echo "lint: ok (benchmarks/examples stay on the repro.runner surface)"
 
 # Event-stream smoke: one traced quick experiment plus the disabled-path
 # overhead micro-benchmark (reduced trials; prints the per-access cost).
@@ -56,6 +70,17 @@ faults-smoke:
 	$(PYTHON) -m repro.cli faults integrity-stream --kinds spoof replay \
 		> /dev/null
 	$(PYTHON) -m repro.cli faults stream --kinds spoof > /dev/null
+
+# Campaign smoke: a tiny sharded design-space grid must produce
+# byte-identical metrics at 1 and 2 workers (exits non-zero on any
+# divergence, which would break distributed sweeps).
+campaign-smoke:
+	$(PYTHON) -m repro.campaign.bench --smoke
+
+# Full campaign scaling bench: the >=1k-point grid at 1/2/4 workers;
+# summary lands in BENCH_campaign_scaling.json.
+campaign-bench:
+	$(PYTHON) -m repro.campaign.bench
 
 # Fast-path smoke: the scalar reference and the batched execution path
 # must agree exactly — reports, bus streams, event totals — on one
@@ -118,5 +143,6 @@ survey:
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true
 	rm -rf .pytest_cache .hypothesis *.egg-info src/*.egg-info
-	rm -rf .bench_cache .bench_cache_quick
+	rm -rf .bench_cache .bench_cache_quick .bench_campaign_cache
 	rm -f BENCH_metrics.json BENCH_metrics_profile.json
+	rm -f BENCH_campaign_metrics.json BENCH_campaign_metrics_profile.json

@@ -27,8 +27,7 @@ def run_experiment_benchmark(benchmark, experiment_id: str):
     timed round, prints the experiment's human-readable tables, and
     re-raises its claim checks as test assertions.
     """
-    from repro.runner.base import TaskContext
-    from repro.runner.experiments import get_experiment
+    from repro.runner import TaskContext, get_experiment
 
     experiment = get_experiment(experiment_id)
     results = benchmark.pedantic(

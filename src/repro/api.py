@@ -9,30 +9,32 @@ re-exported here so callers don't have to know the package layout::
     engine = repro.make_engine("aegis")         # build it
     result = repro.run_experiment("e02")        # run a registry experiment
     summary = repro.trace_experiment("e02")     # same, with the event trace
+    sweep = repro.run_campaign(spec)            # sharded design-space sweep
     repro.engine_overhead("stream", "mixed")    # measure one engine
     repro.attack_summary(memory=512)            # break the weak one
     repro.fault_campaign("integrity-stream")    # active-attack campaigns
 
-:func:`run_experiment` and :func:`trace_experiment` return typed results
-(:class:`ExperimentResult`, :class:`TraceSummary`) whose ``observability``
-data comes from the same :mod:`repro.obs` event stream the experiment
-runner aggregates — one accounting, every surface.
+:func:`run_experiment`, :func:`trace_experiment` and
+:func:`run_campaign` return typed results (:class:`ExperimentResult`,
+:class:`TraceSummary`, :class:`CampaignResult`); experiment
+``observability`` data comes from the same :mod:`repro.obs` event stream
+the experiment runner aggregates — one accounting, every surface.
 
-This module is the supported integration surface: deeper imports
-(``repro.core``, ``repro.sim``, …) remain available but may be
-reorganized; ``repro.api`` will keep these signatures stable.  The
-pre-observability entry points ``run_overhead`` and ``run_attack`` are
-deprecated aliases of :func:`engine_overhead` and :func:`attack_summary`.
+This module is the supported integration surface, and ``__all__`` below
+is exactly that surface: deeper imports (``repro.core``, ``repro.sim``,
+…) remain available but may be reorganized; ``repro.api`` will keep
+these signatures stable.
 """
 
 from __future__ import annotations
 
 import json
-import warnings
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .analysis import OverheadResult, measure_overhead
+from .campaign import CampaignResult, CampaignSpec
 from .core.registry import (
     ENGINE_SPECS,
     EngineSpec,
@@ -55,12 +57,16 @@ from .sim import CacheConfig, MemoryConfig
 from .traces import make_workload, mcu_workload
 
 __all__ = [
+    # engines
     "make_engine", "get_spec", "EngineSpec", "ENGINE_SPECS",
-    "list_engines",
+    "engine_names", "list_engines",
+    # registry experiments
     "ExperimentResult", "TraceSummary",
     "run_experiment", "trace_experiment",
+    # design-space campaigns
+    "CampaignSpec", "CampaignResult", "run_campaign",
+    # one-shot measurements
     "engine_overhead", "attack_summary", "fault_campaign",
-    "run_overhead", "run_attack",
 ]
 
 
@@ -206,6 +212,35 @@ def trace_experiment(
     )
 
 
+# -- design-space campaigns -----------------------------------------------
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    *,
+    workers: int = 1,
+    shards: Optional[int] = None,
+    cache_dir: Optional[Path] = Path(".bench_campaign_cache"),
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignResult:
+    """Run a sharded, resumable design-space sweep; returns typed results.
+
+    ``spec`` declares the parameter grid (see
+    :class:`repro.campaign.CampaignSpec`); the coordinator stride-
+    partitions the expanded key space into ``shards`` and executes them
+    on ``workers`` processes.  Metrics are byte-identical for any worker
+    or shard count.  With a ``cache_dir``, completed points persist on
+    disk and an interrupted sweep resumes from where it stopped —
+    rerunning re-executes only the missing points.
+    """
+    from .campaign import CampaignCoordinator
+
+    return CampaignCoordinator(
+        spec, workers=workers, shards=shards, cache_dir=cache_dir,
+        progress=progress,
+    ).run()
+
+
 # -- one-shot measurements ------------------------------------------------
 
 
@@ -291,7 +326,8 @@ def fault_campaign(
     in the order requested; each result's ``verdict``/``conforms`` say
     whether the engine behaved as its ``detects`` claim promises.
     """
-    from .faults import FAULT_KINDS, campaign_labels, run_campaign
+    from .faults import FAULT_KINDS, campaign_labels
+    from .faults import run_campaign as faults_run_campaign
 
     labels = campaign_labels()
     if engine not in labels:
@@ -300,27 +336,6 @@ def fault_campaign(
         )
     selected = list(kinds) if kinds is not None else [None, *FAULT_KINDS]
     return [
-        run_campaign(engine, kind, seed=seed, quick=quick)
+        faults_run_campaign(engine, kind, seed=seed, quick=quick)
         for kind in selected
     ]
-
-
-# -- deprecated aliases ---------------------------------------------------
-
-
-def run_overhead(*args: Any, **kwargs: Any) -> OverheadResult:
-    """Deprecated alias of :func:`engine_overhead`."""
-    warnings.warn(
-        "repro.api.run_overhead is deprecated; use engine_overhead",
-        DeprecationWarning, stacklevel=2,
-    )
-    return engine_overhead(*args, **kwargs)
-
-
-def run_attack(*args: Any, **kwargs: Any) -> Dict[str, Any]:
-    """Deprecated alias of :func:`attack_summary`."""
-    warnings.warn(
-        "repro.api.run_attack is deprecated; use attack_summary",
-        DeprecationWarning, stacklevel=2,
-    )
-    return attack_summary(*args, **kwargs)

@@ -1,0 +1,228 @@
+"""Declarative design-space campaigns: the parameter grid and its points.
+
+A :class:`CampaignSpec` names a family of simulations (today: engine
+``overhead`` sweeps and ``faults`` detection sweeps) and the axes of a
+full-factorial grid over it.  :meth:`CampaignSpec.points` expands the
+grid into a deterministic, sorted stream of :class:`CampaignPoint`\\ s;
+each point carries everything a worker process needs to execute it and a
+content-addressed task key (the same ``ResultCache.task_key`` hashing
+the experiment runner memoizes with), so identical points always land on
+identical cache entries — across runs, shards, and worker counts.
+
+The expansion order is the sorted point-name order.  Everything
+downstream (shard membership, merge order, aggregate reduction) derives
+from it, which is what makes K-worker campaign output byte-identical to
+a single-process run.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, fields
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..runner.cache import ResultCache
+
+__all__ = ["CampaignSpec", "CampaignPoint", "CAMPAIGN_KINDS",
+           "CAMPAIGN_SCHEMA"]
+
+#: Document schema for campaign metrics (cache entries fold it into the
+#: task key, so bumping it invalidates memoized points wholesale).
+CAMPAIGN_SCHEMA = "repro-campaign-metrics/1"
+
+#: Supported point families.
+CAMPAIGN_KINDS = ("overhead", "faults")
+
+
+@dataclass(frozen=True)
+class CampaignPoint:
+    """One fully-instantiated design point of a campaign grid."""
+
+    name: str                   # stable slug, the sort/merge key
+    kind: str                   # "overhead" | "faults"
+    params: Dict[str, object]   # JSON-serializable worker parameters
+
+    def task_key(self, schema: str = CAMPAIGN_SCHEMA) -> str:
+        """Content-addressed identity of this point's execution.
+
+        Reuses the experiment runner's hashing so campaign entries share
+        the on-disk cache format (and its atomic-write concurrency
+        story) with experiment tasks while living in a distinct
+        ``campaign/<kind>`` namespace.
+        """
+        return ResultCache.task_key(
+            f"campaign/{self.kind}", self.name, dict(self.params),
+            schema=schema, quick=False,
+        )
+
+
+def _tuple(values: Sequence) -> Tuple:
+    """Normalize an axis to an immutable tuple (JSON lists included)."""
+    return tuple(values)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A full-factorial design-space sweep, declaratively.
+
+    ``overhead`` campaigns sweep engine x workload x trace length x
+    cache geometry x memory latency x seed, measuring each point with
+    :func:`repro.analysis.measure_overhead` (timing-only, no image).
+    ``faults`` campaigns sweep campaign label x fault kind x seed
+    through :func:`repro.faults.run_campaign`.
+
+    Axes irrelevant to the selected ``kind`` are ignored by expansion
+    but still validated for shape, so one spec document can describe
+    both families.
+    """
+
+    kind: str = "overhead"
+    engines: Tuple[str, ...] = ("stream",)
+    workloads: Tuple[str, ...] = ("mixed",)
+    accesses: Tuple[int, ...] = (256,)
+    cache_sizes: Tuple[int, ...] = (4096,)
+    line_sizes: Tuple[int, ...] = (32,)
+    associativities: Tuple[int, ...] = (2,)
+    latencies: Tuple[int, ...] = (40,)
+    seeds: Tuple[int, ...] = (2005,)
+    #: Fault classes for ``kind="faults"``; ``None`` is the clean baseline.
+    fault_kinds: Tuple[Optional[str], ...] = (None,)
+    name: str = "campaign"
+
+    def __post_init__(self):
+        # Tolerate lists (JSON specs) by coercing every axis to a tuple.
+        for f in fields(self):
+            if f.name in ("kind", "name"):
+                continue
+            object.__setattr__(self, f.name, _tuple(getattr(self, f.name)))
+        if self.kind not in CAMPAIGN_KINDS:
+            raise ValueError(
+                f"unknown campaign kind {self.kind!r}; "
+                f"choose from {CAMPAIGN_KINDS}"
+            )
+        for axis in ("engines", "workloads", "accesses", "cache_sizes",
+                     "line_sizes", "associativities", "latencies", "seeds",
+                     "fault_kinds"):
+            if not getattr(self, axis):
+                raise ValueError(f"campaign axis {axis!r} must be non-empty")
+
+    # -- (de)serialization -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON form (the shape ``--spec file.json`` accepts)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "engines": list(self.engines),
+            "workloads": list(self.workloads),
+            "accesses": list(self.accesses),
+            "cache_sizes": list(self.cache_sizes),
+            "line_sizes": list(self.line_sizes),
+            "associativities": list(self.associativities),
+            "latencies": list(self.latencies),
+            "seeds": list(self.seeds),
+            "fault_kinds": list(self.fault_kinds),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "CampaignSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(doc) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown campaign spec fields: {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(known))}"
+            )
+        return cls(**doc)
+
+    # -- expansion ---------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Grid cardinality (number of design points)."""
+        if self.kind == "faults":
+            return (len(self.engines) * len(self.fault_kinds)
+                    * len(self.seeds))
+        return (len(self.engines) * len(self.workloads) * len(self.accesses)
+                * len(self.cache_sizes) * len(self.line_sizes)
+                * len(self.associativities) * len(self.latencies)
+                * len(self.seeds))
+
+    def _validate_axes(self) -> None:
+        from ..core.registry import engine_names
+        from ..sim.cache import CacheConfig
+        from ..traces.workloads import WORKLOAD_NAMES
+
+        if self.kind == "faults":
+            from ..faults import FAULT_KINDS, campaign_labels
+
+            labels = campaign_labels()
+            for label in self.engines:
+                if label not in labels:
+                    raise KeyError(
+                        f"unknown campaign label {label!r}; "
+                        f"known: {', '.join(labels)}"
+                    )
+            for fault in self.fault_kinds:
+                if fault is not None and fault not in FAULT_KINDS:
+                    raise KeyError(
+                        f"unknown fault kind {fault!r}; "
+                        f"known: {', '.join(FAULT_KINDS)} (or null)"
+                    )
+            return
+
+        known_engines = engine_names()
+        for engine in self.engines:
+            if engine not in known_engines:
+                raise KeyError(
+                    f"unknown engine {engine!r}; "
+                    f"known: {', '.join(known_engines)}"
+                )
+        for workload in self.workloads:
+            if workload not in WORKLOAD_NAMES:
+                raise KeyError(
+                    f"unknown workload {workload!r}; "
+                    f"known: {', '.join(WORKLOAD_NAMES)}"
+                )
+        for size, line, assoc in itertools.product(
+                self.cache_sizes, self.line_sizes, self.associativities):
+            # CacheConfig raises on impossible geometry; surface the
+            # offending combination instead of failing mid-sweep.
+            try:
+                CacheConfig(size=size, line_size=line, associativity=assoc)
+            except ValueError as exc:
+                raise ValueError(
+                    f"invalid cache geometry {size}x{line}x{assoc} "
+                    f"in campaign grid: {exc}"
+                ) from exc
+
+    def points(self) -> List[CampaignPoint]:
+        """Expand the grid, sorted by point name (the canonical order)."""
+        self._validate_axes()
+        return sorted(self._expand(), key=lambda p: p.name)
+
+    def _expand(self) -> Iterator[CampaignPoint]:
+        if self.kind == "faults":
+            for label, fault, seed in itertools.product(
+                    self.engines, self.fault_kinds, self.seeds):
+                yield CampaignPoint(
+                    name=f"{label}/{fault or 'baseline'}/s{seed}",
+                    kind="faults",
+                    params={"label": label, "fault": fault, "seed": seed},
+                )
+            return
+        for (engine, workload, n, size, line, assoc, latency,
+             seed) in itertools.product(
+                self.engines, self.workloads, self.accesses,
+                self.cache_sizes, self.line_sizes, self.associativities,
+                self.latencies, self.seeds):
+            yield CampaignPoint(
+                name=(f"{engine}/{workload}/n{n}/c{size}x{line}x{assoc}"
+                      f"/l{latency}/s{seed}"),
+                kind="overhead",
+                params={
+                    "engine": engine, "workload": workload, "accesses": n,
+                    "cache_size": size, "line_size": line,
+                    "associativity": assoc, "latency": latency, "seed": seed,
+                },
+            )

@@ -11,17 +11,18 @@ Usage::
     python -m repro.cli bench --quick          # the full E01-E19 suite
     python -m repro.cli trace e02              # one experiment's event trace
     python -m repro.cli faults integrity-stream # fault-injection campaigns
+    python -m repro.cli campaign --engines stream xom  # design-space sweep
 
 Engine construction goes through the registry (:mod:`repro.core.registry`);
 ``bench`` drives the parallel experiment runner (:mod:`repro.runner`) and
-writes machine-readable metrics JSON.
+writes machine-readable metrics JSON; ``campaign`` drives the sharded
+design-space coordinator (:mod:`repro.campaign`).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import warnings
 from pathlib import Path
 from typing import Optional
 
@@ -32,21 +33,6 @@ from .core import run_distribution
 from .core.registry import engine_names, list_engines, make_engine
 from .crypto import DRBG
 from .traces import MCU_KERNELS, WORKLOAD_NAMES
-
-
-def __getattr__(name: str):
-    # Pre-registry import surface, kept one release for external callers.
-    if name == "ENGINE_FACTORIES":
-        warnings.warn(
-            "repro.cli.ENGINE_FACTORIES is deprecated; use "
-            "repro.core.registry.make_engine / engine_names instead",
-            DeprecationWarning, stacklevel=2,
-        )
-        return {
-            engine_name: (lambda n=engine_name: make_engine(n))
-            for engine_name in engine_names(survey_only=True)
-        }
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def cmd_list(args: argparse.Namespace) -> int:
@@ -307,6 +293,90 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0 if all_conform else 1
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    import json
+
+    from .api import run_campaign
+    from .campaign import CampaignSpec
+    from .runner import to_canonical_json
+
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    if args.spec:
+        doc = json.loads(Path(args.spec).read_text(encoding="utf-8"))
+        # Inline axis flags override the spec file's values.
+        overrides = {
+            "kind": args.kind, "engines": args.engines,
+            "workloads": args.workloads, "accesses": args.accesses,
+            "cache_sizes": args.cache_sizes, "line_sizes": args.line_sizes,
+            "associativities": args.associativities,
+            "latencies": args.latencies, "seeds": args.seeds,
+            "fault_kinds": args.fault_kinds,
+        }
+        doc.update({k: v for k, v in overrides.items() if v})
+        spec = CampaignSpec.from_dict(doc)
+    else:
+        spec = CampaignSpec(
+            kind=args.kind or "overhead",
+            engines=tuple(args.engines or ("stream",)),
+            workloads=tuple(args.workloads or ("mixed",)),
+            accesses=tuple(args.accesses or (256,)),
+            cache_sizes=tuple(args.cache_sizes or (4096,)),
+            line_sizes=tuple(args.line_sizes or (32,)),
+            associativities=tuple(args.associativities or (2,)),
+            latencies=tuple(args.latencies or (40,)),
+            seeds=tuple(args.seeds or (2005,)),
+            fault_kinds=tuple(args.fault_kinds) if args.fault_kinds
+            else (None,),
+        )
+
+    progress = (lambda line: print(f"  {line}", flush=True)) \
+        if args.verbose else None
+    try:
+        result = run_campaign(
+            spec,
+            workers=args.workers,
+            shards=args.shards,
+            cache_dir=None if args.no_cache else Path(args.cache_dir),
+            progress=progress,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"campaign: {exc}", file=sys.stderr)
+        return 2
+
+    out = Path(args.out)
+    out.write_text(result.metrics_json(), encoding="utf-8")
+    profile_path = out.with_name(out.stem + "_profile.json")
+    profile_path.write_text(to_canonical_json(result.profile),
+                            encoding="utf-8")
+
+    profile = result.profile
+    print(f"campaign: {profile['points']} points "
+          f"({result.executed} executed, {result.cached} cached) in "
+          f"{profile['wall_seconds']}s — {result.tasks_per_second} tasks/s "
+          f"on {profile['workers']} worker(s), {profile['shards']} shard(s)")
+    if spec.kind == "overhead":
+        rows = [
+            [engine, stats["points"],
+             format_percent(stats["mean_overhead"]),
+             format_percent(stats["max_overhead"])]
+            for engine, stats in result.summary["by_engine"].items()
+        ]
+        print(format_table(
+            ["engine", "points", "mean overhead", "max overhead"],
+            rows, title="Campaign summary",
+        ))
+    else:
+        summary = result.summary
+        print(f"campaign: {summary['conforming']}/{summary['points']} "
+              f"fault points conform; verdicts: "
+              + ", ".join(f"{v}={n}" for v, n in
+                          summary["verdicts"].items()))
+    print(f"campaign: metrics -> {out}, profile -> {profile_path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -384,6 +454,43 @@ def build_parser() -> argparse.ArgumentParser:
                    help="full-size campaign sweeps (default: quick)")
 
     p = sub.add_parser(
+        "campaign",
+        help="run a sharded, resumable design-space sweep "
+             "(engine x workload x cache geometry x latency grid)",
+    )
+    p.add_argument("--spec", metavar="PATH",
+                   help="JSON campaign spec (inline axis flags override "
+                        "its fields)")
+    p.add_argument("--kind", choices=("overhead", "faults"),
+                   help="point family (default: overhead)")
+    p.add_argument("--engines", nargs="*", metavar="ENGINE",
+                   help="engine names (faults: campaign labels)")
+    p.add_argument("--workloads", nargs="*", metavar="NAME")
+    p.add_argument("--accesses", nargs="*", type=int, metavar="N")
+    p.add_argument("--cache-sizes", nargs="*", type=int, metavar="BYTES")
+    p.add_argument("--line-sizes", nargs="*", type=int, metavar="BYTES")
+    p.add_argument("--associativities", nargs="*", type=int, metavar="WAYS")
+    p.add_argument("--latencies", nargs="*", type=int, metavar="CYCLES")
+    p.add_argument("--seeds", nargs="*", type=int, metavar="SEED")
+    p.add_argument("--fault-kinds", nargs="*", metavar="KIND",
+                   choices=("spoof", "splice", "replay", "glitch"),
+                   help="fault classes for --kind faults")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (metrics are identical for any "
+                        "count)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="key-space partitions (default: one per worker)")
+    p.add_argument("--out", default="BENCH_campaign_metrics.json",
+                   help="metrics JSON path (profile JSON lands next to it)")
+    p.add_argument("--cache-dir", default=".bench_campaign_cache",
+                   help="on-disk result cache (enables resume after an "
+                        "interrupt)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the result cache (and resume)")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="print per-point progress lines")
+
+    p = sub.add_parser(
         "trace",
         help="run one experiment recording its event stream",
     )
@@ -409,6 +516,7 @@ def main(argv: Optional[list] = None) -> int:
         "protocol": cmd_protocol,
         "area": cmd_area,
         "bench": cmd_bench,
+        "campaign": cmd_campaign,
         "trace": cmd_trace,
         "faults": cmd_faults,
     }

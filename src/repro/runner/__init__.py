@@ -1,15 +1,24 @@
 """Parallel experiment runner with structured metrics.
 
-The package turns the repo's 18 survey experiments into a declarative
+The package turns the repo's 19 survey experiments into a declarative
 registry (:mod:`repro.runner.experiments`) executed by
 :class:`ExperimentRunner`: a multiprocessing worker pool with
 deterministic per-task seeding, an on-disk JSON result cache, and
 machine-readable metrics output (see ``python -m repro.cli bench``).
+
+This top level is the supported import surface for code outside
+``repro`` (benchmarks, examples): deeper modules may be reorganized.
 """
 
 from .base import Experiment, TaskContext, task_seed
-from .cache import ResultCache
-from .runner import METRICS_SCHEMA, ExperimentRunner, RunResult, to_canonical_json
+from .cache import ResultCache, stable_floats
+from .runner import (
+    METRICS_SCHEMA,
+    ExperimentRunner,
+    RunResult,
+    fork_pool,
+    to_canonical_json,
+)
 
 __all__ = [
     "Experiment",
@@ -18,6 +27,29 @@ __all__ = [
     "ResultCache",
     "RunResult",
     "TaskContext",
+    "fork_pool",
+    "get_experiment",
+    "list_experiments",
+    "stable_floats",
     "task_seed",
     "to_canonical_json",
 ]
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up one registry experiment by id (e.g. ``"e02"``).
+
+    Thin re-export so external callers don't need the deep
+    ``repro.runner.experiments`` path (which stays import-heavy: it
+    pulls in every experiment module).
+    """
+    from .experiments import get_experiment as _get_experiment
+
+    return _get_experiment(experiment_id)
+
+
+def list_experiments() -> list:
+    """Sorted ids of every registered experiment."""
+    from .experiments import EXPERIMENTS
+
+    return sorted(EXPERIMENTS)

@@ -21,9 +21,15 @@ from typing import Callable, Dict, Mapping, Optional, Tuple
 __all__ = ["TaskContext", "Experiment", "task_seed"]
 
 
-def task_seed(experiment_id: str, task_name: str) -> int:
-    """Deterministic per-task seed, stable across processes and sessions."""
-    return zlib.crc32(f"{experiment_id}:{task_name}".encode()) & 0x7FFFFFFF
+def task_seed(*identity: str) -> int:
+    """Deterministic per-task seed, stable across processes and sessions.
+
+    Accepts any identity path — ``task_seed("e01", "cost-gap")`` for
+    registry experiments, ``task_seed("campaign", kind, point_name)``
+    for campaign design points — and folds it to a 31-bit seed.  The
+    two-argument form hashes exactly as it always has.
+    """
+    return zlib.crc32(":".join(identity).encode()) & 0x7FFFFFFF
 
 
 @dataclass(frozen=True)

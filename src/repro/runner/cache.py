@@ -21,7 +21,29 @@ from typing import Optional
 
 from .. import __version__
 
-__all__ = ["ResultCache"]
+__all__ = ["ResultCache", "stable_floats"]
+
+
+def stable_floats(value, places: int = 6):
+    """Canonical float formatting for result documents.
+
+    Rounds every float to ``places`` decimals and collapses ``-0.0`` to
+    ``0.0``, recursively, so a metrics dict serializes to the same bytes
+    no matter which process produced it or whether it round-tripped
+    through the cache.  Shard merge determinism depends on this: two
+    workers computing the same point must publish byte-identical
+    documents, and an aggregate computed from cached entries must equal
+    one computed from fresh results.
+    """
+    if isinstance(value, float):
+        rounded = round(value, places)
+        return 0.0 if rounded == 0.0 else rounded
+    if isinstance(value, dict):
+        return {key: stable_floats(item, places)
+                for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [stable_floats(item, places) for item in value]
+    return value
 
 
 class ResultCache:
@@ -84,7 +106,11 @@ class ResultCache:
 
     def put(self, key: str, value: dict) -> None:
         self.root.mkdir(parents=True, exist_ok=True)
-        payload = {"key": key, "value": value}
+        # Canonical on-disk form: sorted keys below, stable floats here.
+        # Producers already emit rounded floats, so this is normally the
+        # identity — it exists so no writer can introduce entries whose
+        # replay differs from a fresh execution by float formatting.
+        payload = {"key": key, "value": stable_floats(value)}
         # Atomic publish: never expose a half-written JSON file.
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:

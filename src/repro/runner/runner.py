@@ -30,9 +30,10 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..obs import CounterSink, observability_section, scope
 from .base import Experiment, TaskContext, task_seed
-from .cache import ResultCache
+from .cache import ResultCache, stable_floats
 
-__all__ = ["ExperimentRunner", "RunResult", "to_canonical_json"]
+__all__ = ["ExperimentRunner", "RunResult", "fork_pool",
+           "to_canonical_json"]
 
 METRICS_SCHEMA = "repro-bench-metrics/3"
 
@@ -62,15 +63,32 @@ def _execute_task(spec: _TaskSpec) -> Tuple[str, str, dict, float]:
         metrics = experiment.tasks[task_name](ctx)
         observability = None
     wall = time.perf_counter() - start
-    # Round-trip through JSON here so cached and fresh results are the
-    # exact same object shape (tuples -> lists, int keys -> str keys).
+    # Round-trip through JSON so cached and fresh results are the exact
+    # same object shape (tuples -> lists, int keys -> str keys), and
+    # canonicalize floats so they are the same bytes (the cache applies
+    # the identical normalization on write).
     value = {"metrics": metrics, "observability": observability}
-    return exp_id, task_name, json.loads(json.dumps(value)), wall
+    return exp_id, task_name, stable_floats(json.loads(json.dumps(value))), \
+        wall
 
 
 def to_canonical_json(document: dict) -> str:
     """Stable serialized form: sorted keys, fixed indent, one trailing \\n."""
     return json.dumps(document, sort_keys=True, indent=2) + "\n"
+
+
+def fork_pool(workers: int):
+    """A fork-context process pool with a pre-warmed kernel registry.
+
+    Fork keeps ``sys.path`` (and everything already imported) intact in
+    the children; expanding every engine's cipher schedules first means
+    they inherit a warm kernel registry instead of each re-deriving the
+    same key schedules.  Shared by the experiment runner and the
+    campaign coordinator.
+    """
+    from ..core.registry import warm_kernel_registry
+    warm_kernel_registry()
+    return multiprocessing.get_context("fork").Pool(processes=workers)
 
 
 @dataclass
@@ -207,15 +225,8 @@ class ExperimentRunner:
             for spec in pending:
                 yield _execute_task(spec)
             return
-        # Fork keeps sys.path (and the already-imported registry) intact
-        # in the children; chunksize 1 keeps long tasks load-balanced.
-        # Expanding every engine's cipher schedules first means the
-        # children inherit a warm kernel registry instead of each
-        # re-deriving the same key schedules.
-        from ..core.registry import warm_kernel_registry
-        warm_kernel_registry()
-        ctx = multiprocessing.get_context("fork")
-        with ctx.Pool(processes=self.workers) as pool:
+        # chunksize 1 keeps long tasks load-balanced across the pool.
+        with fork_pool(self.workers) as pool:
             for item in pool.imap_unordered(_execute_task, pending,
                                             chunksize=1):
                 yield item

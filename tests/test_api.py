@@ -6,13 +6,14 @@ import json
 import pytest
 
 from repro.api import (
+    CampaignResult,
+    CampaignSpec,
     ExperimentResult,
     TraceSummary,
     attack_summary,
     engine_overhead,
-    run_attack,
+    run_campaign,
     run_experiment,
-    run_overhead,
     trace_experiment,
 )
 from repro.obs import RecordingSink
@@ -97,13 +98,37 @@ class TestOneShotMeasurements:
         assert summary["bytes_recovered"] == 256
 
 
-class TestDeprecatedShims:
-    def test_run_overhead_warns_and_delegates(self):
-        with pytest.warns(DeprecationWarning, match="engine_overhead"):
-            result = run_overhead("stream", "sequential", accesses=400)
-        assert result.secured.cycles > 0
+class TestRunCampaign:
+    SPEC = CampaignSpec(engines=("stream",), workloads=("mixed",),
+                        accesses=(256,), latencies=(20, 40))
 
-    def test_run_attack_warns_and_delegates(self):
-        with pytest.warns(DeprecationWarning, match="attack_summary"):
-            summary = run_attack(memory=256)
-        assert summary["fully_recovered"]
+    def test_returns_typed_result(self, tmp_path):
+        result = run_campaign(self.SPEC, cache_dir=tmp_path / "cache")
+        assert isinstance(result, CampaignResult)
+        assert set(result.points) == {p.name for p in self.SPEC.points()}
+        assert result.executed == 2
+        assert result.summary["by_engine"]["stream"]["points"] == 2
+        assert json.loads(result.metrics_json()) == result.metrics
+
+    def test_resumes_from_cache(self, tmp_path):
+        first = run_campaign(self.SPEC, cache_dir=tmp_path / "cache")
+        again = run_campaign(self.SPEC, cache_dir=tmp_path / "cache")
+        assert again.executed == 0
+        assert again.cached == 2
+        assert again.metrics_json() == first.metrics_json()
+
+
+class TestFinalizedSurface:
+    def test_deprecated_aliases_are_gone(self):
+        import repro.api as api
+        assert not hasattr(api, "run_overhead")
+        assert not hasattr(api, "run_attack")
+
+    def test_all_exports_resolve_and_cover_the_verbs(self):
+        import repro.api as api
+        for name in api.__all__:
+            assert getattr(api, name) is not None, name
+        assert {"run_experiment", "trace_experiment", "run_campaign",
+                "engine_overhead", "attack_summary", "fault_campaign",
+                "make_engine", "engine_names",
+                "list_engines"} <= set(api.__all__)

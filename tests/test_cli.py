@@ -167,12 +167,12 @@ class TestTrace:
 
 
 class TestDeprecatedFactories:
-    def test_engine_factories_shim_warns_and_builds(self):
+    def test_engine_factories_shim_is_gone(self):
+        # The PR-1 compatibility dict was removed with the repro.api
+        # finalization; the registry is the only construction path.
         import repro.cli as cli
-        with pytest.warns(DeprecationWarning):
-            factories = cli.ENGINE_FACTORIES
-        assert set(factories) == set(engine_names(survey_only=True))
-        assert factories["aegis"]().name == make_engine("aegis").name
+        with pytest.raises(AttributeError):
+            cli.ENGINE_FACTORIES
 
 
 class TestFaults:
