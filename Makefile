@@ -18,7 +18,7 @@ OBS_BYPASS := (^|[^.[:alnum:]_])(print|Counter)\(
 # benchmarks/examples would freeze internal layout.
 RUNNER_DEEP := ^[[:space:]]*(from repro\.runner\.[[:alnum:]_.]+ import|import repro\.runner\.)
 
-.PHONY: install test check lint bench bench-quick bench-gate bench-pytest trace-smoke faults-smoke fastpath-smoke kernels-smoke campaign-smoke kernels-bench campaign-bench examples attack survey clean
+.PHONY: install test check lint bench bench-quick bench-gate bench-pytest trace-smoke faults-smoke fastpath-smoke kernels-smoke campaign-smoke serve-smoke kernels-bench campaign-bench serve-bench examples attack survey clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -27,7 +27,7 @@ test:
 	$(PYTHON) -m pytest tests/
 
 # Tier-1 gate: the test suite plus the registry lint and the smoke runs.
-check: test lint trace-smoke faults-smoke kernels-smoke fastpath-smoke campaign-smoke
+check: test lint trace-smoke faults-smoke kernels-smoke fastpath-smoke campaign-smoke serve-smoke
 
 lint:
 	@matches=$$(grep -rnE '$(ENGINE_CTORS)' --include='*.py' \
@@ -81,6 +81,18 @@ campaign-smoke:
 # summary lands in BENCH_campaign_scaling.json.
 campaign-bench:
 	$(PYTHON) -m repro.campaign.bench
+
+# Serve smoke: spawn the asyncio experiment server, hammer it with a few
+# hundred concurrent clients, and require zero silent drops, server-vs-
+# local byte-identity (experiment and campaign), and a clean shutdown.
+serve-smoke:
+	$(PYTHON) -m repro.serve.loadgen --smoke
+
+# Full serve load test: >=1000 concurrent clients; the latency/dedup/
+# throughput summary lands in BENCH_serve_quick.json.
+serve-bench:
+	$(PYTHON) -m repro.serve.loadgen --clients 1000 \
+		--out BENCH_serve_quick.json
 
 # Fast-path smoke: the scalar reference and the batched execution path
 # must agree exactly — reports, bus streams, event totals — on one
@@ -144,5 +156,6 @@ clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true
 	rm -rf .pytest_cache .hypothesis *.egg-info src/*.egg-info
 	rm -rf .bench_cache .bench_cache_quick .bench_campaign_cache
+	rm -rf .bench_serve_cache
 	rm -f BENCH_metrics.json BENCH_metrics_profile.json
 	rm -f BENCH_campaign_metrics.json BENCH_campaign_metrics_profile.json

@@ -53,6 +53,7 @@ from .obs import (
     observability_section,
     scope,
 )
+from .runner import stable_floats
 from .sim import CacheConfig, MemoryConfig
 from .traces import make_workload, mcu_workload
 
@@ -118,6 +119,19 @@ class ExperimentResult:
             "tasks": self.tasks,
             "observability": self.observability,
         }
+
+    def to_document(self) -> Dict[str, Any]:
+        """Canonical self-contained document for this result.
+
+        :meth:`to_dict` plus the experiment id and the ``quick`` flag,
+        passed through a JSON round trip and :func:`stable_floats` — the
+        exact bytes the serve layer returns for a ``run_experiment``
+        request, so server-vs-local byte-identity is one shared
+        canonicalization, not two implementations kept in sync.
+        """
+        doc = {"experiment": self.experiment, "quick": self.quick,
+               **self.to_dict()}
+        return stable_floats(json.loads(json.dumps(doc)))
 
 
 @dataclass(frozen=True)

@@ -196,6 +196,16 @@ class CampaignSpec:
                     f"in campaign grid: {exc}"
                 ) from exc
 
+    def validate(self) -> None:
+        """Check every axis value against the registries without expanding.
+
+        Cheap relative to :meth:`points` on large grids (axes are
+        validated per value, not per combination), so request-facing
+        callers — the serve layer, the CLI — can reject a bad spec with
+        a typed error before committing workers to it.
+        """
+        self._validate_axes()
+
     def points(self) -> List[CampaignPoint]:
         """Expand the grid, sorted by point name (the canonical order)."""
         self._validate_axes()

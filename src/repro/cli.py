@@ -12,6 +12,7 @@ Usage::
     python -m repro.cli trace e02              # one experiment's event trace
     python -m repro.cli faults integrity-stream # fault-injection campaigns
     python -m repro.cli campaign --engines stream xom  # design-space sweep
+    python -m repro.cli serve --port 7205      # simulation-as-a-service
 
 Engine construction goes through the registry (:mod:`repro.core.registry`);
 ``bench`` drives the parallel experiment runner (:mod:`repro.runner`) and
@@ -205,6 +206,45 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from .serve import ExperimentServer
+
+    if args.workers < 0:
+        print(f"--workers must be >= 0, got {args.workers}", file=sys.stderr)
+        return 2
+
+    async def _serve() -> dict:
+        server = ExperimentServer(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            max_pending=args.max_pending,
+            idle_timeout=args.idle_timeout,
+            cache_dir=None if args.no_cache else Path(args.cache_dir),
+            log=(lambda line: print(f"serve: {line}", flush=True)),
+        )
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(
+                sig, lambda: asyncio.ensure_future(server.stop(drain=True)))
+        await server.serve_forever()
+        return server.stats_document()
+
+    stats = asyncio.run(_serve())
+    counters = stats["counters"]
+    print(f"serve: {counters['connections']} connections, "
+          f"{counters['requests']} requests "
+          f"({counters['responses']} responses, {counters['errors']} errors"
+          f", {counters['overloaded']} overloaded), "
+          f"{counters['executed']} executions, "
+          f"dedup joins {stats['dedup']['joins']}")
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from .runner.experiments import EXPERIMENTS
 
@@ -303,33 +343,47 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
-    if args.spec:
-        doc = json.loads(Path(args.spec).read_text(encoding="utf-8"))
-        # Inline axis flags override the spec file's values.
-        overrides = {
-            "kind": args.kind, "engines": args.engines,
-            "workloads": args.workloads, "accesses": args.accesses,
-            "cache_sizes": args.cache_sizes, "line_sizes": args.line_sizes,
-            "associativities": args.associativities,
-            "latencies": args.latencies, "seeds": args.seeds,
-            "fault_kinds": args.fault_kinds,
-        }
-        doc.update({k: v for k, v in overrides.items() if v})
-        spec = CampaignSpec.from_dict(doc)
-    else:
-        spec = CampaignSpec(
-            kind=args.kind or "overhead",
-            engines=tuple(args.engines or ("stream",)),
-            workloads=tuple(args.workloads or ("mixed",)),
-            accesses=tuple(args.accesses or (256,)),
-            cache_sizes=tuple(args.cache_sizes or (4096,)),
-            line_sizes=tuple(args.line_sizes or (32,)),
-            associativities=tuple(args.associativities or (2,)),
-            latencies=tuple(args.latencies or (40,)),
-            seeds=tuple(args.seeds or (2005,)),
-            fault_kinds=tuple(args.fault_kinds) if args.fault_kinds
-            else (None,),
-        )
+    # A degenerate grid (empty axis, unknown field, unreadable or invalid
+    # spec file) is an operator mistake: report it as one line, never as
+    # a traceback.
+    try:
+        if args.spec:
+            doc = json.loads(Path(args.spec).read_text(encoding="utf-8"))
+            if not isinstance(doc, dict):
+                raise ValueError(
+                    f"campaign spec {args.spec} must be a JSON object"
+                )
+            # Inline axis flags override the spec file's values.
+            overrides = {
+                "kind": args.kind, "engines": args.engines,
+                "workloads": args.workloads, "accesses": args.accesses,
+                "cache_sizes": args.cache_sizes,
+                "line_sizes": args.line_sizes,
+                "associativities": args.associativities,
+                "latencies": args.latencies, "seeds": args.seeds,
+                "fault_kinds": args.fault_kinds,
+            }
+            doc.update({k: v for k, v in overrides.items() if v})
+            spec = CampaignSpec.from_dict(doc)
+        else:
+            spec = CampaignSpec(
+                kind=args.kind or "overhead",
+                engines=tuple(args.engines or ("stream",)),
+                workloads=tuple(args.workloads or ("mixed",)),
+                accesses=tuple(args.accesses or (256,)),
+                cache_sizes=tuple(args.cache_sizes or (4096,)),
+                line_sizes=tuple(args.line_sizes or (32,)),
+                associativities=tuple(args.associativities or (2,)),
+                latencies=tuple(args.latencies or (40,)),
+                seeds=tuple(args.seeds or (2005,)),
+                fault_kinds=tuple(args.fault_kinds) if args.fault_kinds
+                else (None,),
+            )
+        spec.validate()
+    except (KeyError, OSError, TypeError, ValueError) as exc:
+        message = str(exc) or type(exc).__name__
+        print(f"campaign: {message}", file=sys.stderr)
+        return 2
 
     progress = (lambda line: print(f"  {line}", flush=True)) \
         if args.verbose else None
@@ -491,6 +545,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print per-point progress lines")
 
     p = sub.add_parser(
+        "serve",
+        help="serve experiments and campaigns over the framed "
+             "socket protocol (see repro.serve)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7205,
+                   help="listen port (0 = ephemeral; the actual port is "
+                        "printed at startup)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="fork-pool worker processes (0 = execute "
+                        "in-process on a thread)")
+    p.add_argument("--max-pending", type=int, default=64,
+                   help="admission bound: queued-or-running executions "
+                        "beyond this get explicit overloaded frames")
+    p.add_argument("--idle-timeout", type=float, default=30.0,
+                   help="seconds before an idle connection is dropped")
+    p.add_argument("--cache-dir", default=".bench_serve_cache",
+                   help="on-disk result cache (completed requests and "
+                        "campaign points; enables resume)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the result cache")
+
+    p = sub.add_parser(
         "trace",
         help="run one experiment recording its event stream",
     )
@@ -517,6 +594,7 @@ def main(argv: Optional[list] = None) -> int:
         "area": cmd_area,
         "bench": cmd_bench,
         "campaign": cmd_campaign,
+        "serve": cmd_serve,
         "trace": cmd_trace,
         "faults": cmd_faults,
     }

@@ -85,6 +85,10 @@ class ResultCache:
         )
         return hashlib.sha256(ident.encode()).hexdigest()[:24]
 
+    def counters(self) -> dict:
+        """Hit/miss accounting as a JSON-ready dict (profiles, stats)."""
+        return {"hits": self.hits, "misses": self.misses}
+
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
 

@@ -1,0 +1,62 @@
+"""Simulation-as-a-service: the asyncio experiment server.
+
+The serve layer puts the experiment registry and the campaign
+coordinator behind a socket so many clients can sweep the design space
+concurrently without recomputing shared points:
+
+* :mod:`repro.serve.protocol` — the length-prefixed JSON frame codec
+  (requests, responses, typed errors, explicit ``overloaded`` frames)
+  plus the :class:`FrameStream` client helper;
+* :mod:`repro.serve.server` — :class:`ExperimentServer`: per-connection
+  asyncio state machines with frame size limits and idle timeouts,
+  bounded admission, and executions running on the existing
+  :func:`repro.runner.fork_pool` off the event loop;
+* :mod:`repro.serve.handlers` — the op table (``ping`` /
+  ``list_experiments`` / ``run_experiment`` / ``run_campaign`` / …)
+  and the picklable worker-side executors;
+* :mod:`repro.serve.dedup` — the in-flight table keyed on
+  :meth:`repro.runner.ResultCache.task_key` that coalesces concurrent
+  identical requests into one execution backed by the on-disk cache;
+* :mod:`repro.serve.loadgen` — the load generator
+  (``python -m repro.serve.loadgen``) that hammers a server with
+  thousands of concurrent synthetic clients and writes
+  ``BENCH_serve_quick.json``.
+
+Entry point: ``python -m repro.cli serve``.  Server-returned metrics are
+byte-identical (``stable_floats`` + canonical JSON) to local
+:func:`repro.api.run_experiment` / :func:`repro.api.run_campaign` runs —
+the serve layer adds transport, caching, and admission, never a second
+numeric path.
+"""
+
+from .dedup import InflightTable
+from .protocol import (
+    DEFAULT_MAX_FRAME,
+    FrameDecodeError,
+    FrameDecoder,
+    FrameStream,
+    FrameTooLarge,
+    ProtocolError,
+    encode_frame,
+    error_frame,
+    overloaded_frame,
+    request_frame,
+    response_frame,
+)
+from .server import ExperimentServer
+
+__all__ = [
+    "DEFAULT_MAX_FRAME",
+    "ExperimentServer",
+    "FrameDecodeError",
+    "FrameDecoder",
+    "FrameStream",
+    "FrameTooLarge",
+    "InflightTable",
+    "ProtocolError",
+    "encode_frame",
+    "error_frame",
+    "overloaded_frame",
+    "request_frame",
+    "response_frame",
+]

@@ -1,0 +1,90 @@
+"""In-flight request deduplication for the experiment server.
+
+Concurrent identical requests (same :meth:`ResultCache.task_key`) must
+not execute twice: the first arrival becomes the *leader* and owns the
+execution; every later arrival *joins* the leader's future and receives
+the same result object.  Completed results land in the on-disk
+:class:`~repro.runner.cache.ResultCache`, so the lifecycle of one task
+key is::
+
+    disk miss -> claim (leader) -> execute -> publish to disk -> resolve
+                   |
+    disk miss -> join (follower) ----------------------------> same result
+
+and any request arriving after resolution replays from disk without
+entering the table at all.
+
+The table is event-loop-confined: claims and joins happen between
+awaits, so leader election needs no lock.  Execution futures are owned
+by the *server*, never by the requesting connection — a client that
+disconnects mid-execution cannot orphan the followers awaiting the same
+key.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional
+
+__all__ = ["InflightTable"]
+
+
+class InflightTable:
+    """Task-key -> in-flight execution future, with join accounting."""
+
+    def __init__(self):
+        self._entries: Dict[str, asyncio.Future] = {}
+        #: Executions started (one per distinct in-flight key).
+        self.leads = 0
+        #: Requests coalesced onto an already-in-flight execution.
+        self.joins = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def join(self, key: str) -> Optional[asyncio.Future]:
+        """Return the in-flight future for ``key``, counting the join."""
+        future = self._entries.get(key)
+        if future is not None:
+            self.joins += 1
+        return future
+
+    def claim(self, key: str) -> asyncio.Future:
+        """Register a new leader execution for ``key``.
+
+        Must only be called after :meth:`join` returned ``None``, with
+        no ``await`` in between (the event loop makes that atomic).
+        """
+        if key in self._entries:
+            raise RuntimeError(f"task key {key!r} is already in flight")
+        future = asyncio.get_running_loop().create_future()
+        self._entries[key] = future
+        self.leads += 1
+        return future
+
+    def resolve(self, key: str, result: object) -> None:
+        """Complete ``key``: wake every joined waiter with ``result``."""
+        future = self._entries.pop(key)
+        if not future.done():
+            future.set_result(result)
+
+    def fail(self, key: str, exc: BaseException) -> None:
+        """Fail ``key``: propagate ``exc`` to every joined waiter."""
+        future = self._entries.pop(key)
+        if not future.done():
+            future.set_exception(exc)
+        # The server always awaits these futures, but guard against a
+        # no-waiter teardown spamming "exception was never retrieved".
+        future.add_done_callback(lambda f: f.exception())
+
+    def fail_all(self, exc: BaseException) -> None:
+        """Fail every in-flight key (server teardown)."""
+        for key in list(self._entries):
+            self.fail(key, exc)
+
+    def counters(self) -> Dict[str, int]:
+        return {"leads": self.leads, "joins": self.joins,
+                "in_flight": len(self._entries)}

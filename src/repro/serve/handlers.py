@@ -1,0 +1,160 @@
+"""Request handlers and worker-side executors for the experiment server.
+
+Two tiers of ops:
+
+* *cheap* ops (``ping``, ``list_experiments``, ``list_engines``,
+  ``stats``, ``shutdown``) are answered inline on the event loop;
+* *compute* ops (``run_experiment``, ``run_campaign``) are validated
+  here, keyed with :meth:`ResultCache.task_key`, and executed off the
+  event loop (fork pool or thread) via the module-level functions in
+  :data:`EXECUTORS` — module-level so the fork pool can send them to
+  worker processes by reference.
+
+Executors return *canonical* documents (``stable_floats`` over a JSON
+round trip), the same bytes a local :func:`repro.api.run_experiment` /
+:func:`repro.api.run_campaign` call produces — the serve layer's core
+invariant, gated by ``tests/test_serve.py`` and the loadgen's
+byte-identity check.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple
+
+from ..runner import METRICS_SCHEMA, ResultCache
+
+__all__ = ["RequestError", "CHEAP_OPS", "COMPUTE_OPS", "EXECUTORS",
+           "prepare_execution", "handle_cheap_op",
+           "execute_experiment_op", "execute_campaign_op"]
+
+
+class RequestError(Exception):
+    """A request that cannot be executed; maps to a typed error frame."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+# -- worker-side executors -------------------------------------------------
+
+
+def execute_experiment_op(experiment_id: str, quick: bool) -> dict:
+    """Run one registry experiment; returns its canonical document."""
+    from ..api import run_experiment
+
+    return run_experiment(experiment_id, quick=quick).to_document()
+
+
+def execute_campaign_op(spec_doc: dict, cache_dir: Optional[str]) -> dict:
+    """Run one campaign sweep; returns ``{"metrics", "profile"}``.
+
+    Runs in-process inside the worker (``workers=1``) against the
+    *server's* cache directory: every completed point publishes
+    atomically as it lands, so a server killed mid-campaign leaves its
+    finished points behind and the next serve of the same spec resumes
+    instead of restarting (``profile.cache.hits`` shows the replay).
+    """
+    from ..api import run_campaign
+    from ..campaign import CampaignSpec
+
+    result = run_campaign(
+        CampaignSpec.from_dict(spec_doc), workers=1,
+        cache_dir=Path(cache_dir) if cache_dir else None,
+    )
+    return {"metrics": result.metrics, "profile": result.profile}
+
+
+#: Compute-op name -> executor.  Resolved at execution time (not at
+#: validation time) so tests can substitute instrumented executors.
+EXECUTORS: Dict[str, Callable] = {
+    "run_experiment": execute_experiment_op,
+    "run_campaign": execute_campaign_op,
+}
+
+COMPUTE_OPS = tuple(sorted(EXECUTORS))
+
+
+def prepare_execution(op: str, params: dict,
+                      server) -> Tuple[str, tuple]:
+    """Validate a compute request; returns ``(task_key, executor_args)``.
+
+    Raises :class:`RequestError` with a typed code on anything the
+    server should reject before spending a worker on it.
+    """
+    if op == "run_experiment":
+        from ..runner import list_experiments
+
+        experiment = params.get("experiment")
+        quick = bool(params.get("quick", True))
+        if experiment not in list_experiments():
+            raise RequestError(
+                "unknown-experiment",
+                f"unknown experiment {experiment!r}; "
+                f"known: {', '.join(list_experiments())}",
+            )
+        key = ResultCache.task_key(
+            "serve/experiment", str(experiment), {"quick": quick},
+            schema=METRICS_SCHEMA, quick=quick,
+        )
+        return key, (str(experiment), quick)
+
+    if op == "run_campaign":
+        from ..campaign import CAMPAIGN_SCHEMA, CampaignSpec
+
+        spec_doc = params.get("spec")
+        if not isinstance(spec_doc, dict):
+            raise RequestError(
+                "bad-campaign", "params.spec must be a campaign spec object"
+            )
+        try:
+            spec = CampaignSpec.from_dict(spec_doc)
+            spec.validate()
+        except (KeyError, ValueError, TypeError) as exc:
+            raise RequestError("bad-campaign", str(exc)) from exc
+        key = ResultCache.task_key(
+            "serve/campaign", spec.name, spec.to_dict(),
+            schema=CAMPAIGN_SCHEMA, quick=False,
+        )
+        cache_dir = str(server.cache.root) if server.cache else None
+        return key, (spec.to_dict(), cache_dir)
+
+    raise RequestError("unknown-op", f"op {op!r} is not a compute op")
+
+
+# -- cheap ops -------------------------------------------------------------
+
+
+def _ping(server, params: dict) -> dict:
+    return {"pong": True, "payload": params.get("payload")}
+
+
+def _list_experiments(server, params: dict) -> dict:
+    from ..runner import list_experiments
+
+    return {"experiments": list_experiments()}
+
+
+def _list_engines(server, params: dict) -> dict:
+    from ..api import list_engines
+
+    return {"engines": list_engines(
+        survey_only=bool(params.get("survey_only", False)))}
+
+
+def _stats(server, params: dict) -> dict:
+    return server.stats_document()
+
+
+CHEAP_OPS: Dict[str, Callable] = {
+    "ping": _ping,
+    "list_experiments": _list_experiments,
+    "list_engines": _list_engines,
+    "stats": _stats,
+}
+
+
+def handle_cheap_op(server, op: str, params: dict) -> dict:
+    return CHEAP_OPS[op](server, params)

@@ -1,0 +1,408 @@
+"""Load generator for the experiment server.
+
+Hammers a server with thousands of concurrent synthetic clients and
+reports latency percentiles, throughput, dedup/cache accounting, and a
+server-vs-local byte-identity check::
+
+    python -m repro.serve.loadgen                    # spawn + bench
+    python -m repro.serve.loadgen --smoke            # CI smoke run
+    python -m repro.serve.loadgen --host H --port P  # against a live server
+
+Without ``--port`` the loadgen spawns ``python -m repro.cli serve`` as a
+subprocess on an ephemeral port with a fresh temporary cache, so every
+bench run tells the same story: one execution per distinct request key,
+everything else coalesced or replayed.
+
+Three phases:
+
+* **ping** — every client round-trips ``--pings`` ping frames: pure
+  protocol/event-loop latency and throughput;
+* **experiment** — every client requests the *same*
+  ``run_experiment`` concurrently: the dedup table collapses N requests
+  into one execution and the phase measures fan-out latency;
+* **verify** — the experiment document and a small campaign document
+  fetched from the server are compared byte-for-byte
+  (``to_canonical_json``) against local :func:`repro.api.run_experiment`
+  / :func:`repro.api.run_campaign` runs.
+
+Every request must come back as a typed ``response``/``error``/
+``overloaded`` frame; anything else counts as a silent drop and fails
+the run.  Results land in ``--out`` (``BENCH_serve_quick.json`` for
+``make serve-bench``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import re
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from .protocol import FrameStream
+
+__all__ = ["run_loadgen", "main"]
+
+#: Campaign spec for the verify phase: a 2x2x2 overhead micro-grid.
+VERIFY_CAMPAIGN = {
+    "name": "serve-verify",
+    "kind": "overhead",
+    "engines": ["stream", "xom"],
+    "workloads": ["mixed", "sequential"],
+    "accesses": [256],
+    "cache_sizes": [1024, 4096],
+    "line_sizes": [32],
+    "associativities": [2],
+    "latencies": [20],
+    "seeds": [2005],
+}
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                int(round(q * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def _latency_stats(latencies: List[float], wall: float) -> dict:
+    values = sorted(latencies)
+    return {
+        "requests": len(values),
+        "wall_seconds": round(wall, 3),
+        "throughput_rps": round(len(values) / wall, 1) if wall else 0.0,
+        "p50_ms": round(_percentile(values, 0.50) * 1000, 3),
+        "p99_ms": round(_percentile(values, 0.99) * 1000, 3),
+        "max_ms": round(values[-1] * 1000, 3) if values else 0.0,
+        "mean_ms": round(sum(values) / len(values) * 1000, 3)
+        if values else 0.0,
+    }
+
+
+class _Tally:
+    """What came back, per reply type; anything missing is a drop."""
+
+    def __init__(self):
+        self.responses = 0
+        self.errors = 0
+        self.overloaded = 0
+        self.dropped = 0
+
+    def count(self, reply: Optional[dict]) -> None:
+        kind = reply.get("type") if isinstance(reply, dict) else None
+        if kind == "response":
+            self.responses += 1
+        elif kind == "error":
+            self.errors += 1
+        elif kind == "overloaded":
+            self.overloaded += 1
+        else:
+            self.dropped += 1
+
+    def to_dict(self) -> dict:
+        return dict(vars(self))
+
+
+async def _client(host: str, port: int, requests: List[dict],
+                  latencies: List[float], tally: _Tally,
+                  keep: Optional[List[dict]] = None) -> None:
+    """One synthetic client: connect, round-trip each request, close."""
+    try:
+        stream = await FrameStream.connect(host, port)
+    except OSError:
+        tally.dropped += len(requests)
+        return
+    try:
+        for frame in requests:
+            start = time.perf_counter()
+            try:
+                await stream.send(frame)
+                reply = await stream.recv(timeout=120.0)
+            except (OSError, asyncio.TimeoutError):
+                reply = None
+            latencies.append(time.perf_counter() - start)
+            tally.count(reply)
+            if keep is not None and isinstance(reply, dict):
+                keep.append(reply)
+    finally:
+        await stream.close()
+
+
+async def run_loadgen(host: str, port: int, *, clients: int, pings: int,
+                      experiment: str, quick: bool = True,
+                      verify: bool = True,
+                      log=lambda line: None) -> dict:
+    """Run the three load phases; returns the bench document body."""
+    doc: dict = {"phases": {}}
+    tally = _Tally()
+
+    # Phase 1: ping storm -- clients x pings pure round trips.
+    log(f"ping phase: {clients} clients x {pings} pings")
+    latencies: List[float] = []
+    start = time.perf_counter()
+    await asyncio.gather(*(
+        _client(host, port,
+                [{"op": "ping", "id": f"p{i}.{r}",
+                  "params": {"payload": i}} for r in range(pings)],
+                latencies, tally)
+        for i in range(clients)
+    ))
+    doc["phases"]["ping"] = _latency_stats(
+        latencies, time.perf_counter() - start)
+
+    # Phase 2: identical experiment storm -- the dedup showcase.
+    log(f"experiment phase: {clients} clients x run_experiment"
+        f"({experiment!r}, quick={quick})")
+    latencies = []
+    replies: List[dict] = []
+    request = {"op": "run_experiment", "id": "x",
+               "params": {"experiment": experiment, "quick": quick}}
+    start = time.perf_counter()
+    await asyncio.gather(*(
+        _client(host, port, [dict(request, id=f"x{i}")],
+                latencies, tally, keep=replies)
+        for i in range(clients)
+    ))
+    doc["phases"]["experiment"] = _latency_stats(
+        latencies, time.perf_counter() - start)
+    served_from = {}
+    for reply in replies:
+        if reply.get("type") == "response":
+            src = reply.get("served_from", "?")
+            served_from[src] = served_from.get(src, 0) + 1
+    doc["phases"]["experiment"]["served_from"] = served_from
+
+    # Phase 3: byte-identity verification + server accounting.
+    stream = await FrameStream.connect(host, port)
+    try:
+        if verify:
+            log("verify phase: server vs local byte-identity")
+            doc["byte_identity"] = await _verify(
+                stream, replies, experiment, quick)
+        stats = await stream.request("stats", id="stats")
+        doc["server"] = (stats or {}).get("result")
+    finally:
+        await stream.close()
+
+    doc["tally"] = tally.to_dict()
+    doc["silent_drops"] = tally.dropped
+    return doc
+
+
+async def _verify(stream: FrameStream, replies: List[dict],
+                  experiment: str, quick: bool) -> dict:
+    """Server documents must be the same bytes as local runs."""
+    from ..api import run_campaign, run_experiment
+    from ..campaign import CampaignSpec
+    from ..runner import to_canonical_json
+
+    server_docs = [r["result"] for r in replies
+                   if r.get("type") == "response"]
+    local_doc = run_experiment(experiment, quick=quick).to_document()
+    local_bytes = to_canonical_json(local_doc)
+    experiment_ok = bool(server_docs) and all(
+        to_canonical_json(doc) == local_bytes for doc in server_docs)
+
+    reply = await stream.request(
+        "run_campaign", {"spec": VERIFY_CAMPAIGN}, id="campaign")
+    campaign_ok = False
+    points = 0
+    if isinstance(reply, dict) and reply.get("type") == "response":
+        server_metrics = reply["result"]["metrics"]
+        local = run_campaign(CampaignSpec.from_dict(VERIFY_CAMPAIGN),
+                             workers=1, cache_dir=None)
+        campaign_ok = (to_canonical_json(server_metrics)
+                       == local.metrics_json())
+        points = len(server_metrics.get("points", {}))
+
+    return {
+        "experiment": experiment_ok,
+        "experiment_responses_compared": len(server_docs),
+        "campaign": campaign_ok,
+        "campaign_points": points,
+    }
+
+
+# -- server spawning -------------------------------------------------------
+
+
+class _SpawnedServer:
+    """``python -m repro.cli serve`` as a child process, ephemeral port."""
+
+    def __init__(self, workers: int, cache_dir: str,
+                 max_pending: int):
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--host", "127.0.0.1", "--port", "0",
+             "--workers", str(workers),
+             "--max-pending", str(max_pending),
+             "--cache-dir", cache_dir],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        self.port = self._await_port()
+
+    def _await_port(self) -> int:
+        assert self.proc.stdout is not None
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                break
+            match = re.search(r"listening on [\d.]+:(\d+)", line)
+            if match:
+                return int(match.group(1))
+        raise RuntimeError("server did not report a listening port")
+
+    async def shutdown(self) -> int:
+        """Ask for a draining shutdown; returns the exit code."""
+        try:
+            stream = await FrameStream.connect("127.0.0.1", self.port)
+            try:
+                await stream.request("shutdown", id="bye", timeout=30.0)
+            finally:
+                await stream.close()
+        except OSError:
+            pass
+        try:
+            return self.proc.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            return self.proc.wait()
+
+
+def _raise_fd_limit(wanted: int) -> None:
+    """Thousands of concurrent sockets need headroom on RLIMIT_NOFILE."""
+    try:
+        import resource
+
+        soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+        if soft < wanted:
+            resource.setrlimit(
+                resource.RLIMIT_NOFILE,
+                (min(wanted, hard) if hard > 0 else wanted, hard))
+    except (ImportError, ValueError, OSError):
+        pass
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.serve.loadgen",
+        description="Hammer the experiment server with concurrent "
+                    "synthetic clients; report latency and dedup stats.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=None,
+                        help="connect to a live server (default: spawn "
+                             "one on an ephemeral port)")
+    parser.add_argument("--clients", type=int, default=1000,
+                        help="concurrent synthetic clients per phase")
+    parser.add_argument("--pings", type=int, default=2,
+                        help="ping round trips per client in phase 1")
+    parser.add_argument("--experiment", default="e01",
+                        help="registry experiment for the storm phase")
+    parser.add_argument("--full", action="store_true",
+                        help="request full-size (not quick) experiments")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes for a spawned server")
+    parser.add_argument("--max-pending", type=int, default=64,
+                        help="admission bound for a spawned server")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the bench JSON here")
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced load (200 clients), no file output "
+                             "unless --out; exit nonzero on any failure")
+    parser.add_argument("-q", "--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    log = (lambda line: None) if args.quiet \
+        else (lambda line: print(f"loadgen: {line}", flush=True))
+    clients = 200 if args.smoke and args.clients == 1000 else args.clients
+    _raise_fd_limit(2 * clients + 256)
+
+    spawned = None
+    tmp = None
+    if args.port is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-serve-")
+        log(f"spawning server (workers={args.workers}, fresh cache)")
+        spawned = _SpawnedServer(args.workers, tmp.name, args.max_pending)
+        host, port = "127.0.0.1", spawned.port
+        log(f"server up on {host}:{port}")
+    else:
+        host, port = args.host, args.port
+
+    try:
+        body = asyncio.run(run_loadgen(
+            host, port, clients=clients, pings=args.pings,
+            experiment=args.experiment, quick=not args.full, log=log,
+        ))
+    finally:
+        if spawned is not None:
+            exit_code = asyncio.run(spawned.shutdown())
+            body_extra = {"spawned_server_exit": exit_code}
+            log(f"server shut down cleanly (exit {exit_code})"
+                if exit_code == 0 else
+                f"server exited {exit_code} — NOT a clean shutdown")
+        if tmp is not None:
+            tmp.cleanup()
+    if spawned is not None:
+        body.update(body_extra)
+
+    if spawned is not None:
+        # The spawned server's cache lives in a fresh temp dir; the
+        # machine-specific path has no place in a committed document.
+        cache_stats = body.get("server", {}).get("cache")
+        if isinstance(cache_stats, dict) and "dir" in cache_stats:
+            cache_stats["dir"] = "(ephemeral)"
+
+    document = {
+        "schema": "repro-serve-bench/1",
+        "config": {
+            "clients": clients,
+            "pings_per_client": args.pings,
+            "experiment": args.experiment,
+            "quick": not args.full,
+            "spawned": spawned is not None,
+            "workers": args.workers if spawned is not None else None,
+        },
+        **body,
+    }
+
+    if args.out:
+        out = Path(args.out)
+        out.write_text(json.dumps(document, indent=2, sort_keys=True)
+                       + "\n", encoding="utf-8")
+        log(f"bench -> {out}")
+
+    ping = document["phases"]["ping"]
+    exp = document["phases"]["experiment"]
+    identity = document.get("byte_identity", {})
+    print(f"loadgen: {clients} clients | ping p50 {ping['p50_ms']}ms "
+          f"p99 {ping['p99_ms']}ms @ {ping['throughput_rps']} rps | "
+          f"experiment p50 {exp['p50_ms']}ms p99 {exp['p99_ms']}ms | "
+          f"served {exp.get('served_from', {})}")
+
+    failures = []
+    if document["silent_drops"]:
+        failures.append(f"{document['silent_drops']} silent drops")
+    if not identity.get("experiment", True):
+        failures.append("experiment byte-identity FAILED")
+    if not identity.get("campaign", True):
+        failures.append("campaign byte-identity FAILED")
+    if spawned is not None and document.get("spawned_server_exit") != 0:
+        failures.append("server shutdown was not clean")
+    if failures:
+        print(f"loadgen: FAILED — {'; '.join(failures)}", file=sys.stderr)
+        return 1
+    print("loadgen: ok — zero silent drops, byte-identity holds"
+          + (", clean shutdown" if spawned is not None else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,217 @@
+"""Length-prefixed JSON frame protocol for the experiment server.
+
+Wire format: every frame is a 4-byte big-endian unsigned payload length
+followed by that many bytes of UTF-8 JSON.  The length never includes
+the header, and a frame's payload may be any JSON value (the *server*
+additionally requires requests to be objects — see
+:mod:`repro.serve.handlers`).
+
+The decoder is incremental and byte-oriented: feed it whatever the
+transport produced — one frame per read, a frame split across many
+reads, many frames merged into one read — and it yields exactly the
+frames that were encoded, in order.  Limits are enforced as early as
+possible: an oversized frame is rejected from its *header* alone,
+before any payload arrives, so a slow-loris client cannot make the
+server buffer an advertised-huge frame.
+
+Frame types exchanged by the server (the ``type`` field):
+
+``response``
+    ``{"type": "response", "id": ..., "result": {...},
+    "served_from": "execution" | "cache" | "coalesced"}``
+``error``
+    ``{"type": "error", "id": ..., "error": {"code": ..., "message":
+    ...}}`` — typed rejection; the connection may be closed after
+    protocol-level errors.
+``overloaded``
+    ``{"type": "overloaded", "id": ..., "pending": N}`` — explicit
+    backpressure: the admission queue is full and the request was *not*
+    executed.  Never a silent drop.
+
+Requests are ``{"op": ..., "id": ..., "params": {...}}``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, List, Optional
+
+__all__ = [
+    "DEFAULT_MAX_FRAME",
+    "FrameDecodeError",
+    "FrameDecoder",
+    "FrameStream",
+    "FrameTooLarge",
+    "ProtocolError",
+    "encode_frame",
+    "error_frame",
+    "overloaded_frame",
+    "request_frame",
+    "response_frame",
+]
+
+#: Frame header: 4-byte big-endian unsigned payload length.
+HEADER = struct.Struct(">I")
+
+#: Default cap on one frame's JSON payload (requests *and* responses).
+#: Campaign documents for quick-service grids are tens of kilobytes;
+#: 16 MiB leaves room for large sweeps without letting one client pin
+#: unbounded memory.
+DEFAULT_MAX_FRAME = 16 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """Base class for frame-level failures."""
+
+    #: Error code carried in the typed ``error`` frame.
+    code = "protocol-error"
+
+
+class FrameTooLarge(ProtocolError):
+    """The frame header advertises a payload beyond the size limit."""
+
+    code = "frame-too-large"
+
+
+class FrameDecodeError(ProtocolError):
+    """The frame payload is not valid UTF-8 JSON."""
+
+    code = "bad-frame"
+
+
+def encode_frame(payload: Any, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
+    """Serialize one JSON payload into a length-prefixed frame."""
+    body = json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+    if len(body) > max_frame:
+        raise FrameTooLarge(
+            f"frame payload is {len(body)} bytes, limit {max_frame}"
+        )
+    return HEADER.pack(len(body)) + body
+
+
+class FrameDecoder:
+    """Incremental frame parser over an arbitrary byte stream.
+
+    ``feed(data)`` buffers ``data`` and returns every frame completed by
+    it (possibly none, possibly several).  Raises
+    :class:`FrameTooLarge` / :class:`FrameDecodeError` on protocol
+    violations; after an exception the decoder state is undefined and
+    the connection should be closed.
+    """
+
+    def __init__(self, max_frame: int = DEFAULT_MAX_FRAME):
+        self.max_frame = max_frame
+        self._buffer = bytearray()
+        self.frames_decoded = 0
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward the next (incomplete) frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[Any]:
+        self._buffer.extend(data)
+        frames: List[Any] = []
+        while len(self._buffer) >= HEADER.size:
+            (length,) = HEADER.unpack_from(self._buffer)
+            if length > self.max_frame:
+                raise FrameTooLarge(
+                    f"frame header advertises {length} bytes, "
+                    f"limit {self.max_frame}"
+                )
+            end = HEADER.size + length
+            if len(self._buffer) < end:
+                break
+            body = bytes(self._buffer[HEADER.size:end])
+            del self._buffer[:end]
+            try:
+                frames.append(json.loads(body.decode("utf-8")))
+            except (UnicodeDecodeError, ValueError) as exc:
+                raise FrameDecodeError(
+                    f"frame payload is not valid JSON: {exc}"
+                ) from exc
+            self.frames_decoded += 1
+        return frames
+
+
+# -- frame constructors ----------------------------------------------------
+
+
+def request_frame(op: str, params: Optional[dict] = None,
+                  id: Optional[object] = None) -> dict:
+    frame = {"op": op, "params": params or {}}
+    if id is not None:
+        frame["id"] = id
+    return frame
+
+
+def response_frame(id: Optional[object], result: Any,
+                   served_from: str = "execution") -> dict:
+    return {"type": "response", "id": id, "result": result,
+            "served_from": served_from}
+
+
+def error_frame(code: str, message: str,
+                id: Optional[object] = None) -> dict:
+    return {"type": "error", "id": id,
+            "error": {"code": code, "message": message}}
+
+
+def overloaded_frame(id: Optional[object], pending: int) -> dict:
+    return {"type": "overloaded", "id": id, "pending": pending}
+
+
+# -- client-side stream ----------------------------------------------------
+
+
+class FrameStream:
+    """One framed connection, client side (used by tests and loadgen).
+
+    Thin convenience over an asyncio stream pair: ``send`` writes one
+    frame, ``recv`` returns the next decoded frame (``None`` on EOF),
+    ``request`` does a send + recv round trip.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter,
+                 max_frame: int = DEFAULT_MAX_FRAME):
+        self.reader = reader
+        self.writer = writer
+        self._decoder = FrameDecoder(max_frame)
+        self._ready: List[Any] = []
+
+    @classmethod
+    async def connect(cls, host: str, port: int,
+                      max_frame: int = DEFAULT_MAX_FRAME) -> "FrameStream":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, max_frame)
+
+    async def send(self, frame: Any) -> None:
+        self.writer.write(encode_frame(frame, self._decoder.max_frame))
+        await self.writer.drain()
+
+    async def recv(self, timeout: Optional[float] = None) -> Optional[Any]:
+        while not self._ready:
+            read = self.reader.read(65536)
+            data = await (asyncio.wait_for(read, timeout)
+                          if timeout is not None else read)
+            if not data:
+                return None
+            self._ready.extend(self._decoder.feed(data))
+        return self._ready.pop(0)
+
+    async def request(self, op: str, params: Optional[dict] = None,
+                      id: Optional[object] = None,
+                      timeout: Optional[float] = None) -> Optional[Any]:
+        await self.send(request_frame(op, params, id))
+        return await self.recv(timeout)
+
+    async def close(self) -> None:
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

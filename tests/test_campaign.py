@@ -286,3 +286,45 @@ class TestCampaignCli:
         ])
         assert rc == 2
         assert "unknown engine" in capsys.readouterr().err
+
+    def test_cli_empty_grid_is_a_one_line_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({"engines": []}))
+        rc = main([
+            "campaign", "--spec", str(spec_path), "--no-cache",
+            "--out", str(tmp_path / "m.json"),
+        ])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("campaign: ")
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+        assert not (tmp_path / "m.json").exists()
+
+    def test_cli_non_object_spec_rejected(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(["stream"]))
+        rc = main([
+            "campaign", "--spec", str(spec_path), "--no-cache",
+            "--out", str(tmp_path / "m.json"),
+        ])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("campaign: ")
+        assert "Traceback" not in err
+
+    def test_cli_missing_spec_file_rejected(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "campaign", "--spec", str(tmp_path / "nope.json"),
+            "--no-cache", "--out", str(tmp_path / "m.json"),
+        ])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("campaign: ")
+        assert "Traceback" not in err
