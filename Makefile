@@ -18,7 +18,7 @@ OBS_BYPASS := (^|[^.[:alnum:]_])(print|Counter)\(
 # benchmarks/examples would freeze internal layout.
 RUNNER_DEEP := ^[[:space:]]*(from repro\.runner\.[[:alnum:]_.]+ import|import repro\.runner\.)
 
-.PHONY: install test check lint bench bench-quick bench-gate bench-pytest trace-smoke faults-smoke fastpath-smoke kernels-smoke campaign-smoke serve-smoke kernels-bench campaign-bench serve-bench examples attack survey clean
+.PHONY: install test check lint bench bench-quick bench-gate bench-pytest trace-smoke faults-smoke fastpath-smoke kernels-smoke campaign-smoke serve-smoke stream-smoke kernels-bench campaign-bench serve-bench stream-bench examples attack survey clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -27,7 +27,7 @@ test:
 	$(PYTHON) -m pytest tests/
 
 # Tier-1 gate: the test suite plus the registry lint and the smoke runs.
-check: test lint trace-smoke faults-smoke kernels-smoke fastpath-smoke campaign-smoke serve-smoke
+check: test lint trace-smoke faults-smoke kernels-smoke fastpath-smoke campaign-smoke serve-smoke stream-smoke
 
 lint:
 	@matches=$$(grep -rnE '$(ENGINE_CTORS)' --include='*.py' \
@@ -93,6 +93,17 @@ serve-smoke:
 serve-bench:
 	$(PYTHON) -m repro.serve.loadgen --clients 1000 \
 		--out BENCH_serve_quick.json
+
+# Streaming smoke: chunked-vs-materialized byte-identity over an engine
+# sample (chunk sizes incl. 1 and > len) plus a two-scale bounded-memory
+# check, each scale in its own forked child.
+stream-smoke:
+	$(PYTHON) -m repro.sim.bench_stream --smoke
+
+# Full streaming scaling ladder (10^6/10^7/10^8 accesses); accesses/sec
+# and peak RSS per scale land in BENCH_stream_scaling.json.
+stream-bench:
+	$(PYTHON) -m repro.sim.bench_stream --out BENCH_stream_scaling.json
 
 # Fast-path smoke: the scalar reference and the batched execution path
 # must agree exactly — reports, bus streams, event totals — on one

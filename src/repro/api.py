@@ -55,7 +55,16 @@ from .obs import (
 )
 from .runner import stable_floats
 from .sim import CacheConfig, MemoryConfig
-from .traces import make_workload, mcu_workload
+from .traces import (
+    STREAM_WORKLOAD_NAMES,
+    TraceStream,
+    chunked,
+    iter_workload,
+    make_workload,
+    mcu_workload,
+    stream_workload,
+)
+from .traces.stream import DEFAULT_CHUNK_SIZE
 
 __all__ = [
     # engines
@@ -68,6 +77,8 @@ __all__ = [
     "CampaignSpec", "CampaignResult", "run_campaign",
     # one-shot measurements
     "engine_overhead", "attack_summary", "fault_campaign",
+    # streaming execution
+    "run_stream", "stream_workload", "STREAM_WORKLOAD_NAMES",
 ]
 
 
@@ -291,6 +302,76 @@ def engine_overhead(
                                  associativity=2),
         mem_config=MemoryConfig(size=1 << 21, latency=mem_latency),
     )
+
+
+def run_stream(
+    engine: Optional[str] = None,
+    workload: str = "mixed",
+    accesses: int = 200_000,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    seed: int = 2005,
+    cache_size: int = 4096,
+    mem_latency: int = 40,
+    image_size: int = 32 * 1024,
+    functional: bool = False,
+    **engine_overrides: Any,
+) -> Dict[str, Any]:
+    """Run one engine over a chunk-streamed workload; canonical metrics.
+
+    The workload is generated lazily and executed ``chunk_size`` accesses
+    at a time, so ``accesses`` can be 10^8+ without the trace ever being
+    materialized.  ``chunk_size=0`` materializes the whole trace instead
+    (the equality leg for tests) — the returned metrics are byte-identical
+    either way, at any chunk size.  ``engine=None`` runs the plaintext
+    baseline; ``workload`` accepts :data:`STREAM_WORKLOAD_NAMES` (the
+    named suite plus the long-horizon ``phased`` / ``multi-tenant`` /
+    ``dma-burst`` generators) and ``mcu-<kernel>``.
+
+    Returns a canonical document (:func:`repro.runner.stable_floats` of a
+    JSON round trip) — the same bytes the serve layer's ``run_stream`` op
+    responds with.
+    """
+    from .sim import SecureSystem
+
+    if chunk_size < 0:
+        raise ValueError(f"chunk_size must be >= 0, got {chunk_size}")
+    if accesses <= 0:
+        raise ValueError(f"accesses must be positive, got {accesses}")
+    is_mcu = workload.startswith("mcu-")
+    if not is_mcu and workload not in STREAM_WORKLOAD_NAMES:
+        raise KeyError(
+            f"unknown workload {workload!r}; choose from "
+            f"{STREAM_WORKLOAD_NAMES} or mcu-<kernel>"
+        )
+
+    def accesses_iter():
+        source = (mcu_workload(workload[4:], repeat=5) if is_mcu
+                  else iter_workload(workload, n=accesses, seed=seed))
+        for a in source:
+            yield type(a)(a.kind, a.addr % image_size, a.size)
+
+    system = SecureSystem(
+        engine=make_engine(engine, functional=functional,
+                           **engine_overrides) if engine else None,
+        cache_config=CacheConfig(size=cache_size, line_size=32,
+                                 associativity=2),
+        mem_config=MemoryConfig(size=1 << 21, latency=mem_latency),
+    )
+    system.install_image(0, bytes(image_size))
+    label = engine or "baseline"
+    if chunk_size == 0:
+        trace = list(accesses_iter())
+    else:
+        trace = TraceStream(lambda: chunked(accesses_iter(), chunk_size))
+    report = system.run(trace, label=label)
+    doc = {
+        "engine": label,
+        "workload": workload,
+        "seed": seed,
+        "chunk_size": chunk_size,
+        "metrics": report.to_metrics(),
+    }
+    return stable_floats(json.loads(json.dumps(doc)))
 
 
 def attack_summary(memory: int = 512, seed: int = 2005,

@@ -13,6 +13,8 @@ Usage::
     python -m repro.cli faults integrity-stream # fault-injection campaigns
     python -m repro.cli campaign --engines stream xom  # design-space sweep
     python -m repro.cli serve --port 7205      # simulation-as-a-service
+    python -m repro.cli stream xom dma-burst --accesses 1000000
+                                               # chunk-streamed execution
 
 Engine construction goes through the registry (:mod:`repro.core.registry`);
 ``bench`` drives the parallel experiment runner (:mod:`repro.runner`) and
@@ -33,7 +35,7 @@ from .attacks import rate_engine
 from .core import run_distribution
 from .core.registry import engine_names, list_engines, make_engine
 from .crypto import DRBG
-from .traces import MCU_KERNELS, WORKLOAD_NAMES
+from .traces import LONG_HORIZON_NAMES, MCU_KERNELS, WORKLOAD_NAMES
 
 
 def cmd_list(args: argparse.Namespace) -> int:
@@ -58,6 +60,7 @@ def cmd_list(args: argparse.Namespace) -> int:
     ))
     print()
     print("Workloads:", ", ".join(WORKLOAD_NAMES))
+    print("Long-horizon (streaming):", ", ".join(LONG_HORIZON_NAMES))
     print("MCU kernels:", ", ".join(f"mcu-{k}" for k in MCU_KERNELS))
     return 0
 
@@ -66,10 +69,18 @@ def cmd_overhead(args: argparse.Namespace) -> int:
     if args.engine not in engine_names():
         print(f"unknown engine {args.engine!r}; see `list`", file=sys.stderr)
         return 2
-    result = engine_overhead(
-        args.engine, args.workload, accesses=args.accesses,
-        cache_size=args.cache, mem_latency=args.latency,
-    )
+    # An unknown workload name or a degenerate trace parameter (zero
+    # accesses, an out-of-range probability) is an operator mistake:
+    # one line on stderr and exit 2, never a traceback.
+    try:
+        result = engine_overhead(
+            args.engine, args.workload, accesses=args.accesses,
+            cache_size=args.cache, mem_latency=args.latency,
+        )
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else type(exc).__name__
+        print(f"overhead: {message}", file=sys.stderr)
+        return 2
     print(format_table(
         ["metric", "value"],
         [
@@ -91,7 +102,12 @@ def cmd_overhead(args: argparse.Namespace) -> int:
 def cmd_survey(args: argparse.Namespace) -> int:
     rows = []
     for name in engine_names(survey_only=True):
-        result = engine_overhead(name, "mixed", accesses=args.accesses)
+        try:
+            result = engine_overhead(name, "mixed", accesses=args.accesses)
+        except ValueError as exc:
+            message = exc.args[0] if exc.args else type(exc).__name__
+            print(f"survey: {message}", file=sys.stderr)
+            return 2
         engine = make_engine(name)
         rating = rate_engine(engine.name)
         rows.append([
@@ -242,6 +258,44 @@ def cmd_serve(args: argparse.Namespace) -> int:
           f", {counters['overloaded']} overloaded), "
           f"{counters['executed']} executions, "
           f"dedup joins {stats['dedup']['joins']}")
+    return 0
+
+
+def cmd_stream(args: argparse.Namespace) -> int:
+    import time
+
+    from .api import run_stream
+
+    engine = None if args.engine in (None, "", "baseline") else args.engine
+    try:
+        start = time.perf_counter()
+        doc = run_stream(
+            engine=engine, workload=args.workload, accesses=args.accesses,
+            chunk_size=args.chunk_size, seed=args.seed,
+        )
+        wall = time.perf_counter() - start
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else type(exc).__name__
+        print(f"stream: {message}", file=sys.stderr)
+        return 2
+    metrics = doc["metrics"]
+    rate = args.accesses / wall if wall else 0.0
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["engine", doc["engine"]],
+            ["workload", doc["workload"]],
+            ["accesses", metrics["accesses"]],
+            ["chunk size", doc["chunk_size"] or "whole trace"],
+            ["cycles", metrics["cycles"]],
+            ["cache hit rate", f"{metrics['cache_hit_rate']:.1%}"],
+            ["bus transactions", metrics["bus_transactions"]],
+            ["bytes enciphered", metrics["bytes_enciphered"]],
+            ["wall seconds", f"{wall:.2f}"],
+            ["accesses/sec", f"{rate:,.0f}"],
+        ],
+        title="Chunk-streamed execution",
+    ))
     return 0
 
 
@@ -446,7 +500,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("engine", help="engine name (see `list`)")
     p.add_argument(
         "workload", nargs="?", default="mixed",
-        choices=tuple(WORKLOAD_NAMES) + tuple(f"mcu-{k}" for k in MCU_KERNELS),
+        help="workload name (see `list`); unknown names exit 2 with the "
+             "known list on stderr",
     )
     p.add_argument("--accesses", type=int, default=4000)
     p.add_argument("--cache", type=int, default=4096)
@@ -568,6 +623,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable the result cache")
 
     p = sub.add_parser(
+        "stream",
+        help="run a chunk-streamed workload in bounded memory "
+             "(long-horizon generators: phased, multi-tenant, dma-burst)",
+    )
+    p.add_argument("engine", nargs="?", default=None,
+                   help="engine name, or 'baseline'/omitted for the "
+                        "plaintext baseline")
+    p.add_argument("workload", nargs="?", default="mixed",
+                   help="workload name (named suite, long-horizon "
+                        "generators, or mcu-<kernel>)")
+    p.add_argument("--accesses", type=int, default=200_000)
+    p.add_argument("--chunk-size", type=int, default=65536,
+                   help="accesses per executed chunk (0 = materialize "
+                        "the whole trace; metrics are identical)")
+    p.add_argument("--seed", type=int, default=2005)
+
+    p = sub.add_parser(
         "trace",
         help="run one experiment recording its event stream",
     )
@@ -595,6 +667,7 @@ def main(argv: Optional[list] = None) -> int:
         "bench": cmd_bench,
         "campaign": cmd_campaign,
         "serve": cmd_serve,
+        "stream": cmd_stream,
         "trace": cmd_trace,
         "faults": cmd_faults,
     }

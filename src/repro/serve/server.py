@@ -65,6 +65,16 @@ class ServeStats:
 
 
 @dataclass(eq=False)
+class _StreamSession:
+    """One trace-streaming session: a system fed chunk by chunk."""
+
+    system: object
+    executor: object          # repro.sim.StreamExecutor
+    label: str
+    lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+
+
+@dataclass(eq=False)
 class _Connection:
     """Per-connection state: stream pair, write lock, pending requests."""
 
@@ -74,6 +84,11 @@ class _Connection:
     write_lock: asyncio.Lock = field(default_factory=asyncio.Lock)
     closed: bool = False
     handler: Optional[asyncio.Task] = None
+    streams: Dict[str, _StreamSession] = field(default_factory=dict)
+    # Monotonic-clock stamp of the last observable client/server
+    # activity: bytes arriving or a request task finishing.  The idle
+    # clock measures from here, never across server compute.
+    last_activity: float = 0.0
 
 
 class ExperimentServer:
@@ -94,7 +109,11 @@ class ExperimentServer:
     idle_timeout:
         Seconds of silence after which an idle connection (no pending
         requests) is sent a typed ``idle-timeout`` error and closed.
-        Connections awaiting a response are never idle.
+        Connections awaiting a response are never idle, and the clock
+        only covers time waiting for client bytes: it restarts when a
+        response lands, so a long in-flight execution can never eat
+        into the client's window (the compute-reap regression in
+        ``tests/test_serve.py`` pins this).
     max_frame:
         Frame payload size limit, both directions.
     cache_dir:
@@ -130,6 +149,9 @@ class ExperimentServer:
         self.cache = ResultCache(Path(cache_dir)) if cache_dir else None
         self.stats = ServeStats()
         self.inflight = InflightTable()
+        #: Open trace-streaming sessions allowed per connection.
+        self.max_stream_sessions = 8
+        self._session_seq = 0
         self._log = log or (lambda line: None)
         self._server: Optional[asyncio.base_events.Server] = None
         self._pool = None
@@ -244,24 +266,46 @@ class ExperimentServer:
             # running (coalesced followers may still be waiting).
             for task in conn.tasks:
                 task.cancel()
+            # Stream sessions die with their connection: abort never
+            # blocks, and the executor thread unwinds on its own.
+            for session in conn.streams.values():
+                session.executor.abort()
+            conn.streams.clear()
             writer.close()
 
     async def _read_loop(self, conn: _Connection) -> None:
         decoder = FrameDecoder(self.max_frame)
+        loop = asyncio.get_running_loop()
+        conn.last_activity = loop.time()
+
+        def _stamp(_task: asyncio.Task) -> None:
+            # A finishing request restarts the idle clock, so the client
+            # gets a full idle window to react to the response — however
+            # long the execution took (the clock covers waiting on client
+            # bytes only, never server compute).
+            conn.last_activity = loop.time()
+
         while not self._closing:
+            remaining = conn.last_activity + self.idle_timeout - loop.time()
+            if remaining <= 0:
+                if any(not t.done() for t in conn.tasks):
+                    # Awaiting a response, not idle; _stamp re-arms the
+                    # clock when the work lands.
+                    remaining = self.idle_timeout
+                else:
+                    self.stats.idle_timeouts += 1
+                    await self._send(conn, error_frame(
+                        "idle-timeout",
+                        f"no complete frame in {self.idle_timeout}s"))
+                    return
             try:
                 data = await asyncio.wait_for(
-                    conn.reader.read(65536), self.idle_timeout)
+                    conn.reader.read(65536), remaining)
             except asyncio.TimeoutError:
-                if any(not t.done() for t in conn.tasks):
-                    continue  # awaiting a response, not idle
-                self.stats.idle_timeouts += 1
-                await self._send(conn, error_frame(
-                    "idle-timeout",
-                    f"no complete frame in {self.idle_timeout}s"))
-                return
+                continue  # re-evaluate against last_activity
             if not data:
                 return  # client closed
+            conn.last_activity = loop.time()
             try:
                 frames = decoder.feed(data)
             except ProtocolError as exc:
@@ -274,6 +318,7 @@ class ExperimentServer:
                     self._handle_request(conn, frame))
                 conn.tasks.add(task)
                 task.add_done_callback(conn.tasks.discard)
+                task.add_done_callback(_stamp)
 
     async def _send(self, conn: _Connection, frame: dict) -> None:
         if conn.closed:
@@ -321,9 +366,12 @@ class ExperimentServer:
         if op in handlers.EXECUTORS:
             await self._handle_compute(conn, rid, op, params)
             return
+        if op in handlers.STREAM_OPS:
+            await self._handle_stream_op(conn, rid, op, params)
+            return
         self.stats.errors += 1
         known = sorted((*handlers.CHEAP_OPS, *handlers.EXECUTORS,
-                        "shutdown"))
+                        *handlers.STREAM_OPS, "shutdown"))
         await self._send(conn, error_frame(
             "unknown-op", f"unknown op {op!r}; known: {', '.join(known)}",
             rid))
@@ -332,6 +380,86 @@ class ExperimentServer:
                        served_from: str = "execution") -> None:
         self.stats.responses += 1
         await self._send(conn, response_frame(rid, result, served_from))
+
+    # -- trace-streaming sessions ------------------------------------------
+
+    async def _handle_stream_op(self, conn: _Connection, rid: object,
+                                op: str, params: dict) -> None:
+        """One framed trace-session op (begin / chunk / end).
+
+        Sessions are per-connection state: no dedup, no cache, torn down
+        with the connection.  Chunk feeds run off the event loop and
+        inherit :class:`~repro.sim.StreamExecutor` backpressure, so a
+        client outrunning the simulator blocks in its own socket, not in
+        server memory.
+        """
+        loop = asyncio.get_running_loop()
+        try:
+            if op == "trace_begin":
+                if len(conn.streams) >= self.max_stream_sessions:
+                    raise handlers.RequestError(
+                        "bad-stream",
+                        f"connection already has {len(conn.streams)} open "
+                        f"stream sessions (limit {self.max_stream_sessions})")
+                system, label = handlers.begin_stream_session(params)
+                from ..sim import StreamExecutor
+
+                self._session_seq += 1
+                sid = f"s{self._session_seq}"
+                conn.streams[sid] = _StreamSession(
+                    system=system, executor=StreamExecutor(system),
+                    label=str(params.get("label") or label),
+                )
+                await self._respond(conn, rid, {"session": sid})
+                return
+
+            sid = params.get("session")
+            session = conn.streams.get(sid)
+            if session is None:
+                raise handlers.RequestError(
+                    "unknown-session",
+                    f"unknown stream session {sid!r} on this connection")
+
+            if op == "trace_chunk":
+                chunk = handlers.decode_records(params.get("records"))
+                try:
+                    async with session.lock:
+                        total = await loop.run_in_executor(
+                            None, session.executor.feed, chunk)
+                except Exception as exc:
+                    # Execution died (e.g. tamper detected): the session
+                    # is unusable; tear it down with a typed error.
+                    conn.streams.pop(sid, None)
+                    session.executor.abort()
+                    self.stats.failed += 1
+                    raise handlers.RequestError(
+                        "stream-failed",
+                        f"{type(exc).__name__}: {exc}") from exc
+                await self._respond(
+                    conn, rid, {"fed": len(chunk), "total": total})
+                return
+
+            # trace_end
+            conn.streams.pop(sid, None)
+            try:
+                async with session.lock:
+                    await loop.run_in_executor(
+                        None, session.executor.close)
+            except Exception as exc:
+                session.executor.abort()
+                self.stats.failed += 1
+                raise handlers.RequestError(
+                    "stream-failed",
+                    f"{type(exc).__name__}: {exc}") from exc
+            self.stats.executed += 1
+            await self._respond(conn, rid, {
+                "accesses": session.executor.fed,
+                "metrics": handlers.stream_metrics(
+                    session.system, session.label),
+            })
+        except handlers.RequestError as exc:
+            self.stats.errors += 1
+            await self._send(conn, error_frame(exc.code, exc.message, rid))
 
     async def _handle_compute(self, conn: _Connection, rid: object,
                               op: str, params: dict) -> None:

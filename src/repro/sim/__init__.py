@@ -27,6 +27,7 @@ from .stats import (
     StatsSink,
     TraceEvent,
 )
+from .streaming import StreamExecutor
 from .system import SecureSystem, SimReport, overhead, run_trace
 
 __all__ = [
@@ -42,4 +43,5 @@ __all__ = [
     "CountingSink", "NullSink", "RecordingSink", "RingBufferSink",
     "SimStats", "StatsSink", "TraceEvent",
     "SecureSystem", "SimReport", "overhead", "run_trace",
+    "StreamExecutor",
 ]

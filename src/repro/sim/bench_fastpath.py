@@ -34,6 +34,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..core.registry import engine_names, make_engine
 from ..crypto.drbg import DRBG
 from ..obs import CounterSink
+from ..traces.stream import TraceStream, chunked
 from ..traces.trace import Access, AccessKind
 from .cache import CacheConfig
 from .fastpath import compile_trace
@@ -99,11 +100,20 @@ def _run(name: Optional[str], trace, reference: bool
     return report, sink, transactions
 
 
-def differential(name: Optional[str], n: int = 2000) -> List[str]:
-    """Compare reference vs fast path for one engine; returns mismatches."""
+def differential(name: Optional[str], n: int = 2000,
+                 chunk: Optional[int] = None) -> List[str]:
+    """Compare reference vs fast path for one engine; returns mismatches.
+
+    With ``chunk`` set, the fast path consumes the trace as a replayable
+    :class:`~repro.traces.stream.TraceStream` of that chunk size instead
+    of the materialized list — the chunked-vs-whole equality gate.
+    """
     trace = make_bench_trace(n, fetch_only=name == "compress")
     ref_report, ref_sink, ref_bus = _run(name, trace, reference=True)
-    fast_report, fast_sink, fast_bus = _run(name, trace, reference=False)
+    fast_trace = (trace if chunk is None
+                  else TraceStream(lambda: chunked(trace, chunk), length=n))
+    fast_report, fast_sink, fast_bus = _run(name, fast_trace,
+                                            reference=False)
     problems: List[str] = []
     for field in ref_report.__dataclass_fields__:
         a, b = getattr(ref_report, field), getattr(fast_report, field)

@@ -1,0 +1,232 @@
+"""Streaming-execution scaling bench: accesses/sec and peak RSS by scale.
+
+The point of chunk-streamed execution (:func:`repro.api.run_stream`)
+is that trace length and resident memory are decoupled: a 10^8-access
+run must not cost 10^8 accesses of RAM.  This bench proves both halves
+of that contract and writes ``BENCH_stream_scaling.json``:
+
+* **equality** — for a sample of engines, the chunked path's canonical
+  metrics are byte-identical to the materialized (``chunk_size=0``)
+  path at every tested chunk size, including 1 and one larger than the
+  whole trace;
+* **scaling** — each scale runs in its own *forked child* (``ru_maxrss``
+  is a process-lifetime high-water mark, so children are the only way
+  to attribute peak RSS to one scale), and the top scale's peak RSS
+  must stay within a small factor of the smallest scale's.
+
+Usage::
+
+    python -m repro.sim.bench_stream --smoke        # seconds; CI gate
+    python -m repro.sim.bench_stream                # full; writes JSON
+
+The full run's top scale is 10^8 accesses (~minutes of wall time at
+interpreter speed); ``--scales`` overrides the ladder.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import resource
+import sys
+import time
+from typing import List, Optional, Sequence
+
+#: Peak-RSS growth allowed between the smallest and largest scale.  The
+#: trace grows 100x across the ladder; resident memory must not follow.
+RSS_FLATNESS_FACTOR = 1.5
+
+#: Absolute slack (kB) on top of the ratio: allocator arenas and the
+#: simulator's lazily-touched working set (cache arrays, memory pages)
+#: plateau within the first ~10^5 accesses but are not literally zero.
+RSS_FLATNESS_SLACK_KB = 8 * 1024
+
+#: (engine, workload, accesses) sample for the chunk-equality gate.
+EQUALITY_CASES = (
+    (None, "mixed", 4000),
+    ("xom", "dma-burst", 4000),
+    ("stream", "phased", 4000),
+)
+
+SCHEMA = "repro-stream-scaling/1"
+
+
+def _say(line: str) -> None:
+    # CLI output only — simulator state reports via repro.obs events.
+    sys.stdout.write(f"stream-bench: {line}\n")
+    sys.stdout.flush()
+
+
+def _measure_scale(conn, accesses: int, workload: str,
+                   chunk_size: int, seed: int) -> None:
+    """Child-process body: run one scale, report wall/RSS through a pipe."""
+    from ..api import run_stream
+
+    start = time.perf_counter()
+    doc = run_stream(engine=None, workload=workload, accesses=accesses,
+                     chunk_size=chunk_size, seed=seed)
+    wall = time.perf_counter() - start
+    peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    conn.send({
+        "accesses": accesses,
+        "wall_seconds": round(wall, 3),
+        "accesses_per_second": int(accesses / wall) if wall else 0,
+        "peak_rss_kb": int(peak_rss_kb),
+        "cycles": doc["metrics"]["cycles"],
+        "cache_misses": doc["metrics"]["cache_misses"],
+    })
+    conn.close()
+
+
+def run_scale(accesses: int, workload: str = "dma-burst",
+              chunk_size: int = 65536, seed: int = 2005) -> dict:
+    """Run one scale in a forked child; returns its measurement row."""
+    ctx = multiprocessing.get_context("fork")
+    parent, child = ctx.Pipe(duplex=False)
+    proc = ctx.Process(target=_measure_scale,
+                       args=(child, accesses, workload, chunk_size, seed))
+    proc.start()
+    child.close()
+    try:
+        row = parent.recv()
+    except EOFError:
+        proc.join()
+        raise RuntimeError(
+            f"scale {accesses}: child died with exit code {proc.exitcode}"
+        ) from None
+    proc.join()
+    return row
+
+
+def check_equality(cases: Sequence = EQUALITY_CASES,
+                   chunk_sizes: Sequence[int] = (1, 173, 65536),
+                   log=None) -> List[dict]:
+    """Chunked-vs-materialized byte-identity over the engine sample.
+
+    ``chunk_sizes`` is extended with ``accesses + 1`` (one oversized
+    chunk) per case; any mismatch raises ``AssertionError``.
+    """
+    from ..api import run_stream
+
+    rows = []
+    for engine, workload, accesses in cases:
+        whole = run_stream(engine=engine, workload=workload,
+                           accesses=accesses, chunk_size=0)
+        tested = list(chunk_sizes) + [accesses + 1]
+        for chunk in tested:
+            chunked = run_stream(engine=engine, workload=workload,
+                                 accesses=accesses, chunk_size=chunk)
+            same = chunked["metrics"] == whole["metrics"]
+            if not same:
+                raise AssertionError(
+                    f"{engine or 'baseline'}/{workload}: chunk_size="
+                    f"{chunk} metrics diverge from the materialized path"
+                )
+        rows.append({
+            "engine": engine or "baseline",
+            "workload": workload,
+            "accesses": accesses,
+            "chunk_sizes": tested,
+            "identical": True,
+        })
+        if log:
+            log(f"equality: {engine or 'baseline'}/{workload} identical "
+                f"at chunk sizes {tested}")
+    return rows
+
+
+def check_flatness(scales: List[dict]) -> dict:
+    """Assert peak RSS stays flat as the trace grows; returns the check."""
+    smallest, largest = scales[0], scales[-1]
+    ratio = largest["peak_rss_kb"] / max(1, smallest["peak_rss_kb"])
+    growth_kb = largest["peak_rss_kb"] - smallest["peak_rss_kb"]
+    bounded = (ratio <= RSS_FLATNESS_FACTOR
+               or growth_kb <= RSS_FLATNESS_SLACK_KB)
+    check = {
+        "smallest_peak_rss_kb": smallest["peak_rss_kb"],
+        "largest_peak_rss_kb": largest["peak_rss_kb"],
+        "rss_ratio": round(ratio, 3),
+        "allowed_factor": RSS_FLATNESS_FACTOR,
+        "allowed_slack_kb": RSS_FLATNESS_SLACK_KB,
+        "bounded_memory": bounded,
+    }
+    if not bounded:
+        raise AssertionError(
+            f"peak RSS grew {ratio:.2f}x across a "
+            f"{largest['accesses'] // smallest['accesses']}x trace-length "
+            f"increase (allowed {RSS_FLATNESS_FACTOR}x): streaming is "
+            f"not bounded-memory"
+        )
+    return check
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_stream",
+        description="streaming-execution scaling bench "
+                    "(accesses/sec + peak RSS by scale)",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="small scales, no JSON output; the CI gate")
+    parser.add_argument("--scales", nargs="*", type=int, metavar="N",
+                        help="access-count ladder "
+                             "(default: 1e6 1e7 1e8; smoke: 2e4 2e5)")
+    parser.add_argument("--workload", default="dma-burst",
+                        help="scaling workload (long-horizon generators "
+                             "keep generation cost off the critical path)")
+    parser.add_argument("--chunk-size", type=int, default=65536)
+    parser.add_argument("--seed", type=int, default=2005)
+    parser.add_argument("--out", default="BENCH_stream_scaling.json",
+                        help="output JSON path (full mode only)")
+    args = parser.parse_args(argv)
+
+    log = _say
+
+    if args.scales:
+        ladder = sorted(args.scales)
+    elif args.smoke:
+        ladder = [200_000, 1_000_000]
+    else:
+        ladder = [1_000_000, 10_000_000, 100_000_000]
+    if any(n <= 0 for n in ladder):
+        sys.stderr.write("stream-bench: scales must be positive\n")
+        return 2
+
+    equality = check_equality(log=log)
+
+    scales = []
+    for n in ladder:
+        row = run_scale(n, workload=args.workload,
+                        chunk_size=args.chunk_size, seed=args.seed)
+        scales.append(row)
+        log(f"scale {n:>11,}: {row['wall_seconds']:8.2f}s  "
+            f"{row['accesses_per_second']:>9,} acc/s  "
+            f"peak RSS {row['peak_rss_kb']:,} kB")
+    flatness = check_flatness(scales)
+    log(f"peak RSS ratio {flatness['rss_ratio']}x across a "
+        f"{ladder[-1] // ladder[0]}x scale sweep "
+        f"(allowed {RSS_FLATNESS_FACTOR}x)")
+
+    if args.smoke:
+        log("smoke ok: chunk equality + bounded memory")
+        return 0
+
+    doc = {
+        "schema": SCHEMA,
+        "workload": args.workload,
+        "chunk_size": args.chunk_size,
+        "seed": args.seed,
+        "scales": scales,
+        "memory_check": flatness,
+        "chunk_equality": equality,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    log(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -48,10 +48,12 @@ from typing import Iterator, List, Tuple, Union
 
 from ..core.engine import BusEncryptionEngine, Placement
 from ..obs import TraceEvent
+from ..traces.stream import TraceStream
 from ..traces.trace import Access, AccessKind, Trace
 from .cache import WritePolicy, _Line
 
-__all__ = ["CompiledTrace", "compile_trace", "execute", "FLUSH_THRESHOLD"]
+__all__ = ["CompiledTrace", "CompiledTraceStream", "compile_trace",
+           "execute", "FLUSH_THRESHOLD"]
 
 #: Deferred fills are handed to ``fill_lines`` in groups of at most this
 #: many lines (they also flush early whenever ordering requires it).
@@ -85,9 +87,54 @@ class CompiledTrace:
         return iter(self.accesses)
 
 
-def compile_trace(trace: Union[Trace, CompiledTrace],
-                  line_size: int) -> CompiledTrace:
-    """Coalesce consecutive same-line accesses into annotated runs."""
+class CompiledTraceStream:
+    """The streaming counterpart of :class:`CompiledTrace`.
+
+    Wraps a :class:`~repro.traces.stream.TraceStream` and compiles each
+    chunk on demand, so only one chunk's accesses and runs exist at a
+    time.  Runs never span chunk boundaries — a coalesced run split in
+    two executes as two shorter runs, which :func:`execute` resolves to
+    the same per-access arithmetic (see DESIGN.md, "Streaming traces").
+
+    Iterable like a trace (flattens to accesses); replayability follows
+    the underlying stream.
+    """
+
+    __slots__ = ("stream", "line_size")
+
+    def __init__(self, stream: TraceStream, line_size: int):
+        self.stream = stream
+        self.line_size = line_size
+
+    @property
+    def replayable(self) -> bool:
+        return self.stream.replayable
+
+    def compiled_chunks(self) -> Iterator[CompiledTrace]:
+        """Compile and yield one :class:`CompiledTrace` per chunk."""
+        for chunk in self.stream.chunks():
+            yield compile_trace(list(chunk), self.line_size)
+
+    def __iter__(self) -> Iterator[Access]:
+        return iter(self.stream)
+
+
+def compile_trace(trace: Union[Trace, CompiledTrace, TraceStream,
+                               CompiledTraceStream],
+                  line_size: int
+                  ) -> Union[CompiledTrace, CompiledTraceStream]:
+    """Coalesce consecutive same-line accesses into annotated runs.
+
+    A materialized trace compiles to a :class:`CompiledTrace`; a
+    :class:`~repro.traces.stream.TraceStream` compiles lazily to a
+    :class:`CompiledTraceStream` (per-chunk, bounded memory).
+    """
+    if isinstance(trace, CompiledTraceStream):
+        if trace.line_size == line_size:
+            return trace
+        return CompiledTraceStream(trace.stream, line_size)
+    if isinstance(trace, TraceStream):
+        return CompiledTraceStream(trace, line_size)
     if isinstance(trace, CompiledTrace):
         if trace.line_size == line_size:
             return trace
@@ -124,11 +171,29 @@ def compile_trace(trace: Union[Trace, CompiledTrace],
     return CompiledTrace(accesses, line_size, runs)
 
 
-def execute(system, trace: Union[Trace, CompiledTrace]) -> None:
+def _compiled_chunks(trace, line_size: int) -> Iterator[CompiledTrace]:
+    """Yield compiled chunks for any accepted trace shape.
+
+    Materialized traces become a single chunk; streams compile chunk by
+    chunk so peak memory stays one chunk regardless of trace length.
+    """
+    compiled = compile_trace(trace, line_size)
+    if isinstance(compiled, CompiledTraceStream):
+        yield from compiled.compiled_chunks()
+    else:
+        yield compiled
+
+
+def execute(system, trace: Union[Trace, CompiledTrace, TraceStream,
+                                 CompiledTraceStream]) -> None:
     """Replay ``trace`` on ``system`` via the batched path.
 
     Mutates the system exactly like ``for a in trace: system.step(a)``
     (see the module docstring for the precise equivalence contract).
+    ``trace`` may be materialized or a chunk stream; chunked execution
+    carries all simulator state (LRU order, dirty bits, deferred fills,
+    counters, cycle clock) across chunk boundaries, so metrics are
+    byte-identical to the materialized path at any chunk size.
     """
     engine = system.engine
     if type(engine).notify_access is not BusEncryptionEngine.notify_access:
@@ -141,8 +206,6 @@ def execute(system, trace: Union[Trace, CompiledTrace]) -> None:
     cache = system.cache
     cfg = cache.config
     line_size = cfg.line_size
-    compiled = compile_trace(trace, line_size)
-    accesses = compiled.accesses
 
     sink = system.sink
     num_sets = cfg.num_sets
@@ -306,83 +369,95 @@ def execute(system, trace: Union[Trace, CompiledTrace]) -> None:
                     cycles += write_cycles
 
     try:
-        for start, count, line, n_fetch, n_load, n_store, total, stores \
-                in compiled.runs:
-            head = accesses[start]
-            one_access(head)
-            tail = count - 1
-            if tail == 0:
-                continue
-            lines = sets[line % num_sets]
-            head_is_store = head.kind is store_kind
-            tail_stores = n_store - (1 if head_is_store else 0)
-            if not (lines and lines[-1] == line
-                    and (write_back or tail_stores == 0)):
-                # Rare shapes (write-through stores, no-write-allocate
-                # bypass) keep full per-access treatment.
-                for k in range(start + 1, start + count):
-                    one_access(accesses[k])
-                continue
+        # One compiled chunk at a time; every piece of mirrored state —
+        # LRU lists, dirty set, counters, cycles, deferred fills — lives
+        # outside this loop, so chunk boundaries are invisible to the
+        # simulation.  Deferred fills deliberately survive boundaries:
+        # flushing there would reorder the bus stream relative to the
+        # materialized path.
+        for compiled in _compiled_chunks(trace, line_size):
+            accesses = compiled.accesses
+            for start, count, line, n_fetch, n_load, n_store, total, \
+                    stores in compiled.runs:
+                head = accesses[start]
+                one_access(head)
+                tail = count - 1
+                if tail == 0:
+                    continue
+                lines = sets[line % num_sets]
+                head_is_store = head.kind is store_kind
+                tail_stores = n_store - (1 if head_is_store else 0)
+                if not (lines and lines[-1] == line
+                        and (write_back or tail_stores == 0)):
+                    # Rare shapes (write-through stores, no-write-allocate
+                    # bypass) keep full per-access treatment.
+                    for k in range(start + 1, start + count):
+                        one_access(accesses[k])
+                    continue
 
-            # Bulk tail: `tail` guaranteed hits on the already-MRU line.
-            # LRU order, set membership and engine state are all
-            # untouched by a same-line hit run, so the whole run reduces
-            # to counter/cycle arithmetic (plus store patches).
-            hits += tail
-            if n_fetch:
-                counts[fetch_kind] += n_fetch
-            if n_load:
-                counts[AccessKind.LOAD] += n_load
-            if n_store:
-                counts[store_kind] += n_store
-            counts[head.kind] -= 1  # the head was counted in one_access
-            if sink is not None:
-                base = cycles
-                lo, hi = start + 1, start + count
+                # Bulk tail: `tail` guaranteed hits on the already-MRU
+                # line.  LRU order, set membership and engine state are
+                # all untouched by a same-line hit run, so the whole run
+                # reduces to counter/cycle arithmetic (plus store
+                # patches).
+                hits += tail
+                if n_fetch:
+                    counts[fetch_kind] += n_fetch
+                if n_load:
+                    counts[AccessKind.LOAD] += n_load
+                if n_store:
+                    counts[store_kind] += n_store
+                counts[head.kind] -= 1  # the head was counted above
+                if sink is not None:
+                    base = cycles
+                    lo, hi = start + 1, start + count
 
-                def access_events(base=base, lo=lo, hi=hi):
-                    c = base
-                    for k in range(lo, hi):
-                        access = accesses[k]
-                        c += issue
-                        yield TraceEvent(
-                            kind="access", addr=access.addr,
-                            size=access.size, cycle=c,
-                            detail=access.kind.name.lower(),
-                        )
-                        c += per_access + hit_latency
+                    def access_events(base=base, lo=lo, hi=hi,
+                                      accesses=accesses):
+                        c = base
+                        for k in range(lo, hi):
+                            access = accesses[k]
+                            c += issue
+                            yield TraceEvent(
+                                kind="access", addr=access.addr,
+                                size=access.size, cycle=c,
+                                detail=access.kind.name.lower(),
+                            )
+                            c += per_access + hit_latency
 
-                def hit_events(base=base, lo=lo, hi=hi):
-                    c = base
-                    for k in range(lo, hi):
-                        access = accesses[k]
-                        c += issue + per_access
-                        yield TraceEvent(kind="hit", addr=access.addr,
-                                         size=line_size, cycle=c)
-                        c += hit_latency
+                    def hit_events(base=base, lo=lo, hi=hi,
+                                   accesses=accesses):
+                        c = base
+                        for k in range(lo, hi):
+                            access = accesses[k]
+                            c += issue + per_access
+                            yield TraceEvent(kind="hit", addr=access.addr,
+                                             size=line_size, cycle=c)
+                            c += hit_latency
 
-                sink.emit_bulk("access", tail, total - head.size,
-                               access_events)
-                sink.emit_bulk("hit", tail, tail * line_size, hit_events)
-            cycles += tail * step_cycles
+                    sink.emit_bulk("access", tail, total - head.size,
+                                   access_events)
+                    sink.emit_bulk("hit", tail, tail * line_size,
+                                   hit_events)
+                cycles += tail * step_cycles
 
-            if tail_stores:
-                if line in pending_set:
-                    flush_fills()
-                dirty.add(line)
-                buf = line_data.get(line)
-                if buf is not None:
-                    for idx in stores:
-                        if idx == start:
-                            continue
-                        access = accesses[idx]
-                        payload = bytes(
-                            (access.addr + i) & 0xFF
-                            for i in range(access.size)
-                        )
-                        offset = access.addr - line * line_size
-                        end = min(offset + len(payload), line_size)
-                        buf[offset:end] = payload[: end - offset]
+                if tail_stores:
+                    if line in pending_set:
+                        flush_fills()
+                    dirty.add(line)
+                    buf = line_data.get(line)
+                    if buf is not None:
+                        for idx in stores:
+                            if idx == start:
+                                continue
+                            access = accesses[idx]
+                            payload = bytes(
+                                (access.addr + i) & 0xFF
+                                for i in range(access.size)
+                            )
+                            offset = access.addr - line * line_size
+                            end = min(offset + len(payload), line_size)
+                            buf[offset:end] = payload[: end - offset]
 
         if pending:
             flush_fills()

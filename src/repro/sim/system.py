@@ -222,21 +222,27 @@ class SecureSystem:
                 if not self.write_buffer:
                     self.cycles += write_cycles
 
-    def run(self, trace: Trace, label: str = "") -> SimReport:
+    def run(self, trace, label: str = "") -> SimReport:
         """Replay ``trace`` and return the report.
 
         Executes through the batched fast path (:mod:`repro.sim.fastpath`)
         — same report, bus stream and observability totals as the scalar
         :meth:`run_reference`, at a fraction of the dispatch cost.  Accepts
-        a plain trace or a :class:`~repro.sim.fastpath.CompiledTrace`
-        (compile once, replay against many systems).
+        a plain trace, a :class:`~repro.sim.fastpath.CompiledTrace`
+        (compile once, replay against many systems), or a
+        :class:`~repro.traces.stream.TraceStream` chunk stream — the
+        streaming form runs a 10^8-access trace in bounded memory with a
+        byte-identical report.
         """
         from .fastpath import execute
         execute(self, trace)
         return self.report(label or self.engine.name)
 
-    def run_reference(self, trace: Trace, label: str = "") -> SimReport:
-        """Replay ``trace`` one access at a time (the reference path)."""
+    def run_reference(self, trace, label: str = "") -> SimReport:
+        """Replay ``trace`` one access at a time (the reference path).
+
+        Accepts the same trace shapes as :meth:`run` (streams included).
+        """
         for access in trace:
             self.step(access)
         return self.report(label or self.engine.name)
@@ -304,9 +310,21 @@ def overhead(
     image: Optional[bytes] = None,
     **system_kwargs,
 ) -> float:
-    """Fractional slowdown of ``engine`` vs the plaintext baseline."""
-    from .fastpath import compile_trace
+    """Fractional slowdown of ``engine`` vs the plaintext baseline.
 
+    The trace runs twice (secured, then baseline), so a stream must be
+    replayable — a one-shot stream raises ``TypeError`` up front rather
+    than silently feeding the baseline nothing.
+    """
+    from ..traces.stream import TraceStream
+    from .fastpath import CompiledTraceStream, compile_trace
+
+    if isinstance(trace, (TraceStream, CompiledTraceStream)) \
+            and not trace.replayable:
+        raise TypeError(
+            "overhead() replays the trace twice; build the stream from a "
+            "factory (e.g. repro.traces.stream_workload) so it can replay"
+        )
     cache_config = system_kwargs.get("cache_config") or CacheConfig()
     compiled = compile_trace(trace, cache_config.line_size)
     secured = run_trace(compiled, engine=engine, image=image, **system_kwargs)

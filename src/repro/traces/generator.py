@@ -6,12 +6,24 @@ problem"), and write mix (§2.2's smaller-than-block write penalty).  Each
 generator here sweeps one of those axes; :mod:`repro.traces.workloads` names
 the standard combinations the experiments use.
 
+Every generator exists in two forms: ``iter_<name>`` yields accesses
+lazily (the streaming form — pair with :func:`repro.traces.stream.chunked`
+to drive a 10^8-access run in bounded memory), and ``<name>`` materializes
+the same accesses as a list.  The list form is exactly
+``list(iter_<name>(...))``, so both draw from the DRBG in the same order
+and produce byte-identical traces.
+
+The ``iter_phased_program`` / ``iter_multi_tenant`` / ``iter_dma_bursts``
+generators model long-horizon behaviours (phase changes, tenant
+interleaving, DMA burst trains) that only show up at lengths the
+materialized path cannot hold; they have no list form on purpose.
+
 All generators are deterministic given a :class:`repro.crypto.DRBG` seed.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterator, Optional
 
 from ..crypto.drbg import DRBG
 from .trace import Access, AccessKind, Trace
@@ -24,7 +36,44 @@ __all__ = [
     "pointer_chase",
     "write_burst",
     "mixed_workload",
+    "iter_sequential_code",
+    "iter_branchy_code",
+    "iter_data_stream",
+    "iter_random_data",
+    "iter_pointer_chase",
+    "iter_write_burst",
+    "iter_mixed_workload",
+    "iter_phased_program",
+    "iter_multi_tenant",
+    "iter_dma_bursts",
 ]
+
+
+def _check_count(n: int) -> None:
+    if n <= 0:
+        raise ValueError(f"n must be a positive access count, got {n}")
+
+
+def iter_sequential_code(
+    n: int,
+    base: int = 0,
+    step: int = 4,
+    code_size: int = 64 * 1024,
+) -> Iterator[Access]:
+    """Straight-line instruction fetches wrapping within ``code_size``.
+
+    The best case for Gilmont's fetch predictor: the next line is always the
+    one the predictor guessed.
+    """
+    _check_count(n)
+    if step <= 0:
+        raise ValueError(f"step must be positive, got {step}")
+    if code_size < step:
+        raise ValueError(
+            f"code_size must be at least step ({step}), got {code_size}"
+        )
+    for i in range(n):
+        yield Access(AccessKind.FETCH, base + (i * step) % code_size, step)
 
 
 def sequential_code(
@@ -33,17 +82,39 @@ def sequential_code(
     step: int = 4,
     code_size: int = 64 * 1024,
 ) -> Trace:
-    """Straight-line instruction fetches wrapping within ``code_size``.
+    """Materialized form of :func:`iter_sequential_code`."""
+    return list(iter_sequential_code(n, base=base, step=step, code_size=code_size))
 
-    The best case for Gilmont's fetch predictor: the next line is always the
-    one the predictor guessed.
+
+def iter_branchy_code(
+    n: int,
+    rng: DRBG,
+    base: int = 0,
+    p_taken: float = 0.15,
+    code_size: int = 64 * 1024,
+    step: int = 4,
+) -> Iterator[Access]:
+    """Instruction fetches with probability ``p_taken`` of jumping.
+
+    Jump targets are uniform within the code image — the survey's JUMP
+    problem for chained ciphering modes and fetch predictors.
     """
+    _check_count(n)
+    if not 0.0 <= p_taken <= 1.0:
+        raise ValueError(f"p_taken must be in [0, 1], got {p_taken}")
     if step <= 0:
         raise ValueError(f"step must be positive, got {step}")
-    return [
-        Access(AccessKind.FETCH, base + (i * step) % code_size, step)
-        for i in range(n)
-    ]
+    if code_size < step:
+        raise ValueError(
+            f"code_size must be at least step ({step}), got {code_size}"
+        )
+    pc = base
+    for _ in range(n):
+        yield Access(AccessKind.FETCH, pc, step)
+        if rng.random() < p_taken:
+            pc = base + (rng.randbelow(code_size // step)) * step
+        else:
+            pc = base + ((pc - base) + step) % code_size
 
 
 def branchy_code(
@@ -54,22 +125,46 @@ def branchy_code(
     code_size: int = 64 * 1024,
     step: int = 4,
 ) -> Trace:
-    """Instruction fetches with probability ``p_taken`` of jumping.
+    """Materialized form of :func:`iter_branchy_code`."""
+    return list(iter_branchy_code(
+        n, rng, base=base, p_taken=p_taken, code_size=code_size, step=step,
+    ))
 
-    Jump targets are uniform within the code image — the survey's JUMP
-    problem for chained ciphering modes and fetch predictors.
+
+def iter_data_stream(
+    n: int,
+    rng: DRBG,
+    base: int = 1 << 20,
+    working_set: int = 256 * 1024,
+    write_fraction: float = 0.3,
+    size: int = 4,
+    locality: float = 0.85,
+) -> Iterator[Access]:
+    """Loads and stores over a working set with tunable spatial locality.
+
+    With probability ``locality`` the next access lands near the previous
+    one (same or next line); otherwise it jumps uniformly in the set.
     """
-    if not 0.0 <= p_taken <= 1.0:
-        raise ValueError(f"p_taken must be in [0, 1], got {p_taken}")
-    trace: Trace = []
-    pc = base
+    _check_count(n)
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ValueError(f"write_fraction must be in [0, 1], got {write_fraction}")
+    if not 0.0 <= locality <= 1.0:
+        raise ValueError(f"locality must be in [0, 1], got {locality}")
+    if size <= 0:
+        raise ValueError(f"size must be positive, got {size}")
+    if working_set < size:
+        raise ValueError(
+            f"working_set must be at least size ({size}), got {working_set}"
+        )
+    addr = base
+    span = working_set // size
     for _ in range(n):
-        trace.append(Access(AccessKind.FETCH, pc, step))
-        if rng.random() < p_taken:
-            pc = base + (rng.randbelow(code_size // step)) * step
+        kind = AccessKind.STORE if rng.random() < write_fraction else AccessKind.LOAD
+        yield Access(kind, addr, size)
+        if rng.random() < locality:
+            addr = base + ((addr - base) + size) % working_set
         else:
-            pc = base + ((pc - base) + step) % code_size
-    return trace
+            addr = base + rng.randbelow(span) * size
 
 
 def data_stream(
@@ -81,26 +176,26 @@ def data_stream(
     size: int = 4,
     locality: float = 0.85,
 ) -> Trace:
-    """Loads and stores over a working set with tunable spatial locality.
+    """Materialized form of :func:`iter_data_stream`."""
+    return list(iter_data_stream(
+        n, rng, base=base, working_set=working_set,
+        write_fraction=write_fraction, size=size, locality=locality,
+    ))
 
-    With probability ``locality`` the next access lands near the previous
-    one (same or next line); otherwise it jumps uniformly in the set.
-    """
-    if not 0.0 <= write_fraction <= 1.0:
-        raise ValueError(f"write_fraction must be in [0, 1], got {write_fraction}")
-    if not 0.0 <= locality <= 1.0:
-        raise ValueError(f"locality must be in [0, 1], got {locality}")
-    trace: Trace = []
-    addr = base
-    span = working_set // size
-    for _ in range(n):
-        kind = AccessKind.STORE if rng.random() < write_fraction else AccessKind.LOAD
-        trace.append(Access(kind, addr, size))
-        if rng.random() < locality:
-            addr = base + ((addr - base) + size) % working_set
-        else:
-            addr = base + rng.randbelow(span) * size
-    return trace
+
+def iter_random_data(
+    n: int,
+    rng: DRBG,
+    base: int = 1 << 20,
+    working_set: int = 1 << 20,
+    write_fraction: float = 0.0,
+    size: int = 4,
+) -> Iterator[Access]:
+    """Uniformly random accesses — the cache-hostile extreme."""
+    return iter_data_stream(
+        n, rng, base=base, working_set=working_set,
+        write_fraction=write_fraction, size=size, locality=0.0,
+    )
 
 
 def random_data(
@@ -111,11 +206,30 @@ def random_data(
     write_fraction: float = 0.0,
     size: int = 4,
 ) -> Trace:
-    """Uniformly random accesses — the cache-hostile extreme."""
-    return data_stream(
+    """Materialized form of :func:`iter_random_data`."""
+    return list(iter_random_data(
         n, rng, base=base, working_set=working_set,
-        write_fraction=write_fraction, size=size, locality=0.0,
-    )
+        write_fraction=write_fraction, size=size,
+    ))
+
+
+def iter_pointer_chase(
+    n: int,
+    rng: DRBG,
+    base: int = 1 << 20,
+    nodes: int = 4096,
+    node_size: int = 32,
+) -> Iterator[Access]:
+    """Follow a random permutation of nodes — serial, unpredictable loads."""
+    _check_count(n)
+    if nodes <= 0:
+        raise ValueError(f"nodes must be positive, got {nodes}")
+    order = list(range(nodes))
+    rng.shuffle(order)
+    node = 0
+    for _ in range(n):
+        yield Access(AccessKind.LOAD, base + order[node] * node_size, 4)
+        node = (node + 1) % nodes
 
 
 def pointer_chase(
@@ -125,15 +239,28 @@ def pointer_chase(
     nodes: int = 4096,
     node_size: int = 32,
 ) -> Trace:
-    """Follow a random permutation of nodes — serial, unpredictable loads."""
-    order = list(range(nodes))
-    rng.shuffle(order)
-    trace: Trace = []
-    node = 0
-    for _ in range(n):
-        trace.append(Access(AccessKind.LOAD, base + order[node] * node_size, 4))
-        node = (node + 1) % nodes
-    return trace
+    """Materialized form of :func:`iter_pointer_chase`."""
+    return list(iter_pointer_chase(
+        n, rng, base=base, nodes=nodes, node_size=node_size,
+    ))
+
+
+def iter_write_burst(
+    n: int,
+    base: int = 1 << 20,
+    write_size: int = 4,
+    stride: Optional[int] = None,
+    region: int = 512 * 1024,
+) -> Iterator[Access]:
+    """Back-to-back stores of ``write_size`` bytes — isolates the §2.2
+    read-modify-write penalty (E04)."""
+    _check_count(n)
+    if write_size <= 0:
+        raise ValueError(f"write_size must be positive, got {write_size}")
+    if stride is None:
+        stride = write_size
+    for i in range(n):
+        yield Access(AccessKind.STORE, base + (i * stride) % region, write_size)
 
 
 def write_burst(
@@ -143,14 +270,55 @@ def write_burst(
     stride: Optional[int] = None,
     region: int = 512 * 1024,
 ) -> Trace:
-    """Back-to-back stores of ``write_size`` bytes — isolates the §2.2
-    read-modify-write penalty (E04)."""
-    if stride is None:
-        stride = write_size
-    return [
-        Access(AccessKind.STORE, base + (i * stride) % region, write_size)
-        for i in range(n)
-    ]
+    """Materialized form of :func:`iter_write_burst`."""
+    return list(iter_write_burst(
+        n, base=base, write_size=write_size, stride=stride, region=region,
+    ))
+
+
+def iter_mixed_workload(
+    n: int,
+    rng: DRBG,
+    fetch_fraction: float = 0.7,
+    write_fraction: float = 0.1,
+    p_taken: float = 0.12,
+    code_size: int = 128 * 1024,
+    working_set: int = 256 * 1024,
+) -> Iterator[Access]:
+    """Interleaved fetch/load/store stream resembling embedded execution.
+
+    ``fetch_fraction`` of accesses are instruction fetches following a
+    branchy PC; the rest are data accesses with ``write_fraction`` stores.
+
+    Code and data draw from independent DRBG forks ("code"/"data"), so the
+    lazy interleaving here produces the same accesses the materialized
+    version always did.
+    """
+    _check_count(n)
+    if not 0.0 < fetch_fraction <= 1.0:
+        raise ValueError(f"fetch_fraction must be in (0, 1], got {fetch_fraction}")
+    code = iter_branchy_code(
+        n, rng.fork("code"), p_taken=p_taken, code_size=code_size,
+    )
+    data_n = max(1, int(n * (1 - fetch_fraction)))
+    wf = write_fraction / max(1e-9, (1 - fetch_fraction))
+    data = iter_data_stream(
+        data_n, rng.fork("data"),
+        write_fraction=min(1.0, wf), working_set=working_set,
+    )
+    threshold = (1 - fetch_fraction) / max(1e-9, fetch_fraction)
+    emitted = 0
+    di = 0
+    for fetch in code:
+        if emitted >= n:
+            break
+        yield fetch
+        emitted += 1
+        # Insert a data access after the right fraction of fetches.
+        if rng.random() < threshold and di < data_n and emitted < n:
+            yield next(data)
+            di += 1
+            emitted += 1
 
 
 def mixed_workload(
@@ -162,27 +330,143 @@ def mixed_workload(
     code_size: int = 128 * 1024,
     working_set: int = 256 * 1024,
 ) -> Trace:
-    """Interleaved fetch/load/store stream resembling embedded execution.
+    """Materialized form of :func:`iter_mixed_workload`."""
+    return list(iter_mixed_workload(
+        n, rng, fetch_fraction=fetch_fraction, write_fraction=write_fraction,
+        p_taken=p_taken, code_size=code_size, working_set=working_set,
+    ))
 
-    ``fetch_fraction`` of accesses are instruction fetches following a
-    branchy PC; the rest are data accesses with ``write_fraction`` stores.
+
+# --------------------------------------------------------------------------
+# Long-horizon generators (streaming only).
+#
+# These model behaviours that need 10^7+ accesses to matter: programs that
+# change phase, several tenants time-slicing one bus, and DMA engines
+# moving buffers in bursts.  Each draws only a handful of DRBG values per
+# phase/slice/burst so generation keeps up with the batched executor.
+# --------------------------------------------------------------------------
+
+
+def iter_phased_program(
+    n: int,
+    rng: DRBG,
+    phase_len: int = 100_000,
+    code_size: int = 256 * 1024,
+    working_set: int = 256 * 1024,
+    data_base: int = 1 << 20,
+) -> Iterator[Access]:
+    """A program that moves through distinct execution phases.
+
+    Each phase lasts roughly ``phase_len`` accesses (uniform in
+    [phase_len/2, 3*phase_len/2)) and is one of: branchy code, a local
+    data loop, or a pointer chase.  Phase boundaries are where engines
+    with warm predictors or caches lose their state — invisible in short
+    traces, dominant at 10^8.
     """
-    code = branchy_code(n, rng.fork("code"), p_taken=p_taken, code_size=code_size)
-    data_n = max(1, int(n * (1 - fetch_fraction)))
-    wf = write_fraction / max(1e-9, (1 - fetch_fraction))
-    data = data_stream(
-        data_n, rng.fork("data"),
-        write_fraction=min(1.0, wf), working_set=working_set,
-    )
-    trace: Trace = []
-    di = 0
-    for i, fetch in enumerate(code):
-        if len(trace) >= n:
-            break
-        trace.append(fetch)
-        # Insert a data access after the right fraction of fetches.
-        if rng.random() < (1 - fetch_fraction) / max(1e-9, fetch_fraction) \
-                and di < len(data) and len(trace) < n:
-            trace.append(data[di])
-            di += 1
-    return trace[:n]
+    _check_count(n)
+    if phase_len <= 0:
+        raise ValueError(f"phase_len must be positive, got {phase_len}")
+    emitted = 0
+    phase = 0
+    while emitted < n:
+        length = min(n - emitted,
+                     max(1, phase_len // 2 + rng.randbelow(phase_len)))
+        shape = rng.randbelow(3)
+        sub = rng.fork(f"phase-{phase}")
+        if shape == 0:
+            source = iter_branchy_code(
+                length, sub, p_taken=0.05 + 0.2 * sub.random(),
+                code_size=code_size,
+            )
+        elif shape == 1:
+            source = iter_data_stream(
+                length, sub, base=data_base, working_set=working_set,
+                write_fraction=0.3, locality=0.9,
+            )
+        else:
+            source = iter_pointer_chase(
+                length, sub, base=data_base, nodes=4096,
+            )
+        yield from source
+        emitted += length
+        phase += 1
+
+
+def iter_multi_tenant(
+    n: int,
+    rng: DRBG,
+    tenants: int = 4,
+    slice_len: int = 64,
+    stride: int = 1 << 21,
+    code_size: int = 64 * 1024,
+    working_set: int = 128 * 1024,
+) -> Iterator[Access]:
+    """Several tenants time-slicing one encrypted bus.
+
+    Each tenant runs its own mixed workload (independent DRBG fork) in a
+    disjoint ``stride``-sized address window; the scheduler hands out
+    slices of 1..``slice_len`` accesses to a uniformly chosen tenant.
+    Context switches defeat spatial locality across tenants — the
+    worst case for fetch predictors and the survey's chained modes.
+    """
+    _check_count(n)
+    if tenants <= 0:
+        raise ValueError(f"tenants must be positive, got {tenants}")
+    if slice_len <= 0:
+        raise ValueError(f"slice_len must be positive, got {slice_len}")
+    streams = [
+        iter_mixed_workload(
+            n, rng.fork(f"tenant-{t}"),
+            code_size=code_size, working_set=working_set,
+        )
+        for t in range(tenants)
+    ]
+    emitted = 0
+    while emitted < n:
+        t = rng.randbelow(tenants)
+        quantum = min(1 + rng.randbelow(slice_len), n - emitted)
+        base = t * stride
+        source = streams[t]
+        for _ in range(quantum):
+            a = next(source)
+            yield Access(a.kind, base + a.addr, a.size)
+        emitted += quantum
+
+
+def iter_dma_bursts(
+    n: int,
+    rng: DRBG,
+    base: int = 1 << 20,
+    region: int = 1 << 20,
+    burst: int = 256,
+    size: int = 4,
+    read_fraction: float = 0.4,
+) -> Iterator[Access]:
+    """DMA burst trains: long sequential transfers at random buffer bases.
+
+    Each burst is up to ``burst`` back-to-back same-direction accesses of
+    ``size`` bytes from a random ``size``-aligned offset in ``region`` —
+    the pattern VLSI's DMA-granular engine and Sealer's in-SRAM AES are
+    built around.  Only three DRBG draws per burst, so this is the
+    generator of choice for the 10^8-access scaling bench.
+    """
+    _check_count(n)
+    if burst <= 0:
+        raise ValueError(f"burst must be positive, got {burst}")
+    if size <= 0:
+        raise ValueError(f"size must be positive, got {size}")
+    if region < size:
+        raise ValueError(
+            f"region must be at least size ({size}), got {region}"
+        )
+    if not 0.0 <= read_fraction <= 1.0:
+        raise ValueError(f"read_fraction must be in [0, 1], got {read_fraction}")
+    span = region // size
+    emitted = 0
+    while emitted < n:
+        length = min(1 + rng.randbelow(burst), n - emitted)
+        start = base + rng.randbelow(span) * size
+        kind = AccessKind.LOAD if rng.random() < read_fraction else AccessKind.STORE
+        for i in range(length):
+            yield Access(kind, base + ((start - base) + i * size) % region, size)
+        emitted += length

@@ -1,9 +1,17 @@
-"""Trace file I/O in the classic Dinero ``din`` format.
+"""Trace file I/O: the classic Dinero ``din`` text format and a compact
+binary record format.
 
-Interop with the trace-driven-simulation ecosystem the survey's era used:
-one access per line, ``<label> <hex address> [size]``, where the label is
-0 = data read, 1 = data write, 2 = instruction fetch.  Lines starting with
-``#`` (and blank lines) are comments.
+The din format is interop with the trace-driven-simulation ecosystem the
+survey's era used: one access per line, ``<label> <hex address> [size]``,
+where the label is 0 = data read, 1 = data write, 2 = instruction fetch.
+Lines starting with ``#`` (and blank lines) are comments.
+
+The binary format (:func:`save_trace_bin` / :func:`iter_trace_bin`) is
+for long-horizon traces: a 6-byte magic followed by fixed 13-byte records
+``>BQI`` (label, address, size).  Both formats read and write as bounded-
+memory record streams — no whole-file ``read()`` anywhere — and any
+truncated or corrupt trailing record raises :class:`TraceFormatError`
+(one line, naming the record) rather than an opaque struct traceback.
 
 >>> from io import StringIO
 >>> buf = StringIO()
@@ -15,11 +23,14 @@ one access per line, ``<label> <hex address> [size]``, where the label is
 
 from __future__ import annotations
 
-from typing import IO, Iterable, List, Union
+import struct
+from typing import IO, Iterable, Iterator, List, Union
 
 from .trace import Access, AccessKind, Trace
 
-__all__ = ["save_trace", "load_trace", "TraceFormatError"]
+__all__ = ["save_trace", "load_trace", "iter_trace", "TraceFormatError",
+           "save_trace_bin", "load_trace_bin", "iter_trace_bin",
+           "BTRC_MAGIC"]
 
 _KIND_TO_LABEL = {
     AccessKind.LOAD: 0,
@@ -49,11 +60,14 @@ def save_trace(trace: Iterable[Access], destination: Union[str, IO]) -> int:
     return count
 
 
-def load_trace(source: Union[str, IO]) -> Trace:
-    """Read a din-format trace (tolerates the classic 2-column variant)."""
+def iter_trace(source: Union[str, IO]) -> Iterator[Access]:
+    """Stream a din-format trace record by record (bounded memory).
+
+    Tolerates the classic 2-column variant (size defaults to 4).  A
+    malformed line raises :class:`TraceFormatError` naming the line.
+    """
     own = isinstance(source, str)
     stream = open(source) if own else source
-    trace: List[Access] = []
     try:
         for lineno, raw in enumerate(stream, start=1):
             line = raw.split("#", 1)[0].strip()
@@ -74,8 +88,114 @@ def load_trace(source: Union[str, IO]) -> Trace:
                 raise TraceFormatError(
                     f"line {lineno}: unknown access label {label}"
                 )
-            trace.append(Access(_LABEL_TO_KIND[label], addr, size))
+            if addr < 0 or size <= 0:
+                raise TraceFormatError(
+                    f"line {lineno}: invalid record "
+                    f"(addr {addr:#x}, size {size})"
+                )
+            yield Access(_LABEL_TO_KIND[label], addr, size)
     finally:
         if own:
             stream.close()
-    return trace
+
+
+def load_trace(source: Union[str, IO]) -> Trace:
+    """Read a whole din-format trace into memory."""
+    return list(iter_trace(source))
+
+
+# --------------------------------------------------------------------------
+# Binary record format ("BTRC1"): fixed-width records for 10^8+ traces.
+# --------------------------------------------------------------------------
+
+#: File magic for the binary trace format.
+BTRC_MAGIC = b"BTRC1\n"
+
+#: One record: label byte, 64-bit address, 32-bit size (big-endian).
+_RECORD = struct.Struct(">BQI")
+
+#: Records read/written per block (bounds memory at ~832 KiB per block).
+_BLOCK_RECORDS = 65536
+
+
+def save_trace_bin(trace: Iterable[Access],
+                   destination: Union[str, IO]) -> int:
+    """Write a trace in the binary format; returns the record count.
+
+    Accepts any access iterable (including a live generator) and writes
+    in fixed-size blocks, so an unbounded trace streams straight to disk.
+    """
+    own = isinstance(destination, str)
+    stream = open(destination, "wb") if own else destination
+    count = 0
+    pack = _RECORD.pack
+    try:
+        stream.write(BTRC_MAGIC)
+        block = bytearray()
+        for access in trace:
+            block += pack(_KIND_TO_LABEL[access.kind], access.addr, access.size)
+            count += 1
+            if count % _BLOCK_RECORDS == 0:
+                stream.write(block)
+                block.clear()
+        if block:
+            stream.write(block)
+    finally:
+        if own:
+            stream.close()
+    return count
+
+
+def iter_trace_bin(source: Union[str, IO]) -> Iterator[Access]:
+    """Stream a binary-format trace record by record (bounded memory).
+
+    A missing/garbled magic, an unknown label, or a truncated trailing
+    record raises :class:`TraceFormatError` with a one-line message
+    naming the offending record.
+    """
+    own = isinstance(source, str)
+    stream = open(source, "rb") if own else source
+    record_size = _RECORD.size
+    try:
+        magic = stream.read(len(BTRC_MAGIC))
+        if magic != BTRC_MAGIC:
+            raise TraceFormatError(
+                f"not a binary trace: expected magic {BTRC_MAGIC!r}, "
+                f"got {magic!r}"
+            )
+        record = 0
+        pending = b""
+        while True:
+            block = stream.read(record_size * _BLOCK_RECORDS)
+            if not block:
+                break
+            if pending:
+                block = pending + block
+                pending = b""
+            whole = len(block) - len(block) % record_size
+            for offset in range(0, whole, record_size):
+                label, addr, size = _RECORD.unpack_from(block, offset)
+                record += 1
+                if label not in _LABEL_TO_KIND:
+                    raise TraceFormatError(
+                        f"record {record}: unknown access label {label}"
+                    )
+                if size <= 0:
+                    raise TraceFormatError(
+                        f"record {record}: invalid size {size}"
+                    )
+                yield Access(_LABEL_TO_KIND[label], addr, size)
+            pending = block[whole:]
+        if pending:
+            raise TraceFormatError(
+                f"record {record + 1}: truncated record "
+                f"({len(pending)} of {record_size} bytes)"
+            )
+    finally:
+        if own:
+            stream.close()
+
+
+def load_trace_bin(source: Union[str, IO]) -> Trace:
+    """Read a whole binary-format trace into memory."""
+    return list(iter_trace_bin(source))

@@ -9,14 +9,17 @@ actual programs rather than statistical mimics.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, Iterator, List
 
 from ..crypto.drbg import DRBG
 from . import generator
+from .stream import DEFAULT_CHUNK_SIZE, TraceStream, chunked
 from .trace import Access, AccessKind, Trace
 
-__all__ = ["standard_suite", "make_workload", "synthetic_code_image",
-           "WORKLOAD_NAMES", "MCU_KERNELS", "events_to_trace",
+__all__ = ["standard_suite", "make_workload", "iter_workload",
+           "stream_workload", "synthetic_code_image",
+           "WORKLOAD_NAMES", "LONG_HORIZON_NAMES", "STREAM_WORKLOAD_NAMES",
+           "MCU_KERNELS", "events_to_trace", "trace_to_events",
            "mcu_workload"]
 
 WORKLOAD_NAMES = (
@@ -28,29 +31,82 @@ WORKLOAD_NAMES = (
     "mixed",
 )
 
+#: Long-horizon workloads: their defining behaviour (phase changes, tenant
+#: switches, burst trains) only shows at trace lengths that must stream.
+LONG_HORIZON_NAMES = (
+    "phased",
+    "multi-tenant",
+    "dma-burst",
+)
 
-def make_workload(name: str, n: int = 20000, seed: int = 2005) -> Trace:
-    """Build one named workload deterministically."""
+#: Everything :func:`iter_workload`/:func:`stream_workload` accept.
+STREAM_WORKLOAD_NAMES = WORKLOAD_NAMES + LONG_HORIZON_NAMES
+
+
+def iter_workload(name: str, n: int = 20000, seed: int = 2005
+                  ) -> Iterator[Access]:
+    """Yield one named workload's accesses lazily and deterministically.
+
+    ``make_workload(name, n, seed) == list(iter_workload(name, n, seed))``
+    for every name in ``WORKLOAD_NAMES`` — both draw from the DRBG in the
+    same order, so committed metrics do not move.  The long-horizon names
+    (``LONG_HORIZON_NAMES``) are additionally available here.
+    """
     rng = DRBG(seed).fork(name)
     if name == "sequential":
-        return generator.sequential_code(n, code_size=256 * 1024)
+        return generator.iter_sequential_code(n, code_size=256 * 1024)
     if name == "branchy":
-        return generator.branchy_code(n, rng, p_taken=0.25, code_size=256 * 1024)
+        return generator.iter_branchy_code(
+            n, rng, p_taken=0.25, code_size=256 * 1024
+        )
     if name == "data-local":
-        return generator.data_stream(
+        return generator.iter_data_stream(
             n, rng, write_fraction=0.25, locality=0.9, working_set=128 * 1024
         )
     if name == "data-random":
-        return generator.random_data(
+        return generator.iter_random_data(
             n, rng, working_set=1 << 20, write_fraction=0.2
         )
     if name == "write-heavy":
-        return generator.data_stream(
+        return generator.iter_data_stream(
             n, rng, write_fraction=0.6, locality=0.7, working_set=256 * 1024
         )
     if name == "mixed":
-        return generator.mixed_workload(n, rng)
-    raise KeyError(f"unknown workload {name!r}; choose from {WORKLOAD_NAMES}")
+        return generator.iter_mixed_workload(n, rng)
+    if name == "phased":
+        return generator.iter_phased_program(n, rng)
+    if name == "multi-tenant":
+        return generator.iter_multi_tenant(n, rng)
+    if name == "dma-burst":
+        return generator.iter_dma_bursts(n, rng)
+    raise KeyError(
+        f"unknown workload {name!r}; choose from {STREAM_WORKLOAD_NAMES}"
+    )
+
+
+def make_workload(name: str, n: int = 20000, seed: int = 2005) -> Trace:
+    """Build one named workload deterministically (materialized)."""
+    return list(iter_workload(name, n=n, seed=seed))
+
+
+def stream_workload(name: str, n: int = 20000, seed: int = 2005,
+                    chunk_size: int = DEFAULT_CHUNK_SIZE) -> TraceStream:
+    """A replayable chunk stream of one named workload.
+
+    Each pass re-derives the DRBG from ``seed``, so the same stream can
+    drive both legs of an overhead comparison; memory never holds more
+    than ``chunk_size`` accesses.
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    if name not in STREAM_WORKLOAD_NAMES:
+        raise KeyError(
+            f"unknown workload {name!r}; choose from {STREAM_WORKLOAD_NAMES}"
+        )
+    return TraceStream(
+        lambda: chunked(iter_workload(name, n=n, seed=seed), chunk_size),
+        length=n,
+    )
 
 
 def standard_suite(n: int = 20000, seed: int = 2005) -> Dict[str, Trace]:
@@ -62,17 +118,86 @@ def standard_suite(n: int = 20000, seed: int = 2005) -> Dict[str, Trace]:
 MCU_KERNELS = ("checksum", "fibonacci", "sort", "memset", "memcpy", "search")
 
 
+#: obs "access" event detail -> simulator access kind.
+_ACCESS_DETAILS = {
+    "fetch": AccessKind.FETCH,
+    "load": AccessKind.LOAD,
+    "store": AccessKind.STORE,
+}
+
+
 def events_to_trace(events: Iterable) -> Trace:
-    """Convert MCU step events into a simulator access trace."""
+    """Convert observed events into a simulator access trace.
+
+    Two event shapes are accepted, and both keep access size and kind
+    faithful:
+
+    * MCU :class:`repro.isa.mcu.StepEvent` (has ``fetched``): the MCU's
+      bus is 8 bits wide, so every fetch/load/store is one byte.
+    * obs :class:`repro.obs.TraceEvent` (has ``kind``): ``"access"``
+      events map ``detail`` (fetch/load/store) to the access kind and
+      carry ``size`` through unchanged; other kinds from the closed
+      taxonomy (hits, bus traffic, ...) describe consequences of
+      accesses, not accesses, and are skipped.
+
+    Anything else — an unknown event kind, an access with an unknown
+    detail or a non-positive size, an object of neither shape — raises
+    ``ValueError`` naming the offending event.
+    """
+    # Imported here to keep repro.traces importable without repro.obs.
+    from ..obs.events import EVENT_KINDS
+
     trace: List[Access] = []
     for ev in events:
-        for addr in ev.fetched:
-            trace.append(Access(AccessKind.FETCH, addr, 1))
-        if ev.data_read is not None:
-            trace.append(Access(AccessKind.LOAD, ev.data_read, 1))
-        if ev.data_write is not None:
-            trace.append(Access(AccessKind.STORE, ev.data_write, 1))
+        if hasattr(ev, "fetched"):       # MCU StepEvent
+            for addr in ev.fetched:
+                trace.append(Access(AccessKind.FETCH, addr, 1))
+            if ev.data_read is not None:
+                trace.append(Access(AccessKind.LOAD, ev.data_read, 1))
+            if ev.data_write is not None:
+                trace.append(Access(AccessKind.STORE, ev.data_write, 1))
+        elif hasattr(ev, "kind"):        # obs TraceEvent
+            if ev.kind == "access":
+                try:
+                    kind = _ACCESS_DETAILS[ev.detail]
+                except KeyError:
+                    raise ValueError(
+                        f"access event with unknown detail {ev.detail!r}; "
+                        f"expected one of {sorted(_ACCESS_DETAILS)}"
+                    ) from None
+                if ev.size <= 0:
+                    raise ValueError(
+                        f"access event at addr {ev.addr:#x} has "
+                        f"non-positive size {ev.size}"
+                    )
+                trace.append(Access(kind, ev.addr, ev.size))
+            elif ev.kind not in EVENT_KINDS:
+                raise ValueError(
+                    f"unknown event kind {ev.kind!r}; expected one of the "
+                    f"{len(EVENT_KINDS)} kinds in repro.obs.EVENT_KINDS"
+                )
+        else:
+            raise ValueError(
+                f"cannot convert event {ev!r}: neither an MCU StepEvent "
+                "nor an obs TraceEvent"
+            )
     return trace
+
+
+def trace_to_events(trace: Iterable[Access]) -> List:
+    """The inverse of :func:`events_to_trace` for obs events.
+
+    Emits one ``"access"`` :class:`repro.obs.TraceEvent` per access,
+    preserving kind (as ``detail``), address and size, so
+    ``events_to_trace(trace_to_events(t)) == t`` for any trace.
+    """
+    from ..obs.events import TraceEvent
+
+    return [
+        TraceEvent(kind="access", addr=a.addr, size=a.size,
+                   detail=a.kind.name.lower())
+        for a in trace
+    ]
 
 
 def mcu_workload(kernel: str, repeat: int = 3, seed: int = 2005) -> Trace:

@@ -165,3 +165,83 @@ class TestTraceIO:
     def test_bad_number(self):
         with pytest.raises(TraceFormatError):
             load_trace(io.StringIO("2 zz 4\n"))
+
+
+class TestBinaryTraceIO:
+    """The BTRC1 binary format: bounded-memory streams, typed errors."""
+
+    def round_trip(self, trace):
+        from repro.traces import load_trace_bin, save_trace_bin
+
+        buf = io.BytesIO()
+        count = save_trace_bin(trace, buf)
+        buf.seek(0)
+        assert count == len(trace)
+        assert load_trace_bin(buf) == trace
+
+    def test_round_trip(self):
+        self.round_trip(make_workload("mixed", n=2000))
+
+    def test_empty_trace(self):
+        self.round_trip([])
+
+    def test_generator_input_streams(self):
+        from repro.traces import iter_workload, load_trace_bin, save_trace_bin
+
+        buf = io.BytesIO()
+        save_trace_bin(iter_workload("mixed", n=300), buf)
+        buf.seek(0)
+        assert load_trace_bin(buf) == make_workload("mixed", n=300)
+
+    def test_iter_is_lazy(self):
+        from repro.traces import iter_trace_bin, save_trace_bin
+
+        buf = io.BytesIO()
+        save_trace_bin(sequential_code(100), buf)
+        buf.seek(0)
+        it = iter_trace_bin(buf)
+        assert next(it) == Access(AccessKind.FETCH, 0, 4)
+
+    def test_bad_magic(self):
+        from repro.traces import iter_trace_bin
+
+        with pytest.raises(TraceFormatError, match="magic"):
+            list(iter_trace_bin(io.BytesIO(b"not-a-trace")))
+
+    def test_truncated_trailing_record(self):
+        from repro.traces import load_trace_bin, save_trace_bin
+
+        buf = io.BytesIO()
+        save_trace_bin(sequential_code(10), buf)
+        clipped = io.BytesIO(buf.getvalue()[:-5])  # shear the last record
+        with pytest.raises(TraceFormatError,
+                           match=r"record 10: truncated record \(8 of 13"):
+            load_trace_bin(clipped)
+
+    def test_unknown_label(self):
+        from repro.traces import BTRC_MAGIC, load_trace_bin
+
+        record = bytes([9]) + (0).to_bytes(8, "big") + (4).to_bytes(4, "big")
+        with pytest.raises(TraceFormatError, match="unknown access label 9"):
+            load_trace_bin(io.BytesIO(BTRC_MAGIC + record))
+
+    def test_zero_size_record(self):
+        from repro.traces import BTRC_MAGIC, load_trace_bin
+
+        record = bytes([2]) + (0).to_bytes(8, "big") + (0).to_bytes(4, "big")
+        with pytest.raises(TraceFormatError, match="invalid size"):
+            load_trace_bin(io.BytesIO(BTRC_MAGIC + record))
+
+
+class TestDinStreaming:
+    def test_iter_trace_is_lazy(self):
+        from repro.traces import iter_trace
+
+        it = iter_trace(io.StringIO("2 400 4\n0 80 4\n"))
+        assert next(it) == Access(AccessKind.FETCH, 0x400, 4)
+
+    def test_invalid_record_values(self):
+        from repro.traces import iter_trace
+
+        with pytest.raises(TraceFormatError, match="invalid record"):
+            list(iter_trace(io.StringIO("2 400 0\n")))

@@ -24,9 +24,13 @@ class TestParser:
         assert args.workload == "mixed"
         assert args.accesses == 4000
 
-    def test_bad_workload_rejected(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["overhead", "stream", "not-a-load"])
+    def test_bad_workload_rejected(self, capsys):
+        # Unknown workloads reach the command handler (not argparse) so
+        # the error is one line on stderr + exit 2, naming the options.
+        assert main(["overhead", "stream", "not-a-load"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "unknown workload" in err and "mixed" in err
 
     def test_bench_defaults(self):
         args = build_parser().parse_args(["bench"])
@@ -186,3 +190,42 @@ class TestFaults:
         assert rc == 0
         assert "silent-corruption" in stdout   # no integrity claimed...
         assert "2/2 campaigns conform" in stdout  # ...so silence conforms
+
+
+class TestStreamCommand:
+    def test_stream_runs(self, capsys):
+        assert main(["stream", "baseline", "dma-burst",
+                     "--accesses", "5000", "--chunk-size", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "Chunk-streamed execution" in out
+        assert "accesses/sec" in out
+
+    def test_stream_defaults(self):
+        args = build_parser().parse_args(["stream"])
+        assert args.engine is None
+        assert args.workload == "mixed"
+        assert args.chunk_size == 65536
+
+
+class TestDegenerateParamsExitTwo:
+    """Operator mistakes are one stderr line + exit 2, never tracebacks."""
+
+    @pytest.mark.parametrize("argv", [
+        ["overhead", "stream", "nope"],
+        ["overhead", "stream", "mixed", "--accesses", "0"],
+        ["overhead", "stream", "mixed", "--accesses", "-3"],
+        ["survey", "--accesses", "0"],
+        ["stream", "baseline", "nope"],
+        ["stream", "baseline", "mixed", "--accesses", "0"],
+        ["stream", "baseline", "mixed", "--chunk-size", "-1"],
+        ["stream", "enigma", "mixed"],
+    ])
+    def test_exit_two_one_line(self, argv, capsys):
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        assert captured.err.count("\n") == 1
+        assert captured.err.startswith(f"{argv[0]}: ")
+
+    def test_unknown_engine_still_exits_two(self, capsys):
+        assert main(["overhead", "enigma"]) == 2
+        assert "unknown engine" in capsys.readouterr().err

@@ -73,6 +73,15 @@ class TestEngineDifferential:
     def test_reference_vs_fast(self, name):
         assert differential(name, n=1200) == []
 
+    @pytest.mark.parametrize("name", [None, "stream", "xom", "aegis"],
+                             ids=lambda n: n or "baseline")
+    @pytest.mark.parametrize("chunk", [1, 37, 5000])
+    def test_chunked_vs_whole(self, name, chunk):
+        """The chunk-streamed fast path is byte-identical to the scalar
+        reference at any chunk size (1 = boundary between every access;
+        5000 > n = one oversized chunk)."""
+        assert differential(name, n=1200, chunk=chunk) == []
+
 
 class TestCacheCorners:
     """Cache semantics corner cases, exercised through both paths."""

@@ -606,3 +606,170 @@ class TestCheapOps:
         engines = reply["result"]["engines"]
         assert any(e["name"] == "stream" for e in engines)
         json.dumps(engines)  # must already be JSON-clean
+
+
+# -- streaming: slow executions vs the idle clock, trace sessions ----------
+
+
+class TestIdleClockCoversOnlyWaiting:
+    def test_long_execution_then_quiet_client_still_served(self,
+                                                           monkeypatch):
+        """Regression: the idle clock must restart when a request
+        *completes*, not when its bytes arrived.
+
+        A client that sends one slow request (longer than the idle
+        timeout), reads the response, thinks for most of another idle
+        window and then pings again was reaped by the old
+        arrival-stamped clock."""
+
+        def slow(experiment_id, quick):
+            time.sleep(0.6)  # 1.5x the idle timeout
+            return {"experiment": experiment_id}
+
+        async def scenario():
+            with patched_executor(monkeypatch, "run_experiment", slow):
+                async with serve(idle_timeout=0.4) as server:
+                    stream = await connect(server)
+                    reply = await stream.request(
+                        "run_experiment", {"experiment": "e01"}, timeout=10)
+                    assert reply["type"] == "response"
+                    # Quiet for most of an idle window *after* the
+                    # response; the connection must still be alive.
+                    await asyncio.sleep(0.3)
+                    pong = await stream.request("ping", id=2, timeout=5)
+                    assert pong["type"] == "response"
+                    assert server.stats.idle_timeouts == 0
+                    await stream.close()
+
+        asyncio.run(scenario())
+
+    def test_in_flight_stream_session_not_reaped(self):
+        """Feeding trace chunks continuously must hold off the reaper,
+        and a session spanning several idle windows must finish."""
+
+        async def scenario():
+            async with serve(idle_timeout=0.4) as server:
+                stream = await connect(server)
+                begin = await stream.request(
+                    "trace_begin", {"engine": "xom"}, timeout=10)
+                sid = begin["result"]["session"]
+                records = [[2, (i * 4) % 4096, 4] for i in range(512)]
+                for i in range(8):
+                    await asyncio.sleep(0.15)  # 8 x 0.15s > idle_timeout
+                    fed = await stream.request(
+                        "trace_chunk",
+                        {"session": sid, "records": records}, timeout=10)
+                    assert fed["type"] == "response"
+                done = await stream.request(
+                    "trace_end", {"session": sid}, timeout=10)
+                assert done["type"] == "response"
+                assert done["result"]["accesses"] == 8 * 512
+                assert server.stats.idle_timeouts == 0
+                await stream.close()
+
+        asyncio.run(scenario())
+
+
+class TestStreamSessions:
+    def test_session_metrics_match_local_run_stream(self):
+        """A trace fed frame by frame lands on the same canonical
+        metrics as repro.api.run_stream generating it locally."""
+        from repro.api import run_stream
+        from repro.traces import iter_workload
+
+        accesses = [[{"fetch": 2, "load": 0, "store": 1}[a.kind.name.lower()],
+                     a.addr % (32 * 1024), a.size]
+                    for a in iter_workload("mixed", n=6000)]
+        local = run_stream(engine="xom", workload="mixed", accesses=6000)
+
+        async def scenario():
+            async with serve() as server:
+                stream = await connect(server)
+                begin = await stream.request(
+                    "trace_begin", {"engine": "xom"}, timeout=10)
+                sid = begin["result"]["session"]
+                for i in range(0, len(accesses), 1024):
+                    await stream.request(
+                        "trace_chunk",
+                        {"session": sid,
+                         "records": accesses[i:i + 1024]}, timeout=10)
+                done = await stream.request(
+                    "trace_end", {"session": sid}, timeout=10)
+                await stream.close()
+                return done
+
+        done = asyncio.run(scenario())
+        assert done["result"]["accesses"] == 6000
+        assert done["result"]["metrics"] == local["metrics"]
+
+    def test_run_stream_op_matches_local(self):
+        from repro.api import run_stream
+
+        local = run_stream(engine=None, workload="dma-burst", accesses=4000,
+                           chunk_size=512)
+
+        async def scenario():
+            async with serve() as server:
+                stream = await connect(server)
+                reply = await stream.request(
+                    "run_stream",
+                    {"workload": "dma-burst", "accesses": 4000,
+                     "chunk_size": 512}, timeout=30)
+                await stream.close()
+                return reply
+
+        reply = asyncio.run(scenario())
+        assert reply["type"] == "response"
+        assert reply["result"] == local
+
+    def test_typed_stream_errors(self):
+        async def scenario():
+            async with serve() as server:
+                stream = await connect(server)
+                bad_engine = await stream.request(
+                    "trace_begin", {"engine": "enigma"}, timeout=10)
+                bad_session = await stream.request(
+                    "trace_chunk", {"session": "s999", "records": []},
+                    timeout=10)
+                begin = await stream.request("trace_begin", {}, timeout=10)
+                sid = begin["result"]["session"]
+                bad_record = await stream.request(
+                    "trace_chunk",
+                    {"session": sid, "records": [[7, 0, 4]]}, timeout=10)
+                bad_shape = await stream.request(
+                    "trace_chunk",
+                    {"session": sid, "records": [[1, 2]]}, timeout=10)
+                bad_values = await stream.request(
+                    "trace_chunk",
+                    {"session": sid, "records": [[0, -4, 0]]}, timeout=10)
+                await stream.close()
+                return (bad_engine, bad_session, bad_record, bad_shape,
+                        bad_values)
+
+        replies = asyncio.run(scenario())
+        for reply in replies:
+            assert reply["type"] == "error"
+        codes = [r["error"]["code"] for r in replies]
+        assert codes[0] == "bad-stream"
+        assert codes[1] == "unknown-session"
+        assert all(c == "bad-stream" for c in codes[2:])
+
+    def test_abandoned_session_cleaned_up_on_disconnect(self):
+        async def scenario():
+            async with serve() as server:
+                stream = await connect(server)
+                begin = await stream.request(
+                    "trace_begin", {"engine": "xom"}, timeout=10)
+                sid = begin["result"]["session"]
+                await stream.request(
+                    "trace_chunk",
+                    {"session": sid,
+                     "records": [[2, 0, 4]] * 64}, timeout=10)
+                await stream.close()  # vanish mid-session
+                # The server must survive and accept new work.
+                fresh = await connect(server)
+                pong = await fresh.request("ping", timeout=5)
+                assert pong["type"] == "response"
+                await fresh.close()
+
+        asyncio.run(scenario())

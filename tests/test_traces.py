@@ -131,3 +131,96 @@ class TestCodeImage:
     def test_size_validation(self):
         with pytest.raises(ValueError):
             synthetic_code_image(size=13)
+
+
+class TestGeneratorValidation:
+    """Degenerate parameters fail fast with a one-line ValueError."""
+
+    def test_zero_accesses(self):
+        for name in WORKLOAD_NAMES:
+            with pytest.raises(ValueError, match="positive access count"):
+                make_workload(name, n=0)
+
+    def test_negative_accesses(self):
+        with pytest.raises(ValueError, match="positive access count"):
+            sequential_code(-5)
+
+    def test_step_and_code_size(self):
+        with pytest.raises(ValueError):
+            sequential_code(10, step=0)
+        with pytest.raises(ValueError):
+            sequential_code(10, step=64, code_size=32)
+
+    def test_branchy_probability_range(self):
+        for bad in (-0.1, 1.5):
+            with pytest.raises(ValueError):
+                branchy_code(10, DRBG(1), p_taken=bad)
+
+    def test_working_set_bounds(self):
+        with pytest.raises(ValueError):
+            data_stream(10, DRBG(1), working_set=2, size=8)
+
+    def test_mixed_fetch_fraction(self):
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                mixed_workload(10, DRBG(1), fetch_fraction=bad)
+
+
+class TestEventsRoundTrip:
+    """events_to_trace preserves size/kind for every event shape."""
+
+    def test_obs_round_trip(self):
+        from repro.traces import events_to_trace, trace_to_events
+
+        trace = make_workload("mixed", n=500)
+        assert events_to_trace(trace_to_events(trace)) == trace
+
+    def test_non_access_kinds_skipped(self):
+        from repro.obs.events import TraceEvent
+        from repro.traces import events_to_trace
+
+        events = [
+            TraceEvent(kind="access", addr=0x40, size=4, detail="load"),
+            TraceEvent(kind="hit", addr=0x40, size=4),
+            TraceEvent(kind="bus-read", addr=0x40, size=32),
+        ]
+        trace = events_to_trace(events)
+        assert trace == [Access(AccessKind.LOAD, 0x40, 4)]
+
+    def test_unknown_kind_rejected(self):
+        from repro.obs.events import TraceEvent
+        from repro.traces import events_to_trace
+
+        with pytest.raises(ValueError, match="unknown event kind"):
+            events_to_trace([TraceEvent(kind="telepathy", addr=0, size=1)])
+
+    def test_unknown_detail_rejected(self):
+        from repro.obs.events import TraceEvent
+        from repro.traces import events_to_trace
+
+        with pytest.raises(ValueError, match="unknown detail"):
+            events_to_trace(
+                [TraceEvent(kind="access", addr=0, size=4, detail="poke")])
+
+    def test_non_positive_size_rejected(self):
+        from repro.obs.events import TraceEvent
+        from repro.traces import events_to_trace
+
+        with pytest.raises(ValueError, match="non-positive size"):
+            events_to_trace(
+                [TraceEvent(kind="access", addr=0, size=0, detail="load")])
+
+    def test_foreign_object_rejected(self):
+        from repro.traces import events_to_trace
+
+        with pytest.raises(ValueError, match="neither"):
+            events_to_trace([object()])
+
+    def test_mcu_step_events_are_byte_sized(self):
+        from repro.isa.programs import fibonacci_program, mcu_trace
+        from repro.traces import events_to_trace
+
+        events = mcu_trace(fibonacci_program(count=5), memory_size=2048,
+                           max_steps=2000)
+        trace = events_to_trace(events)
+        assert trace and all(a.size == 1 for a in trace)
