@@ -102,11 +102,14 @@ class AddressScrambledEngine(BusEncryptionEngine):
             plaintext = plaintext + b"\x00" * (
                 line_size - len(plaintext) % line_size
             )
-        for offset in range(0, len(plaintext), line_size):
-            logical = base_addr + offset
-            phys = self.physical(logical)
-            line = plaintext[offset: offset + line_size]
-            memory.load_image(phys, self.inner.encrypt_line(phys, line))
+        items = [
+            (self.physical(base_addr + offset),
+             plaintext[offset: offset + line_size])
+            for offset in range(0, len(plaintext), line_size)
+        ]
+        for (phys, _), ciphertext in zip(items,
+                                         self.inner.encrypt_lines(items)):
+            memory.load_image(phys, ciphertext)
 
     def fill_line(self, port: MemoryPort, addr: int, line_size: int
                   ) -> Tuple[bytes, int]:

@@ -102,6 +102,35 @@ class AegisEngine(BlockModeEngine):
     def decrypt_line(self, addr: int, ciphertext: bytes) -> bytes:
         return CBC(self._aes, self._iv(addr)).decrypt(ciphertext)
 
+    def encrypt_lines(self, items):
+        # Install batch: lines are independent CBC chains, so encrypt
+        # them transposed — all IVs in one kernel call, then one ECB
+        # batch per block column, chaining column to column.  Vector
+        # issue order matches the per-line loop exactly.
+        widths = {len(line) for _, line in items}
+        if not items or len(widths) != 1 or next(iter(widths)) % 16:
+            return super().encrypt_lines(items)
+        blocks_per_line = next(iter(widths)) // 16
+        material = []
+        for addr, _ in items:
+            vector = self._next_vector()
+            self._vectors[addr] = vector
+            material.append(
+                addr.to_bytes(8, "big") + vector.to_bytes(8, "big")
+            )
+        prev = self._iv_aes.encrypt_blocks(b"".join(material))
+        cols = []
+        for b in range(blocks_per_line):
+            col = b"".join(
+                line[b * 16: (b + 1) * 16] for _, line in items
+            )
+            prev = self._aes.encrypt_blocks(xor_bytes(col, prev))
+            cols.append(prev)
+        return [
+            b"".join(col[i * 16: (i + 1) * 16] for col in cols)
+            for i in range(len(items))
+        ]
+
     # -- timing ---------------------------------------------------------------
 
     def read_extra_cycles(self, addr: int, nbytes: int, mem_cycles: int) -> int:

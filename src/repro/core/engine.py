@@ -223,10 +223,11 @@ class BusEncryptionEngine(ABC):
         """
         if len(plaintext) % line_size != 0:
             plaintext = plaintext + b"\x00" * (line_size - len(plaintext) % line_size)
-        for offset in range(0, len(plaintext), line_size):
-            addr = base_addr + offset
-            line = plaintext[offset: offset + line_size]
-            memory.load_image(addr, self.encrypt_line(addr, line))
+        ciphertexts = self.encrypt_lines([
+            (base_addr + offset, plaintext[offset: offset + line_size])
+            for offset in range(0, len(plaintext), line_size)
+        ])
+        memory.load_image(base_addr, b"".join(ciphertexts))
 
     def fill_line(self, port: MemoryPort, addr: int, line_size: int
                   ) -> Tuple[bytes, int]:
@@ -285,6 +286,20 @@ class BusEncryptionEngine(ABC):
         contract as :meth:`fill_lines`.
         """
         return [self.write_line(port, addr, data) for addr, data in writes]
+
+    def encrypt_lines(self, items: Sequence[Tuple[int, bytes]]
+                      ) -> List[bytes]:
+        """Offline batch encryption of ``(addr, line)`` pairs, in order.
+
+        The install-time dual of :meth:`fill_lines`: must return exactly
+        ``[self.encrypt_line(addr, line) for addr, line in items]``
+        including any per-line engine state the transform advances
+        (stream versions, AEGIS vectors).  No port traffic, stats or
+        events are involved — installation is offline (§2.1 step 6) — so
+        bulk overrides are free to batch the whole image through one
+        kernel call.
+        """
+        return [self.encrypt_line(addr, line) for addr, line in items]
 
     def write_partial(self, port: MemoryPort, addr: int, data: bytes,
                       line_size: int) -> int:

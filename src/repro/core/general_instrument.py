@@ -27,6 +27,7 @@ verified region entry.
 from __future__ import annotations
 
 import warnings
+from collections import OrderedDict
 from typing import Dict, FrozenSet, Tuple
 
 from ..crypto.hmac import hmac_sha256, verify_hmac
@@ -37,6 +38,11 @@ from ..sim.pipeline import PipelinedUnit, TDES_ITERATIVE
 from .engine import BusEncryptionEngine, MemoryPort, TamperDetected
 
 __all__ = ["GeneralInstrumentEngine", "AuthenticationError"]
+
+#: Memoized region transforms, keyed (key schedule, region base, bytes).
+#: ~1 KiB per entry at the default region size.
+_REGION_MEMO: "OrderedDict[tuple, bytes]" = OrderedDict()
+_REGION_MEMO_MAX = 512
 
 
 class AuthenticationError(TamperDetected):
@@ -67,6 +73,10 @@ class GeneralInstrumentEngine(BusEncryptionEngine):
             )
         super().__init__(functional=functional)
         self._tdes = tdes_kernel(key)
+        # Memo identity for region transforms: the raw key bytes, not the
+        # kernel object — every backend rung (table kernel, reference
+        # wrapper) computes the same function of (key, base, bytes).
+        self._tdes_key = bytes(key)
         self._mac_key = mac_key if mac_key is not None else bytes(
             b ^ 0xA5 for b in key
         )
@@ -165,12 +175,36 @@ class GeneralInstrumentEngine(BusEncryptionEngine):
         return bytes(logical)
 
     # -- whole-region functional transform -----------------------------------
+    #
+    # Region transforms are pure functions of (key schedule, base, bytes):
+    # the IV derives from the base alone.  The suite re-installs the same
+    # images into fresh rigs constantly (sweeps, campaigns, overhead
+    # grids), and the serial 3DES-CBC chain is the most expensive cipher
+    # in the registry, so identical transforms are memoized module-wide.
 
     def _encrypt_region(self, base: int, plaintext: bytes) -> bytes:
-        return CBC(self._tdes, self._region_iv(base)).encrypt(plaintext)
+        key = (self._tdes_key, "enc", base, plaintext)
+        cached = _REGION_MEMO.get(key)
+        if cached is None:
+            cached = CBC(self._tdes, self._region_iv(base)).encrypt(plaintext)
+            _REGION_MEMO[key] = cached
+            while len(_REGION_MEMO) > _REGION_MEMO_MAX:
+                _REGION_MEMO.popitem(last=False)
+        else:
+            _REGION_MEMO.move_to_end(key)
+        return cached
 
     def _decrypt_region(self, base: int, ciphertext: bytes) -> bytes:
-        return CBC(self._tdes, self._region_iv(base)).decrypt(ciphertext)
+        key = (self._tdes_key, "dec", base, ciphertext)
+        cached = _REGION_MEMO.get(key)
+        if cached is None:
+            cached = CBC(self._tdes, self._region_iv(base)).decrypt(ciphertext)
+            _REGION_MEMO[key] = cached
+            while len(_REGION_MEMO) > _REGION_MEMO_MAX:
+                _REGION_MEMO.popitem(last=False)
+        else:
+            _REGION_MEMO.move_to_end(key)
+        return cached
 
     # -- BusEncryptionEngine interface ----------------------------------------
     #
@@ -352,9 +386,19 @@ class GeneralInstrumentEngine(BusEncryptionEngine):
 
         if self.functional:
             logical_ct = self._unpermute_load(base, bytes(region_ct))
-            region_plain = bytearray(self._decrypt_region(base, logical_ct))
-            region_plain[tail_start: tail_start + len(plaintext)] = plaintext
-            new_logical = self._encrypt_region(base, bytes(region_plain))
+            # CBC prefix reuse: blocks before the written line keep their
+            # plaintext, so re-enciphering them reproduces the stored
+            # ciphertext bit-for-bit.  Only the tail needs the cipher —
+            # decrypt it, patch the line, re-chain from the same IV.
+            chain_iv = (logical_ct[tail_start - 8: tail_start]
+                        if tail_start else self._region_iv(base))
+            tail_plain = bytearray(
+                CBC(self._tdes, chain_iv).decrypt(logical_ct[tail_start:])
+            )
+            tail_plain[: len(plaintext)] = plaintext
+            new_logical = logical_ct[:tail_start] + CBC(
+                self._tdes, chain_iv
+            ).encrypt(bytes(tail_plain))
             new_stored = self._permute_store(base, new_logical)
         else:
             region_plain = bytearray(region_ct)

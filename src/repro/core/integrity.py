@@ -191,11 +191,12 @@ class IntegrityShieldEngine(BusEncryptionEngine):
             plaintext = plaintext + b"\x00" * (
                 line_size - len(plaintext) % line_size
             )
-        for offset in range(0, len(plaintext), line_size):
-            addr = base_addr + offset
-            ciphertext = self.inner.encrypt_line(
-                addr, plaintext[offset: offset + line_size]
-            )
+        items = [
+            (base_addr + offset, plaintext[offset: offset + line_size])
+            for offset in range(0, len(plaintext), line_size)
+        ]
+        for (addr, _), ciphertext in zip(items,
+                                         self.inner.encrypt_lines(items)):
             memory.load_image(addr, ciphertext)
             memory.load_image(
                 self._tag_addr(addr, line_size),

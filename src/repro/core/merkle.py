@@ -162,12 +162,14 @@ class MerkleTreeEngine(BusEncryptionEngine):
         if len(plaintext) != self.region_size:
             plaintext = plaintext.ljust(self.region_size, b"\x00")
 
+        items = [
+            (base_addr + i * line_size,
+             plaintext[i * line_size: (i + 1) * line_size])
+            for i in range(self.n_lines)
+        ]
         level_values: List[bytes] = []
-        for i in range(self.n_lines):
-            addr = base_addr + i * line_size
-            ciphertext = self.inner.encrypt_line(
-                addr, plaintext[i * line_size: (i + 1) * line_size]
-            )
+        for (addr, _), ciphertext in zip(items,
+                                         self.inner.encrypt_lines(items)):
             memory.load_image(addr, ciphertext)
             level_values.append(self._leaf_value(addr, ciphertext))
 

@@ -110,6 +110,35 @@ class StreamCipherEngine(BusEncryptionEngine):
     def decrypt_line(self, addr: int, ciphertext: bytes) -> bytes:
         return xor_bytes(ciphertext, self._pad(addr, len(ciphertext)))
 
+    def encrypt_lines(self, items):
+        # Install batch: advance every line's version in order (exactly
+        # like per-line encrypt_line), then produce the whole keystream
+        # in one kernel call.
+        size = 16
+        spans = []
+        material = []
+        for addr, line in items:
+            line_addr = addr - addr % self.line_size
+            version = self._versions.get(line_addr, 0) + 1
+            self._versions[line_addr] = version
+            self._pad_cache.pop(line_addr, None)
+            prefix = b"pad!" + version.to_bytes(4, "big")
+            start = addr - addr % size
+            end = -(-(addr + len(line)) // size) * size
+            material.append(b"".join(
+                prefix + (block_addr // 16).to_bytes(8, "big")
+                for block_addr in range(start, end, size)
+            ))
+            spans.append((addr - start, end - start))
+        pad = self._aes.encrypt_blocks(b"".join(material))
+        out = []
+        pos = 0
+        for (offset, span), (_, line) in zip(spans, items):
+            out.append(xor_bytes(line, pad[pos + offset:
+                                           pos + offset + len(line)]))
+            pos += span
+        return out
+
     # -- timing ---------------------------------------------------------------
 
     def read_extra_cycles(self, addr: int, nbytes: int, mem_cycles: int) -> int:

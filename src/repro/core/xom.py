@@ -71,6 +71,27 @@ class XomAesEngine(BlockModeEngine):
             self._aes.decrypt_blocks(xor_bytes(ciphertext, masks)), masks
         )
 
+    def encrypt_lines(self, items):
+        # XEX is ECB over independent blocks: the whole install batch
+        # enciphers in two kernel calls (masks, then blocks).
+        if not items or any(len(line) % 16 for _, line in items):
+            return super().encrypt_lines(items)
+        material = b"".join(
+            (addr + i).to_bytes(16, "big")
+            for addr, line in items for i in range(0, len(line), 16)
+        )
+        masks = self._tweak_aes.encrypt_blocks(material)
+        plain = b"".join(line for _, line in items)
+        ct = xor_bytes(
+            self._aes.encrypt_blocks(xor_bytes(plain, masks)), masks
+        )
+        out: List[bytes] = []
+        pos = 0
+        for _, line in items:
+            out.append(ct[pos: pos + len(line)])
+            pos += len(line)
+        return out
+
     def fill_lines(self, port: MemoryPort, addrs: Sequence[int],
                    line_size: int) -> List[Tuple[bytes, int]]:
         # XEX masking is ECB over independent blocks, so the whole group

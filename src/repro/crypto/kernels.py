@@ -42,6 +42,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Callable, List, Tuple
 
+from .. import backend as _backend
 from .aes import AES, INV_SBOX, SBOX, gf_mul
 from .des import (
     DES,
@@ -59,6 +60,7 @@ __all__ = [
     "AESKernel", "DESKernel", "TripleDESKernel",
     "aes_kernel", "des_kernel", "tdes_kernel",
     "kernel_for", "encrypt_blocks", "decrypt_blocks", "ctr_pad",
+    "NUMPY_BACKED",
 ]
 
 
@@ -119,7 +121,14 @@ def _rotr32(x: int, n: int) -> int:
 
 
 class AESKernel:
-    """T-table AES, byte-identical to :class:`repro.crypto.aes.AES`."""
+    """T-table AES, byte-identical to :class:`repro.crypto.aes.AES`.
+
+    On the numpy backend, batches of :data:`NUMPY_MIN_BLOCKS_AES` blocks
+    or more run every round as vectorized table gathers over the whole
+    batch at once; smaller batches stay on the scalar loop (a numpy round
+    costs the same regardless of width, so gathers only pay for
+    themselves on wide calls).
+    """
 
     block_size = 16
 
@@ -153,11 +162,27 @@ class AESKernel:
                 _inv_mix_word(w) for w in _pack_words(ref._round_keys[rnd])
             )
         self._dk.extend(_pack_words(ref._round_keys[0]))
+        # Lazily-built numpy copies of the schedules (numpy backend only).
+        self._ek_np = None
+        self._dk_np = None
 
     # -- batched core ----------------------------------------------------
 
     def encrypt_blocks(self, data: bytes) -> bytes:
         """ECB-encrypt a multiple of 16 bytes in one batched pass."""
+        if NUMPY_BACKED and len(data) >= NUMPY_MIN_BLOCKS_AES * 16 \
+                and len(data) % 16 == 0:
+            return _np_aes_crypt(self, data, encrypt=True)
+        return self._encrypt_blocks_scalar(data)
+
+    def decrypt_blocks(self, data: bytes) -> bytes:
+        """ECB-decrypt a multiple of 16 bytes in one batched pass."""
+        if NUMPY_BACKED and len(data) >= NUMPY_MIN_BLOCKS_AES * 16 \
+                and len(data) % 16 == 0:
+            return _np_aes_crypt(self, data, encrypt=False)
+        return self._decrypt_blocks_scalar(data)
+
+    def _encrypt_blocks_scalar(self, data: bytes) -> bytes:
         if len(data) % 16:
             raise ValueError(
                 f"data length {len(data)} is not a multiple of block size 16"
@@ -198,8 +223,7 @@ class AESKernel:
             ).to_bytes(16, "big")
         return bytes(out)
 
-    def decrypt_blocks(self, data: bytes) -> bytes:
-        """ECB-decrypt a multiple of 16 bytes in one batched pass."""
+    def _decrypt_blocks_scalar(self, data: bytes) -> bytes:
         if len(data) % 16:
             raise ValueError(
                 f"data length {len(data)} is not a multiple of block size 16"
@@ -322,6 +346,190 @@ def _des_rounds(value: int, round_keys) -> int:
     return (right << 32) | left
 
 
+# ---------------------------------------------------------------------------
+# numpy array kernels: the top rung of the backend ladder.  The same
+# T-table / bit-packed formulations as above, with every per-block loop
+# replaced by a gather over the whole batch — the software analogue of the
+# survey engines' wide data-parallel datapaths.  Selected at import by
+# :func:`_init_numpy_backend` behind an equivalence probe (the
+# ``HASHLIB_BACKED`` pattern); any mismatch demotes the whole process to
+# the scalar kernels with a one-line warning.
+# ---------------------------------------------------------------------------
+
+#: True only when ``repro.backend`` chose the numpy rung *and* the array
+#: kernels reproduced the scalar kernels bit-for-bit at import time.
+NUMPY_BACKED = False
+
+_np = None          # the numpy module once the probe has passed
+_NPT = {}           # numpy mirrors of the lookup tables, built by the probe
+
+#: Minimum batch width (blocks) for the array paths.  A numpy round costs
+#: roughly the same at any width, so narrow calls — the per-line fill /
+#: writeback shape — stay on the scalar kernels and wide calls (installs,
+#: region decrypts, pad batches) take the gathers.
+NUMPY_MIN_BLOCKS_AES = 32
+NUMPY_MIN_BLOCKS_DES = 32
+
+
+def _build_numpy_tables(np) -> dict:
+    u32, u64 = np.uint32, np.uint64
+    return {
+        "te": tuple(np.array(t, dtype=u32) for t in _TE),
+        "td": tuple(np.array(t, dtype=u32) for t in _TD),
+        "sbox": np.array(SBOX, dtype=u32),
+        "inv_sbox": np.array(INV_SBOX, dtype=u32),
+        "ip": tuple(np.array(t, dtype=u64) for t in _IP_TAB),
+        "fp": tuple(np.array(t, dtype=u64) for t in _FP_TAB),
+        "e": tuple(np.array(t, dtype=u64) for t in _E_TAB),
+        "sp": tuple(np.array(t, dtype=u64) for t in _SP),
+    }
+
+
+def _np_aes_crypt(kernel: "AESKernel", data: bytes, encrypt: bool) -> bytes:
+    """All AES rounds as gathers over the whole batch at once."""
+    np = _np
+    if encrypt:
+        t0, t1, t2, t3 = _NPT["te"]
+        last = _NPT["sbox"]
+        ks = kernel._ek_np
+        if ks is None:
+            ks = kernel._ek_np = np.array(
+                kernel._ek, dtype=np.uint32).reshape(-1, 4)
+    else:
+        t0, t1, t2, t3 = _NPT["td"]
+        last = _NPT["inv_sbox"]
+        ks = kernel._dk_np
+        if ks is None:
+            ks = kernel._dk_np = np.array(
+                kernel._dk, dtype=np.uint32).reshape(-1, 4)
+    w = np.frombuffer(data, dtype=">u4").astype(np.uint32).reshape(-1, 4)
+    k = ks[0]
+    w0 = w[:, 0] ^ k[0]
+    w1 = w[:, 1] ^ k[1]
+    w2 = w[:, 2] ^ k[2]
+    w3 = w[:, 3] ^ k[3]
+    # Encrypt rows rotate left through the columns, decrypt rows rotate
+    # right — mirror the scalar loops' index patterns exactly.
+    a, b, c = (1, 2, 3) if encrypt else (3, 2, 1)
+    cols = (w0, w1, w2, w3)
+    for rnd in range(1, kernel._rounds):
+        k = ks[rnd]
+        w0, w1, w2, w3 = (
+            t0[cols[0] >> 24] ^ t1[(cols[a] >> 16) & 0xFF]
+            ^ t2[(cols[2] >> 8) & 0xFF] ^ t3[cols[c] & 0xFF] ^ k[0],
+            t0[cols[1] >> 24] ^ t1[(cols[(1 + a) & 3] >> 16) & 0xFF]
+            ^ t2[(cols[3] >> 8) & 0xFF] ^ t3[cols[(1 + c) & 3] & 0xFF] ^ k[1],
+            t0[cols[2] >> 24] ^ t1[(cols[(2 + a) & 3] >> 16) & 0xFF]
+            ^ t2[(cols[0] >> 8) & 0xFF] ^ t3[cols[(2 + c) & 3] & 0xFF] ^ k[2],
+            t0[cols[3] >> 24] ^ t1[(cols[(3 + a) & 3] >> 16) & 0xFF]
+            ^ t2[(cols[1] >> 8) & 0xFF] ^ t3[cols[(3 + c) & 3] & 0xFF] ^ k[3],
+        )
+        cols = (w0, w1, w2, w3)
+    k = ks[kernel._rounds]
+    out = np.empty(w.shape, dtype=np.uint32)
+    for i in range(4):
+        out[:, i] = (
+            (last[cols[i] >> 24] << 24)
+            | (last[(cols[(i + a) & 3] >> 16) & 0xFF] << 16)
+            | (last[(cols[(i + 2) & 3] >> 8) & 0xFF] << 8)
+            | last[cols[(i + c) & 3] & 0xFF]
+        ) ^ k[i]
+    return out.astype(">u4").tobytes()
+
+
+def _np_perm64(v, tabs):
+    r = tabs[0][(v >> 56) & 0xFF] | tabs[1][(v >> 48) & 0xFF]
+    r |= tabs[2][(v >> 40) & 0xFF] | tabs[3][(v >> 32) & 0xFF]
+    r |= tabs[4][(v >> 24) & 0xFF] | tabs[5][(v >> 16) & 0xFF]
+    r |= tabs[6][(v >> 8) & 0xFF] | tabs[7][v & 0xFF]
+    return r
+
+
+def _np_des_crypt(data: bytes, chains) -> bytes:
+    """One IP, 16 gathered rounds per chain link, one FP — whole batch.
+
+    ``chains`` is a tuple of uint64 round-key arrays: one entry for DES,
+    three (the EDE composition with the interior FP∘IP pairs dropped) for
+    3DES, mirroring the scalar kernels exactly.
+    """
+    np = _np
+    e0, e1, e2, e3 = _NPT["e"]
+    sp0, sp1, sp2, sp3, sp4, sp5, sp6, sp7 = _NPT["sp"]
+    v = _np_perm64(np.frombuffer(data, dtype=">u8").astype(np.uint64),
+                   _NPT["ip"])
+    left = v >> 32
+    right = v & 0xFFFFFFFF
+    for keys in chains:
+        for key in keys:
+            x = (e0[right >> 24] | e1[(right >> 16) & 0xFF]
+                 | e2[(right >> 8) & 0xFF] | e3[right & 0xFF]) ^ key
+            f = (sp0[(x >> 42) & 0x3F] ^ sp1[(x >> 36) & 0x3F]
+                 ^ sp2[(x >> 30) & 0x3F] ^ sp3[(x >> 24) & 0x3F]
+                 ^ sp4[(x >> 18) & 0x3F] ^ sp5[(x >> 12) & 0x3F]
+                 ^ sp6[(x >> 6) & 0x3F] ^ sp7[x & 0x3F])
+            left, right = right, left ^ f
+        # The final half swap of each 16-round pass.
+        left, right = right, left
+    return _np_perm64((left << 32) | right,
+                      _NPT["fp"]).astype(">u8").tobytes()
+
+
+def _numpy_ok() -> bool:
+    """Equivalence probe: array kernels must reproduce the scalar kernels
+    bit-for-bit on a batch covering every byte value, for AES-128/256,
+    DES and 3DES, both directions."""
+    global _NPT, _np
+    np = _backend.NUMPY
+    if np is None:
+        return False
+    _np = np
+    _NPT = _build_numpy_tables(np)
+    data = bytes((i * 37 + 11) & 0xFF for i in range(1024))
+    for key_len in (16, 32):
+        kernel = AESKernel(bytes(range(key_len)))
+        ct = kernel._encrypt_blocks_scalar(data)
+        if _np_aes_crypt(kernel, data, encrypt=True) != ct:
+            return False
+        if _np_aes_crypt(kernel, ct, encrypt=False) != data:
+            return False
+    des = DESKernel(bytes(range(8)))
+    ct = des._crypt_blocks(data, des._keys)
+    enc_np, dec_np = des._np_schedules()
+    if _np_des_crypt(data, enc_np) != ct:
+        return False
+    if _np_des_crypt(ct, dec_np) != data:
+        return False
+    tdes = TripleDESKernel(bytes(range(24)))
+    ct = tdes._crypt_blocks(data, tdes._enc)
+    enc_np, dec_np = tdes._np_schedules()
+    if _np_des_crypt(data, enc_np) != ct:
+        return False
+    if _np_des_crypt(ct, dec_np) != data:
+        return False
+    return True
+
+
+def _init_numpy_backend(probe: Callable[[], bool] = None) -> bool:
+    """Settle the numpy rung at import; tests inject a failing ``probe``
+    to exercise the graceful-degradation path."""
+    global NUMPY_BACKED, _np
+    NUMPY_BACKED = False
+    _np = None
+    if _backend.ACTIVE != "numpy":
+        return False
+    try:
+        ok = bool((probe or _numpy_ok)())
+    except Exception:
+        ok = False
+    if ok:
+        _np = _backend.NUMPY
+        NUMPY_BACKED = True
+    else:
+        _np = None
+        _backend.demote("array-kernel equivalence probe failed")
+    return NUMPY_BACKED
+
+
 class DESKernel:
     """Bit-packed DES, byte-identical to :class:`repro.crypto.des.DES`."""
 
@@ -333,6 +541,7 @@ class DESKernel:
             raise ValueError(f"DES key must be 8 bytes, got {len(key)}")
         self._keys = tuple(_key_schedule(int.from_bytes(key, "big")))
         self._rev_keys = tuple(reversed(self._keys))
+        self._keys_np = self._rev_keys_np = None
 
     def __deepcopy__(self, memo):
         # Immutable after construction (see AESKernel.__deepcopy__).
@@ -343,7 +552,15 @@ class DESKernel:
         kernel = cls.__new__(cls)
         kernel._keys = tuple(cipher._round_keys)
         kernel._rev_keys = tuple(reversed(kernel._keys))
+        kernel._keys_np = kernel._rev_keys_np = None
         return kernel
+
+    def _np_schedules(self):
+        if self._keys_np is None:
+            np = _np
+            self._keys_np = (np.array(self._keys, dtype=np.uint64),)
+            self._rev_keys_np = (np.array(self._rev_keys, dtype=np.uint64),)
+        return self._keys_np, self._rev_keys_np
 
     def _crypt_blocks(self, data: bytes, keys) -> bytes:
         if len(data) % 8:
@@ -359,9 +576,15 @@ class DESKernel:
         return bytes(out)
 
     def encrypt_blocks(self, data: bytes) -> bytes:
+        if NUMPY_BACKED and len(data) >= NUMPY_MIN_BLOCKS_DES * 8 \
+                and len(data) % 8 == 0:
+            return _np_des_crypt(data, self._np_schedules()[0])
         return self._crypt_blocks(data, self._keys)
 
     def decrypt_blocks(self, data: bytes) -> bytes:
+        if NUMPY_BACKED and len(data) >= NUMPY_MIN_BLOCKS_DES * 8 \
+                and len(data) % 8 == 0:
+            return _np_des_crypt(data, self._np_schedules()[1])
         return self._crypt_blocks(data, self._rev_keys)
 
     def encrypt_block(self, block: bytes) -> bytes:
@@ -420,6 +643,16 @@ class TripleDESKernel:
         # Encrypt: E(K1) -> D(K2) -> E(K3); decrypt reverses the chain.
         self._enc = (tuple(ks1), tuple(reversed(ks2)), tuple(ks3))
         self._dec = (tuple(reversed(ks3)), tuple(ks2), tuple(reversed(ks1)))
+        self._enc_np = self._dec_np = None
+
+    def _np_schedules(self):
+        if self._enc_np is None:
+            np = _np
+            self._enc_np = tuple(
+                np.array(k, dtype=np.uint64) for k in self._enc)
+            self._dec_np = tuple(
+                np.array(k, dtype=np.uint64) for k in self._dec)
+        return self._enc_np, self._dec_np
 
     @staticmethod
     def _crypt_blocks(data: bytes, schedules) -> bytes:
@@ -436,9 +669,15 @@ class TripleDESKernel:
         return bytes(out)
 
     def encrypt_blocks(self, data: bytes) -> bytes:
+        if NUMPY_BACKED and len(data) >= NUMPY_MIN_BLOCKS_DES * 8 \
+                and len(data) % 8 == 0:
+            return _np_des_crypt(data, self._np_schedules()[0])
         return self._crypt_blocks(data, self._enc)
 
     def decrypt_blocks(self, data: bytes) -> bytes:
+        if NUMPY_BACKED and len(data) >= NUMPY_MIN_BLOCKS_DES * 8 \
+                and len(data) % 8 == 0:
+            return _np_des_crypt(data, self._np_schedules()[1])
         return self._crypt_blocks(data, self._dec)
 
     def encrypt_block(self, block: bytes) -> bytes:
@@ -452,10 +691,59 @@ class TripleDESKernel:
         return self.decrypt_blocks(block)
 
 
+class ReferenceKernel:
+    """Per-block adapter giving an algebraic reference cipher the batched
+    kernel API — the ``python`` rung of the backend ladder.  Under
+    ``REPRO_BACKEND=python`` the registry hands these out instead of the
+    table kernels, so every block goes through the reference GF(2^8) /
+    Feistel arithmetic while the engines keep calling one interface."""
+
+    __slots__ = ("_cipher", "block_size")
+
+    def __init__(self, cipher):
+        self._cipher = cipher
+        self.block_size = cipher.block_size
+
+    def __deepcopy__(self, memo):
+        # The reference schedules are immutable after construction too.
+        return self
+
+    def _check(self, data: bytes) -> None:
+        if len(data) % self.block_size:
+            raise ValueError(
+                f"data length {len(data)} is not a multiple of block size "
+                f"{self.block_size}"
+            )
+
+    def encrypt_blocks(self, data: bytes) -> bytes:
+        self._check(data)
+        enc = self._cipher.encrypt_block
+        size = self.block_size
+        return b"".join(
+            enc(data[i: i + size]) for i in range(0, len(data), size)
+        )
+
+    def decrypt_blocks(self, data: bytes) -> bytes:
+        self._check(data)
+        dec = self._cipher.decrypt_block
+        size = self.block_size
+        return b"".join(
+            dec(data[i: i + size]) for i in range(0, len(data), size)
+        )
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        return self._cipher.encrypt_block(block)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        return self._cipher.decrypt_block(block)
+
+
 # ---------------------------------------------------------------------------
 # Key-schedule registry: kernels memoized by raw key bytes.  Engines are
 # rebuilt wholesale by fault campaigns and sweeps; the registry makes the
 # (tables + schedule) cost a once-per-key event for the whole process.
+# Under the ``python`` backend the same registry serves reference-cipher
+# adapters, so the rung switch is invisible to every caller.
 # ---------------------------------------------------------------------------
 
 _REGISTRY: "OrderedDict[Tuple[str, bytes], object]" = OrderedDict()
@@ -475,18 +763,26 @@ def _registered(kind: str, key: bytes, factory: Callable):
     return kernel
 
 
-def aes_kernel(key: bytes) -> AESKernel:
-    """Registry-cached :class:`AESKernel` for ``key``."""
+def aes_kernel(key: bytes) -> "AESKernel":
+    """Registry-cached AES kernel (or reference adapter) for ``key``."""
+    if _backend.ACTIVE == "python":
+        return _registered("aes-ref", key, lambda k: ReferenceKernel(AES(k)))
     return _registered("aes", key, AESKernel)
 
 
-def des_kernel(key: bytes) -> DESKernel:
-    """Registry-cached :class:`DESKernel` for ``key``."""
+def des_kernel(key: bytes) -> "DESKernel":
+    """Registry-cached DES kernel (or reference adapter) for ``key``."""
+    if _backend.ACTIVE == "python":
+        return _registered("des-ref", key, lambda k: ReferenceKernel(DES(k)))
     return _registered("des", key, DESKernel)
 
 
-def tdes_kernel(key: bytes) -> TripleDESKernel:
-    """Registry-cached :class:`TripleDESKernel` for ``key``."""
+def tdes_kernel(key: bytes) -> "TripleDESKernel":
+    """Registry-cached 3DES kernel (or reference adapter) for ``key``."""
+    if _backend.ACTIVE == "python":
+        return _registered(
+            "3des-ref", key, lambda k: ReferenceKernel(TripleDES(k))
+        )
     return _registered("3des", key, TripleDESKernel)
 
 
@@ -494,7 +790,7 @@ def tdes_kernel(key: bytes) -> TripleDESKernel:
 # Dispatch: route any BlockCipher through its kernel when one exists.
 # ---------------------------------------------------------------------------
 
-_KERNEL_TYPES = (AESKernel, DESKernel, TripleDESKernel)
+_KERNEL_TYPES = (AESKernel, DESKernel, TripleDESKernel, ReferenceKernel)
 _KERNEL_ATTR = "_repro_kernel"
 
 
@@ -505,12 +801,16 @@ def kernel_for(cipher):
     kernel built from their already-expanded schedule, memoized on the
     instance; kernels pass through unchanged; anything else returns
     ``None`` (callers fall back to the cipher's own per-block methods).
+    Under ``REPRO_BACKEND=python`` reference ciphers are *not* promoted —
+    the whole point of the rung is that their own arithmetic runs.
     """
     if isinstance(cipher, _KERNEL_TYPES):
         return cipher
     kernel = getattr(cipher, _KERNEL_ATTR, None)
     if kernel is not None:
         return kernel
+    if _backend.ACTIVE == "python":
+        return None
     if isinstance(cipher, AES):
         kernel = AESKernel.from_cipher(cipher)
     elif isinstance(cipher, TripleDES):
@@ -570,3 +870,9 @@ def ctr_pad(cipher, addr: int, nbytes: int,
     pad = encrypt_blocks(cipher, blocks)
     offset = addr - start
     return pad[offset: offset + nbytes]
+
+
+# Settle the backend ladder's top rung now that every kernel class the
+# probe needs is defined.  On failure this demotes ``repro.backend`` to
+# the kernel rung with a one-line warning — never a crash.
+_init_numpy_backend()

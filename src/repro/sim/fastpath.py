@@ -46,11 +46,14 @@ from __future__ import annotations
 
 from typing import Iterator, List, Tuple, Union
 
+from .. import backend as _backend
 from ..core.engine import BusEncryptionEngine, Placement
 from ..obs import TraceEvent
+from ..traces.arrays import KIND_BY_CODE, KIND_CODES, ArrayChunk
 from ..traces.stream import TraceStream
 from ..traces.trace import Access, AccessKind, Trace
 from .cache import WritePolicy, _Line
+from .system import store_payload
 
 __all__ = ["CompiledTrace", "CompiledTraceStream", "compile_trace",
            "execute", "FLUSH_THRESHOLD"]
@@ -59,9 +62,18 @@ __all__ = ["CompiledTrace", "CompiledTraceStream", "compile_trace",
 #: many lines (they also flush early whenever ordering requires it).
 FLUSH_THRESHOLD = 16
 
-#: One coalesced same-line run:
-#: (start, count, line, n_fetch, n_load, n_store, byte_total, store_idxs).
-_Run = Tuple[int, int, int, int, int, int, int, Tuple[int, ...]]
+#: One coalesced same-line run: ``(start, count, line, n_fetch, n_load,
+#: n_store, byte_total, head_kind, head_addr, head_size, store_pairs)``.
+#: The head access's fields ride in the tuple (the hot loop never
+#: indexes back into the access sequence for them) and ``store_pairs``
+#: holds the stores' ``(addr, size)`` spans in order, head included —
+#: the two choices that let list-compiled and array-compiled runs share
+#: one executor loop.  Contiguous stores (each starting where the
+#: previous ended) merge into one span: the deterministic store filler
+#: is a pure function of the address, so one 16-byte patch is
+#: byte-identical to four adjacent 4-byte patches.
+_Run = Tuple[int, int, int, int, int, int, int, AccessKind, int, int,
+             Tuple[Tuple[int, int], ...]]
 
 
 class CompiledTrace:
@@ -74,7 +86,8 @@ class CompiledTrace:
 
     __slots__ = ("accesses", "line_size", "runs")
 
-    def __init__(self, accesses: List[Access], line_size: int,
+    def __init__(self, accesses: Union[List[Access], ArrayChunk],
+                 line_size: int,
                  runs: List[_Run]):
         self.accesses = accesses
         self.line_size = line_size
@@ -113,7 +126,10 @@ class CompiledTraceStream:
     def compiled_chunks(self) -> Iterator[CompiledTrace]:
         """Compile and yield one :class:`CompiledTrace` per chunk."""
         for chunk in self.stream.chunks():
-            yield compile_trace(list(chunk), self.line_size)
+            if isinstance(chunk, ArrayChunk) and _backend.NUMPY is not None:
+                yield _compile_arrays(chunk, self.line_size)
+            else:
+                yield compile_trace(list(chunk), self.line_size)
 
     def __iter__(self) -> Iterator[Access]:
         return iter(self.stream)
@@ -135,10 +151,16 @@ def compile_trace(trace: Union[Trace, CompiledTrace, TraceStream,
         return CompiledTraceStream(trace.stream, line_size)
     if isinstance(trace, TraceStream):
         return CompiledTraceStream(trace, line_size)
+    if isinstance(trace, ArrayChunk):
+        if _backend.NUMPY is not None:
+            return _compile_arrays(trace, line_size)
+        trace = list(trace)
     if isinstance(trace, CompiledTrace):
         if trace.line_size == line_size:
             return trace
         accesses = trace.accesses
+        if isinstance(accesses, ArrayChunk) and _backend.NUMPY is not None:
+            return _compile_arrays(accesses, line_size)
     else:
         accesses = list(trace)
     fetch = AccessKind.FETCH
@@ -147,9 +169,10 @@ def compile_trace(trace: Union[Trace, CompiledTrace, TraceStream,
     i = 0
     n = len(accesses)
     while i < n:
-        line = accesses[i].addr // line_size
+        head = accesses[i]
+        line = head.addr // line_size
         n_fetch = n_load = n_store = total = 0
-        stores: List[int] = []
+        stores: List[Tuple[int, int]] = []
         j = i
         while j < n:
             access = accesses[j]
@@ -158,7 +181,15 @@ def compile_trace(trace: Union[Trace, CompiledTrace, TraceStream,
             kind = access.kind
             if kind is store:
                 n_store += 1
-                stores.append(j)
+                if (stores
+                        and stores[-1][0] + stores[-1][1] == access.addr
+                        and stores[-1][1] + access.size <= 256):
+                    # Contiguous with the previous store: one merged span
+                    # patches the same bytes (the filler pattern tiles).
+                    stores[-1] = (stores[-1][0],
+                                  stores[-1][1] + access.size)
+                else:
+                    stores.append((access.addr, access.size))
             elif kind is fetch:
                 n_fetch += 1
             else:
@@ -166,9 +197,93 @@ def compile_trace(trace: Union[Trace, CompiledTrace, TraceStream,
             total += access.size
             j += 1
         runs.append((i, j - i, line, n_fetch, n_load, n_store, total,
-                     tuple(stores)))
+                     head.kind, head.addr, head.size, tuple(stores)))
         i = j
     return CompiledTrace(accesses, line_size, runs)
+
+
+def _compile_arrays(chunk: ArrayChunk, line_size: int) -> CompiledTrace:
+    """Vectorized :func:`compile_trace` over one :class:`ArrayChunk`.
+
+    Produces exactly the runs the scalar compiler would produce for
+    ``list(chunk)`` — same ``_Run`` tuples, plain-int fields — with all
+    the per-access arithmetic (line numbers, run boundaries, per-run
+    kind counts and byte totals, store positions) done as whole-array
+    operations.  The resulting :class:`CompiledTrace` wraps the chunk
+    itself as its access sequence; the lazy ``Access`` materialization
+    only runs for sink event factories and rare fallback shapes.
+    """
+    np = _backend.NUMPY
+    n = len(chunk)
+    if n == 0:
+        return CompiledTrace(chunk, line_size, [])
+    addrs = chunk.addrs
+    kinds = chunk.kinds
+    sizes = chunk.sizes
+    lines = addrs // line_size
+
+    breaks = np.flatnonzero(lines[1:] != lines[:-1]) + 1
+    starts = np.concatenate((np.zeros(1, dtype=breaks.dtype), breaks))
+    bounds = np.concatenate((starts, np.asarray([n], dtype=starts.dtype)))
+    counts_l = np.diff(bounds).tolist()
+    starts_l = starts.tolist()
+    lines_l = lines[starts].tolist()
+
+    # Per-run kind counts and byte totals via prefix sums cut at the
+    # run boundaries (cumsum of a bool mask counts its True entries).
+    store_mask = kinds == KIND_CODES[AccessKind.STORE]
+    fetch_mask = kinds == KIND_CODES[AccessKind.FETCH]
+    zero = np.zeros(1, dtype=np.int64)
+    store_cum = np.concatenate((zero, np.cumsum(store_mask)))
+    fetch_cum = np.concatenate((zero, np.cumsum(fetch_mask)))
+    size_cum = np.concatenate((zero, np.cumsum(sizes)))
+    ns_l = (store_cum[bounds[1:]] - store_cum[bounds[:-1]]).tolist()
+    nf_l = (fetch_cum[bounds[1:]] - fetch_cum[bounds[:-1]]).tolist()
+    nl_l = [c - s - f for c, s, f in zip(counts_l, ns_l, nf_l)]
+    tot_l = (size_cum[bounds[1:]] - size_cum[bounds[:-1]]).tolist()
+
+    by_code = KIND_BY_CODE
+    head_kinds = [by_code[c] for c in kinds[starts].tolist()]
+    ha_l = addrs[starts].tolist()
+    hs_l = sizes[starts].tolist()
+
+    store_idx = np.flatnonzero(store_mask)
+    if store_idx.size:
+        # Merge contiguous stores into spans (same greedy rule as the
+        # scalar compiler), then slice the spans per run.
+        sa = addrs[store_idx]
+        ss = sizes[store_idx]
+        store_run = np.searchsorted(starts, store_idx, side="right") - 1
+        new_group = np.ones(len(store_idx), dtype=bool)
+        new_group[1:] = ((sa[1:] != sa[:-1] + ss[:-1])
+                         | (store_run[1:] != store_run[:-1]))
+        g_start = np.flatnonzero(new_group)
+        g_bounds = np.concatenate(
+            (g_start, np.asarray([len(store_idx)], dtype=g_start.dtype)))
+        ss_cum = np.concatenate((zero, np.cumsum(ss)))
+        g_size = ss_cum[g_bounds[1:]] - ss_cum[g_bounds[:-1]]
+        if int(g_size.max()) > 256:
+            # A merged span the filler pattern cannot tile (only possible
+            # with line sizes past 256): use the scalar compiler's greedy
+            # splitting instead.
+            return compile_trace(list(chunk), line_size)
+        g_addr = sa[g_start].tolist()
+        g_size_l = g_size.tolist()
+        g_run = store_run[g_start]
+        run_ids = np.arange(len(starts), dtype=g_run.dtype)
+        glo_l = np.searchsorted(g_run, run_ids).tolist()
+        ghi_l = np.searchsorted(g_run, run_ids, side="right").tolist()
+        pairs_l = [
+            () if lo == hi
+            else ((g_addr[lo], g_size_l[lo]),) if hi == lo + 1
+            else tuple(zip(g_addr[lo:hi], g_size_l[lo:hi]))
+            for lo, hi in zip(glo_l, ghi_l)
+        ]
+    else:
+        pairs_l = [()] * len(starts_l)
+    runs = list(zip(starts_l, counts_l, lines_l, nf_l, nl_l, ns_l, tot_l,
+                    head_kinds, ha_l, hs_l, pairs_l))
+    return CompiledTrace(chunk, line_size, runs)
 
 
 def _compiled_chunks(trace, line_size: int) -> Iterator[CompiledTrace]:
@@ -196,9 +311,13 @@ def execute(system, trace: Union[Trace, CompiledTrace, TraceStream,
     byte-identical to the materialized path at any chunk size.
     """
     engine = system.engine
-    if type(engine).notify_access is not BusEncryptionEngine.notify_access:
+    if type(engine).notify_access is not BusEncryptionEngine.notify_access \
+            or _backend.ACTIVE == "python":
         # A prefetcher-style hook needs the per-access callback; take the
-        # scalar path rather than risk starving it.
+        # scalar path rather than risk starving it.  The backend ladder's
+        # python rung (REPRO_BACKEND=python) also lands here: it is the
+        # algebraic-reference configuration, so every access walks the
+        # original per-access machinery.
         for access in trace:
             system.step(access)
         return
@@ -238,6 +357,9 @@ def execute(system, trace: Union[Trace, CompiledTrace, TraceStream,
     evictions = cache.evictions
     writebacks = cache.writebacks
     cycles = system.cycles
+    # Per-kind access counters as plain int deltas — ``counts[kind]`` on
+    # the shared dict pays a Python-level Enum.__hash__ per access.
+    cnt_fetch = cnt_load = cnt_store = 0
 
     pending: List[int] = []     # line numbers with deferred fills, in order
     pending_set = set()
@@ -257,20 +379,25 @@ def execute(system, trace: Union[Trace, CompiledTrace, TraceStream,
         pending.clear()
         pending_set.clear()
 
-    def one_access(access: Access) -> None:
+    def one_access(kind: AccessKind, addr: int, size: int) -> None:
         """Scalar-equivalent handling of one access on the array LRU."""
-        nonlocal cycles, hits, misses, evictions, writebacks
-        kind = access.kind
+        nonlocal cycles, hits, misses, evictions, writebacks, \
+            cnt_fetch, cnt_load, cnt_store
         cycles += issue
-        counts[kind] += 1
+        is_write = kind is store_kind
+        if is_write:
+            cnt_store += 1
+        elif kind is fetch_kind:
+            cnt_fetch += 1
+        else:
+            cnt_load += 1
         if sink is not None:
             sink.emit(TraceEvent(
-                kind="access", addr=access.addr, size=access.size,
+                kind="access", addr=addr, size=size,
                 cycle=cycles, detail=kind.name.lower(),
             ))
         cycles += per_access
-        is_write = kind is store_kind
-        line = access.addr // line_size
+        line = addr // line_size
         lines = sets[line % num_sets]
 
         if line in lines:
@@ -279,7 +406,7 @@ def execute(system, trace: Union[Trace, CompiledTrace, TraceStream,
                 lines.append(line)
             hits += 1
             if sink is not None:
-                sink.emit(TraceEvent(kind="hit", addr=access.addr,
+                sink.emit(TraceEvent(kind="hit", addr=addr,
                                      size=line_size, cycle=cycles))
             through = False
             if is_write:
@@ -291,7 +418,7 @@ def execute(system, trace: Union[Trace, CompiledTrace, TraceStream,
         else:
             misses += 1
             if sink is not None:
-                sink.emit(TraceEvent(kind="miss", addr=access.addr,
+                sink.emit(TraceEvent(kind="miss", addr=addr,
                                      size=line_size, cycle=cycles))
             if is_write and not write_allocate:
                 # Store miss bypasses the cache entirely.
@@ -348,14 +475,12 @@ def execute(system, trace: Union[Trace, CompiledTrace, TraceStream,
                     flush_fills()
 
         if is_write:
-            payload = bytes(
-                (access.addr + i) & 0xFF for i in range(access.size)
-            )
+            payload = store_payload(addr, size)
             if line in pending_set:
                 flush_fills()
             buf = line_data.get(line)
             if buf is not None:
-                offset = access.addr - line * line_size
+                offset = addr - line * line_size
                 end = min(offset + len(payload), line_size)
                 buf[offset:end] = payload[: end - offset]
             if through:
@@ -363,7 +488,7 @@ def execute(system, trace: Union[Trace, CompiledTrace, TraceStream,
                     flush_fills()
                 system.cycles = cycles
                 write_cycles = engine.write_partial(
-                    port, access.addr, payload, line_size
+                    port, addr, payload, line_size
                 )
                 if not write_buffer:
                     cycles += write_cycles
@@ -378,21 +503,21 @@ def execute(system, trace: Union[Trace, CompiledTrace, TraceStream,
         for compiled in _compiled_chunks(trace, line_size):
             accesses = compiled.accesses
             for start, count, line, n_fetch, n_load, n_store, total, \
-                    stores in compiled.runs:
-                head = accesses[start]
-                one_access(head)
+                    head_kind, head_addr, head_size, stores in compiled.runs:
+                one_access(head_kind, head_addr, head_size)
                 tail = count - 1
                 if tail == 0:
                     continue
                 lines = sets[line % num_sets]
-                head_is_store = head.kind is store_kind
+                head_is_store = head_kind is store_kind
                 tail_stores = n_store - (1 if head_is_store else 0)
                 if not (lines and lines[-1] == line
                         and (write_back or tail_stores == 0)):
                     # Rare shapes (write-through stores, no-write-allocate
                     # bypass) keep full per-access treatment.
                     for k in range(start + 1, start + count):
-                        one_access(accesses[k])
+                        a = accesses[k]
+                        one_access(a.kind, a.addr, a.size)
                     continue
 
                 # Bulk tail: `tail` guaranteed hits on the already-MRU
@@ -401,13 +526,16 @@ def execute(system, trace: Union[Trace, CompiledTrace, TraceStream,
                 # reduces to counter/cycle arithmetic (plus store
                 # patches).
                 hits += tail
-                if n_fetch:
-                    counts[fetch_kind] += n_fetch
-                if n_load:
-                    counts[AccessKind.LOAD] += n_load
-                if n_store:
-                    counts[store_kind] += n_store
-                counts[head.kind] -= 1  # the head was counted above
+                cnt_fetch += n_fetch
+                cnt_load += n_load
+                cnt_store += n_store
+                # ... minus the head, which one_access counted above.
+                if head_is_store:
+                    cnt_store -= 1
+                elif head_kind is fetch_kind:
+                    cnt_fetch -= 1
+                else:
+                    cnt_load -= 1
                 if sink is not None:
                     base = cycles
                     lo, hi = start + 1, start + count
@@ -435,7 +563,7 @@ def execute(system, trace: Union[Trace, CompiledTrace, TraceStream,
                                              size=line_size, cycle=c)
                             c += hit_latency
 
-                    sink.emit_bulk("access", tail, total - head.size,
+                    sink.emit_bulk("access", tail, total - head_size,
                                    access_events)
                     sink.emit_bulk("hit", tail, tail * line_size,
                                    hit_events)
@@ -447,15 +575,13 @@ def execute(system, trace: Union[Trace, CompiledTrace, TraceStream,
                     dirty.add(line)
                     buf = line_data.get(line)
                     if buf is not None:
-                        for idx in stores:
-                            if idx == start:
-                                continue
-                            access = accesses[idx]
-                            payload = bytes(
-                                (access.addr + i) & 0xFF
-                                for i in range(access.size)
-                            )
-                            offset = access.addr - line * line_size
+                        base_addr = line * line_size
+                        # The head store's bytes may reappear inside the
+                        # first merged span; repatching them is a no-op
+                        # (the filler is a pure function of the address).
+                        for saddr, ssize in stores:
+                            payload = store_payload(saddr, ssize)
+                            offset = saddr - base_addr
                             end = min(offset + len(payload), line_size)
                             buf[offset:end] = payload[: end - offset]
 
@@ -470,6 +596,9 @@ def execute(system, trace: Union[Trace, CompiledTrace, TraceStream,
         cache.evictions = evictions
         cache.writebacks = writebacks
         system.cycles = cycles
+        counts[fetch_kind] += cnt_fetch
+        counts[AccessKind.LOAD] += cnt_load
+        counts[store_kind] += cnt_store
         for index, ordered in enumerate(cache._sets):
             ordered.clear()
             for line in sets[index]:

@@ -20,6 +20,19 @@ from .bus import Bus
 from .cache import Cache, CacheConfig
 from .memory import MainMemory, MemoryConfig
 
+#: 512-byte repeating ramp backing the deterministic store filler —
+#: ``bytes((addr + i) & 0xFF for i in range(size))`` is a slice of it
+#: whenever ``size <= 256``, which every trace generator satisfies.
+_STORE_PATTERN = bytes(range(256)) * 2
+
+
+def store_payload(addr: int, size: int) -> bytes:
+    """The deterministic filler a data-less store writes."""
+    if size <= 256:
+        lo = addr & 0xFF
+        return _STORE_PATTERN[lo: lo + size]
+    return bytes((addr + i) & 0xFF for i in range(size))
+
 __all__ = ["SimReport", "SecureSystem", "run_trace", "overhead"]
 
 
@@ -160,9 +173,7 @@ class SecureSystem:
         """Bytes a store writes; deterministic filler when the trace has none."""
         if data is not None:
             return data
-        return bytes(
-            (access.addr + i) & 0xFF for i in range(access.size)
-        )
+        return store_payload(access.addr, access.size)
 
     def step(self, access: Access, data: Optional[bytes] = None) -> None:
         """Simulate one access."""

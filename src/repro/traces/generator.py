@@ -46,6 +46,7 @@ __all__ = [
     "iter_phased_program",
     "iter_multi_tenant",
     "iter_dma_bursts",
+    "dma_burst_chunks",
 ]
 
 
@@ -470,3 +471,89 @@ def iter_dma_bursts(
         for i in range(length):
             yield Access(kind, base + ((start - base) + i * size) % region, size)
         emitted += length
+
+
+def dma_burst_chunks(
+    n: int,
+    rng: DRBG,
+    chunk_size: int,
+    base: int = 1 << 20,
+    region: int = 1 << 20,
+    burst: int = 256,
+    size: int = 4,
+    read_fraction: float = 0.4,
+    addr_mod: Optional[int] = None,
+):
+    """Array twin of :func:`iter_dma_bursts` (the numpy rung's generator).
+
+    Yields :class:`~repro.traces.arrays.ArrayChunk` slabs of exactly
+    ``chunk_size`` accesses (the last may be shorter) whose flattened
+    content is access-for-access identical to ``iter_dma_bursts`` with
+    the same arguments: the DRBG is consumed burst by burst in the same
+    order (three draws per burst), only the per-access address walk is
+    computed as one array expression instead of 10^8 ``Access``
+    constructions.  ``addr_mod``, when given, folds every address by
+    ``addr % addr_mod`` — the image wrap :func:`repro.api.run_stream`
+    otherwise applies per access.
+
+    Requires the numpy backend rung; callers gate on
+    ``repro.backend.ACTIVE == "numpy"``.
+    """
+    from .. import backend as _backend
+    from .arrays import KIND_CODES, ArrayChunk
+
+    np = _backend.NUMPY
+    if np is None:
+        raise RuntimeError(
+            "dma_burst_chunks needs the numpy backend rung; use "
+            "iter_dma_bursts under the kernel/python rungs"
+        )
+    _check_count(n)
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    if burst <= 0:
+        raise ValueError(f"burst must be positive, got {burst}")
+    if size <= 0:
+        raise ValueError(f"size must be positive, got {size}")
+    if region < size:
+        raise ValueError(
+            f"region must be at least size ({size}), got {region}"
+        )
+    if not 0.0 <= read_fraction <= 1.0:
+        raise ValueError(f"read_fraction must be in [0, 1], got {read_fraction}")
+    span = region // size
+    ramp = np.arange(burst, dtype=np.int64) * size
+    load_code = KIND_CODES[AccessKind.LOAD]
+    store_code = KIND_CODES[AccessKind.STORE]
+
+    addr_parts = []
+    kind_parts = []
+    held = 0
+    emitted = 0
+    while emitted < n:
+        # The same three draws, in the same order, as iter_dma_bursts.
+        length = min(1 + rng.randbelow(burst), n - emitted)
+        offset = rng.randbelow(span) * size
+        code = load_code if rng.random() < read_fraction else store_code
+        addrs = (offset + ramp[:length]) % region + base
+        if addr_mod is not None:
+            addrs = addrs % addr_mod
+        addr_parts.append(addrs)
+        kind_parts.append(np.full(length, code, dtype=np.uint8))
+        held += length
+        emitted += length
+        if held >= chunk_size or emitted >= n:
+            all_addrs = np.concatenate(addr_parts)
+            all_kinds = np.concatenate(kind_parts)
+            cut = 0
+            while held - cut >= chunk_size or (emitted >= n and cut < held):
+                take = min(chunk_size, held - cut)
+                yield ArrayChunk(
+                    all_kinds[cut: cut + take],
+                    all_addrs[cut: cut + take],
+                    np.full(take, size, dtype=np.int64),
+                )
+                cut += take
+            addr_parts = [all_addrs[cut:]]
+            kind_parts = [all_kinds[cut:]]
+            held -= cut

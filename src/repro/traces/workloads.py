@@ -17,8 +17,10 @@ from .stream import DEFAULT_CHUNK_SIZE, TraceStream, chunked
 from .trace import Access, AccessKind, Trace
 
 __all__ = ["standard_suite", "make_workload", "iter_workload",
-           "stream_workload", "synthetic_code_image",
+           "stream_workload", "array_stream_workload",
+           "synthetic_code_image",
            "WORKLOAD_NAMES", "LONG_HORIZON_NAMES", "STREAM_WORKLOAD_NAMES",
+           "ARRAY_STREAM_NAMES",
            "MCU_KERNELS", "events_to_trace", "trace_to_events",
            "mcu_workload"]
 
@@ -41,6 +43,11 @@ LONG_HORIZON_NAMES = (
 
 #: Everything :func:`iter_workload`/:func:`stream_workload` accept.
 STREAM_WORKLOAD_NAMES = WORKLOAD_NAMES + LONG_HORIZON_NAMES
+
+#: Workloads with an array-chunk twin (:func:`array_stream_workload`):
+#: generators cheap enough per DRBG draw that, at 10^8 accesses, the
+#: per-access ``Access`` construction *is* the cost worth deleting.
+ARRAY_STREAM_NAMES = ("dma-burst",)
 
 
 def iter_workload(name: str, n: int = 20000, seed: int = 2005
@@ -105,6 +112,39 @@ def stream_workload(name: str, n: int = 20000, seed: int = 2005,
         )
     return TraceStream(
         lambda: chunked(iter_workload(name, n=n, seed=seed), chunk_size),
+        length=n,
+    )
+
+
+def array_stream_workload(name: str, n: int = 20000, seed: int = 2005,
+                          chunk_size: int = DEFAULT_CHUNK_SIZE,
+                          addr_mod: int = None) -> TraceStream:
+    """An array-chunk replayable stream of one named workload.
+
+    Flattens to the exact access sequence of
+    ``stream_workload(name, n, seed)`` — each pass re-derives the DRBG
+    from ``seed`` and consumes it in the scalar generator's draw order —
+    but delivers :class:`~repro.traces.arrays.ArrayChunk` slabs that the
+    array executor reads without constructing ``Access`` records.
+    ``addr_mod`` folds addresses by ``addr % addr_mod`` inside the
+    arrays (the :func:`repro.api.run_stream` image wrap).
+
+    Only :data:`ARRAY_STREAM_NAMES` have array twins, and the numpy
+    backend rung must be active; callers gate on
+    ``repro.backend.ACTIVE == "numpy"`` and fall back to
+    :func:`stream_workload` otherwise.
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    if name not in ARRAY_STREAM_NAMES:
+        raise KeyError(
+            f"workload {name!r} has no array twin; choose from "
+            f"{ARRAY_STREAM_NAMES} (or use stream_workload)"
+        )
+    return TraceStream(
+        lambda: generator.dma_burst_chunks(
+            n, DRBG(seed).fork(name), chunk_size, addr_mod=addr_mod
+        ),
         length=n,
     )
 

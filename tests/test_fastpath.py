@@ -187,11 +187,12 @@ class TestCompiledTrace:
         assert isinstance(compiled, CompiledTrace)
         assert len(compiled) == 5
         assert list(compiled) == trace
-        # (start, count, line, n_fetch, n_load, n_store, bytes, stores)
+        # (start, count, line, n_fetch, n_load, n_store, bytes,
+        #  head_kind, head_addr, head_size, store_pairs)
         assert compiled.runs == [
-            (0, 3, 0, 1, 1, 1, 12, (2,)),
-            (3, 1, 1, 0, 1, 0, 4, ()),
-            (4, 1, 0, 0, 1, 0, 4, ()),
+            (0, 3, 0, 1, 1, 1, 12, AccessKind.FETCH, 0, 4, ((8, 4),)),
+            (3, 1, 1, 0, 1, 0, 4, AccessKind.LOAD, LINE, 4, ()),
+            (4, 1, 0, 0, 1, 0, 4, AccessKind.LOAD, 0, 4, ()),
         ]
 
     def test_compiled_trace_passes_through(self):
@@ -276,3 +277,111 @@ class TestEmitBulk:
              else system.run(trace))
             totals.append((sink.summary(), sink.bytes_summary()))
         assert totals[0] == totals[1]
+
+
+# -- backend-rung differential (the dispatch-ladder equivalence gate) -------
+
+import contextlib
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.backend as repro_backend
+from repro.crypto import kernels as crypto_kernels
+from repro.crypto.drbg import DRBG
+from repro.sim import bench_fastpath
+from repro.traces.arrays import KIND_CODES, ArrayChunk
+from repro.traces.stream import TraceStream, chunked
+
+_RUNG_ENGINES = [None, "stream", "xom", "aegis"]
+_RUNG_CHUNKS = [1, 37, 5000]
+
+
+def _random_trace(seed: int, n: int = 140, region: int = 4096):
+    """A DRBG-derived trace mixing jumps, walks, kinds and sizes."""
+    rng = DRBG(b"fastpath-hyp-%d" % seed)
+    kinds = (AccessKind.FETCH, AccessKind.LOAD, AccessKind.STORE)
+    sizes = (1, 4, 8)
+    out, addr = [], 0
+    for _ in range(n):
+        addr = (rng.randbelow(region) if rng.random() < 0.4
+                else (addr + 4) % region)
+        out.append(Access(kinds[rng.randbelow(3)], addr,
+                          sizes[rng.randbelow(3)]))
+    return out
+
+
+@contextlib.contextmanager
+def _forced_rung(rung: str):
+    """Emulate one dispatch-ladder rung in-process.
+
+    ``repro.backend.ACTIVE`` steers the executor (python rung falls back
+    to the scalar step loop) and ``kernels.NUMPY_BACKED`` steers kernel
+    dispatch; flipping both reproduces each rung's code path without the
+    import-time environment variable (the cross-process leg is covered
+    by ``python -m repro.sim.bench_fastpath --vector``).
+    """
+    prev_active = repro_backend.ACTIVE
+    prev_backed = crypto_kernels.NUMPY_BACKED
+    try:
+        repro_backend.ACTIVE = rung
+        if rung != "numpy":
+            crypto_kernels.NUMPY_BACKED = False
+        yield
+    finally:
+        repro_backend.ACTIVE = prev_active
+        crypto_kernels.NUMPY_BACKED = prev_backed
+
+
+def _assert_equivalent(ref, fast, context: str) -> None:
+    ref_report, ref_sink, ref_bus = ref
+    fast_report, fast_sink, fast_bus = fast
+    assert fast_report == ref_report, context
+    assert fast_sink.summary() == ref_sink.summary(), context
+    assert fast_sink.bytes_summary() == ref_sink.bytes_summary(), context
+    assert fast_bus == ref_bus, context
+
+
+class TestBackendRungDifferential:
+    """Random traces x engines x chunk sizes x all three rungs."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1),
+           engine=st.sampled_from(_RUNG_ENGINES),
+           chunk=st.sampled_from(_RUNG_CHUNKS))
+    def test_all_rungs_match_reference(self, seed, engine, chunk):
+        trace = _random_trace(seed)
+        ref = bench_fastpath._run(engine, trace, reference=True)
+        for rung in ("numpy", "kernel", "python"):
+            if rung == "numpy" and repro_backend.ACTIVE != "numpy":
+                continue  # demoted environment: rung unavailable
+            with _forced_rung(rung):
+                stream = TraceStream(lambda: chunked(trace, chunk),
+                                     length=len(trace))
+                fast = bench_fastpath._run(engine, stream, reference=False)
+            _assert_equivalent(ref, fast,
+                               f"rung={rung} engine={engine} chunk={chunk}")
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1),
+           engine=st.sampled_from(_RUNG_ENGINES),
+           chunk=st.sampled_from(_RUNG_CHUNKS))
+    def test_array_chunks_match_reference(self, seed, engine, chunk):
+        if repro_backend.ACTIVE != "numpy":
+            pytest.skip("numpy rung inactive")
+        np = repro_backend.NUMPY
+        trace = _random_trace(seed)
+        ref = bench_fastpath._run(engine, trace, reference=True)
+        chunks = []
+        for lo in range(0, len(trace), chunk):
+            part = trace[lo: lo + chunk]
+            chunks.append(ArrayChunk(
+                np.array([KIND_CODES[a.kind] for a in part],
+                         dtype=np.uint8),
+                np.array([a.addr for a in part], dtype=np.int64),
+                np.array([a.size for a in part], dtype=np.int64),
+            ))
+        stream = TraceStream(chunks, length=len(trace))
+        fast = bench_fastpath._run(engine, stream, reference=False)
+        _assert_equivalent(ref, fast,
+                           f"array engine={engine} chunk={chunk}")
